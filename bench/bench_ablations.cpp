@@ -1,0 +1,184 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   A1  strip transformation: engine portfolio / gravity / reinsertion
+//   A2  Elevator: direct floored DP vs the paper's Lemma-14 split
+//   A3  SAP-U specialized solver vs the general (9+eps) pipeline
+//   A4  LP rounding: trial count and rounding slack
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+#include "src/core/medium_tasks.hpp"
+#include "src/core/sap_solver.hpp"
+#include "src/dsa/strip_transform.hpp"
+#include "src/gen/generators.hpp"
+#include "src/harness/table.hpp"
+#include "src/model/verify.hpp"
+#include "src/sapu/sapu_solver.hpp"
+#include "src/ufpp/lp_rounding.hpp"
+#include "src/util/stats.hpp"
+
+using namespace sap;
+
+namespace {
+
+std::vector<TaskId> all_ids(const PathInstance& inst) {
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  return ids;
+}
+
+UfppSolution greedy_packable(const PathInstance& inst, Value bound) {
+  std::vector<Value> load(inst.num_edges(), 0);
+  UfppSolution sol;
+  for (TaskId j : all_ids(inst)) {
+    const Task& t = inst.task(j);
+    bool fits = true;
+    for (EdgeId e = t.first; e <= t.last && fits; ++e) {
+      fits = load[static_cast<std::size_t>(e)] + t.demand <= bound;
+    }
+    if (!fits) continue;
+    for (EdgeId e = t.first; e <= t.last; ++e) {
+      load[static_cast<std::size_t>(e)] += t.demand;
+    }
+    sol.tasks.push_back(j);
+  }
+  return sol;
+}
+
+void ablate_strip_transform() {
+  std::printf("-- A1: strip transformation components (retention) --\n");
+  TablePrinter table({"variant", "mean retention", "min retention"});
+  struct Variant {
+    const char* name;
+    StripTransformOptions options;
+  };
+  const Variant variants[] = {
+      {"full (portfolio+gravity+reinsert)", {true, true, true}},
+      {"no reinsertion", {true, true, false}},
+      {"no gravity", {true, false, true}},
+      {"single first-fit engine", {false, true, true}},
+      {"window only", {false, false, false}},
+  };
+  for (const Variant& variant : variants) {
+    Summary retention;
+    Rng rng(991);
+    for (int trial = 0; trial < 25; ++trial) {
+      PathGenOptions opt;
+      opt.num_edges = 20;
+      opt.num_tasks = 120;
+      opt.profile = CapacityProfile::kUniform;
+      opt.min_capacity = 256;
+      opt.max_capacity = 256;
+      opt.demand = DemandClass::kSmall;
+      opt.delta = {1, 8};
+      const PathInstance inst = generate_path_instance(opt, rng);
+      const UfppSolution packed = greedy_packable(inst, 128);
+      const StripTransformResult r =
+          strip_transform(inst, packed, 128, variant.options);
+      if (!verify_sap_packable(inst, r.solution, 128)) continue;
+      retention.add(r.retention());
+    }
+    table.add_row({variant.name, fmt(retention.mean()), fmt(retention.min())});
+  }
+  table.print(std::cout);
+}
+
+void ablate_elevator() {
+  std::printf("\n-- A2: Elevator backend (medium-task weight) --\n");
+  TablePrinter table({"n", "direct DP mean w", "Lemma-14 split mean w",
+                      "split/direct"});
+  for (const std::size_t n : {12u, 20u, 32u}) {
+    Summary direct_w;
+    Summary split_w;
+    Rng rng(997);
+    for (int trial = 0; trial < 15; ++trial) {
+      PathGenOptions opt;
+      opt.num_edges = 10;
+      opt.num_tasks = n;
+      opt.min_capacity = 8;
+      opt.max_capacity = 32;
+      opt.demand = DemandClass::kMedium;
+      const PathInstance inst = generate_path_instance(opt, rng);
+      SolverParams direct;
+      SolverParams split;
+      split.elevator_mode = 1;
+      direct_w.add(static_cast<double>(
+          solve_medium_tasks(inst, all_ids(inst), direct).weight(inst)));
+      split_w.add(static_cast<double>(
+          solve_medium_tasks(inst, all_ids(inst), split).weight(inst)));
+    }
+    table.add_row({std::to_string(n), fmt(direct_w.mean(), 1),
+                   fmt(split_w.mean(), 1),
+                   fmt(split_w.mean() / std::max(1.0, direct_w.mean()))});
+  }
+  table.print(std::cout);
+}
+
+void ablate_sapu() {
+  std::printf("\n-- A3: SAP-U specialized vs general pipeline (uniform) --\n");
+  TablePrinter table({"cap", "n", "specialized mean w", "general mean w",
+                      "specialized/general"});
+  for (const Value cap : {Value{16}, Value{32}}) {
+    for (const std::size_t n : {24u, 48u}) {
+      Summary spec_w;
+      Summary gen_w;
+      Rng rng(1009);
+      for (int trial = 0; trial < 12; ++trial) {
+        PathGenOptions opt;
+        opt.num_edges = 12;
+        opt.num_tasks = n;
+        opt.profile = CapacityProfile::kUniform;
+        opt.min_capacity = cap;
+        opt.max_capacity = cap;
+        const PathInstance inst = generate_path_instance(opt, rng);
+        spec_w.add(
+            static_cast<double>(solve_sap_uniform(inst).weight(inst)));
+        gen_w.add(static_cast<double>(solve_sap(inst).weight(inst)));
+      }
+      table.add_row({std::to_string(cap), std::to_string(n),
+                     fmt(spec_w.mean(), 1), fmt(gen_w.mean(), 1),
+                     fmt(spec_w.mean() / std::max(1.0, gen_w.mean()))});
+    }
+  }
+  table.print(std::cout);
+}
+
+void ablate_lp_rounding() {
+  std::printf("\n-- A4: LP rounding trials x slack (weight / LP opt) --\n");
+  TablePrinter table({"trials", "eps", "mean frac", "min frac"});
+  for (const int trials : {1, 4, 16}) {
+    for (const double eps : {0.1, 0.3}) {
+      Summary frac;
+      Rng rng(1013);
+      for (int t = 0; t < 12; ++t) {
+        PathGenOptions opt;
+        opt.num_edges = 12;
+        opt.num_tasks = 60;
+        opt.min_capacity = 32;
+        opt.max_capacity = 63;
+        opt.demand = DemandClass::kSmall;
+        opt.delta = {1, 8};
+        const PathInstance inst = generate_path_instance(opt, rng);
+        Rng rounding_rng = rng.fork();
+        const LpRoundingResult r = ufpp_lp_rounding_half_b(
+            inst, all_ids(inst), 32, {eps, trials}, rounding_rng);
+        if (r.lp_value <= 0) continue;
+        frac.add(static_cast<double>(r.solution.weight(inst)) / r.lp_value);
+      }
+      table.add_row({std::to_string(trials), fmt(eps, 1), fmt(frac.mean()),
+                     fmt(frac.min())});
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ablations of DESIGN.md design choices ==\n\n");
+  ablate_strip_transform();
+  ablate_elevator();
+  ablate_sapu();
+  ablate_lp_rounding();
+  return 0;
+}

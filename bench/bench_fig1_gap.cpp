@@ -1,0 +1,146 @@
+// Experiment E1 (Figure 1): UFPP-feasible task sets need not be SAP-
+// feasible. Certifies the two hand instances and then quantifies the
+// phenomenon: the distribution of OPT_UFPP / OPT_SAP on random uniform-
+// capacity workloads.
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+#include "src/exact/profile_dp.hpp"
+#include "src/gen/generators.hpp"
+#include "src/gen/paper_instances.hpp"
+#include "src/harness/table.hpp"
+#include "src/model/verify.hpp"
+#include "src/ufpp/branch_and_bound.hpp"
+#include "src/util/stats.hpp"
+
+using namespace sap;
+
+namespace {
+
+void report_instance(const char* name, const PathInstance& inst) {
+  std::vector<TaskId> all(inst.num_tasks());
+  std::iota(all.begin(), all.end(), TaskId{0});
+  const bool ufpp_all = static_cast<bool>(
+      verify_ufpp(inst, UfppSolution{all}));
+  const SapExactResult sap_opt = sap_exact_profile_dp(inst);
+  std::printf(
+      "%s: m=%zu n=%zu | full set UFPP-feasible: %s | total weight %lld | "
+      "OPT_SAP %lld -> SAP must drop weight %lld\n",
+      name, inst.num_edges(), inst.num_tasks(), ufpp_all ? "yes" : "NO",
+      static_cast<long long>(inst.total_weight()),
+      static_cast<long long>(sap_opt.weight),
+      static_cast<long long>(inst.total_weight() - sap_opt.weight));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E1 / Figure 1: UFPP vs SAP feasibility gap ==\n\n");
+  report_instance("Fig 1(a)", fig1a_instance());
+  report_instance("Fig 1(b) [Chen et al.]", fig1b_instance());
+
+  std::printf(
+      "\nrandom uniform-capacity workloads: OPT_UFPP / OPT_SAP "
+      "(paper: ratio > 1 exists; it stays a small constant)\n\n");
+  TablePrinter table({"n", "cap", "trials", "mean gap", "max gap",
+                      "gap>1 freq"});
+  Rng rng(404);
+  for (const std::size_t n : {6u, 10u, 14u}) {
+    for (const Value cap : {Value{4}, Value{8}}) {
+      Summary gap;
+      int strict = 0;
+      const int trials = 40;
+      for (int trial = 0; trial < trials; ++trial) {
+        PathGenOptions opt;
+        opt.num_edges = 6;
+        opt.num_tasks = n;
+        opt.profile = CapacityProfile::kUniform;
+        opt.min_capacity = cap;
+        opt.max_capacity = cap;
+        const PathInstance inst = generate_path_instance(opt, rng);
+        const SapExactResult sap_opt = sap_exact_profile_dp(inst);
+        const UfppExactResult ufpp_opt = ufpp_exact(inst);
+        if (!sap_opt.proven_optimal || !ufpp_opt.proven_optimal ||
+            sap_opt.weight == 0) {
+          continue;
+        }
+        const double g = static_cast<double>(ufpp_opt.weight) /
+                         static_cast<double>(sap_opt.weight);
+        gap.add(g);
+        if (ufpp_opt.weight > sap_opt.weight) ++strict;
+      }
+      table.add_row({std::to_string(n), std::to_string(cap),
+                     std::to_string(gap.count()), fmt(gap.mean()),
+                     fmt(gap.max()),
+                     fmt(static_cast<double>(strict) /
+                         static_cast<double>(gap.count()))});
+    }
+  }
+  table.print(std::cout);
+
+  // The gadgets are delicate, so uniform random draws almost never hit a
+  // gap. Saturated workloads (tasks greedily added until no further task
+  // fits) are where interlocking happens; sweep those too.
+  std::printf(
+      "\nsaturated uniform workloads (greedy-maximal task sets, thick=cap/2 "
+      "thin=cap/4):\n\n");
+  TablePrinter saturated({"m", "cap", "trials", "mean gap", "max gap",
+                          "gap>1 freq"});
+  for (const std::size_t m : {4u, 5u, 6u}) {
+    const Value cap = 4;
+    Summary gap;
+    int strict = 0;
+    const int trials = 60;
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng srng(9090 + static_cast<std::uint64_t>(trial) * 131 + m);
+      // Greedily add random thick/thin tasks while loads permit.
+      std::vector<Value> load(m, 0);
+      std::vector<Task> tasks;
+      int misses = 0;
+      while (misses < 40) {
+        const auto first = static_cast<EdgeId>(
+            srng.uniform_int(0, static_cast<std::int64_t>(m) - 1));
+        const auto last = static_cast<EdgeId>(srng.uniform_int(
+            first, static_cast<std::int64_t>(m) - 1));
+        const Value d = srng.bernoulli(0.5) ? 2 : 1;
+        bool fits = true;
+        for (EdgeId e = first; e <= last && fits; ++e) {
+          fits = load[static_cast<std::size_t>(e)] + d <= cap;
+        }
+        if (!fits) {
+          ++misses;
+          continue;
+        }
+        for (EdgeId e = first; e <= last; ++e) {
+          load[static_cast<std::size_t>(e)] += d;
+        }
+        tasks.push_back({first, last, d, 1});
+      }
+      if (tasks.empty()) continue;
+      PathInstance inst(std::vector<Value>(m, cap), std::move(tasks));
+      const SapExactResult sap_opt = sap_exact_profile_dp(inst);
+      const UfppExactResult ufpp_opt = ufpp_exact(inst);
+      if (!sap_opt.proven_optimal || !ufpp_opt.proven_optimal ||
+          sap_opt.weight == 0) {
+        continue;
+      }
+      const double g = static_cast<double>(ufpp_opt.weight) /
+                       static_cast<double>(sap_opt.weight);
+      gap.add(g);
+      if (ufpp_opt.weight > sap_opt.weight) ++strict;
+    }
+    saturated.add_row({std::to_string(m), std::to_string(cap),
+                       std::to_string(gap.count()), fmt(gap.mean()),
+                       fmt(gap.max()),
+                       fmt(static_cast<double>(strict) /
+                           static_cast<double>(std::max<std::size_t>(
+                               1, gap.count())))});
+  }
+  saturated.print(std::cout);
+  std::printf(
+      "\nexpected shape: the gap exists (gadgets above force it) but stays "
+      "a small constant even on saturated workloads -- consistent with the "
+      "paper's message that SAP admits constant-factor approximations.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Experiment E6 (Theorem 4): the full (9+eps) pipeline on mixed workloads.
+// Sweeps n and capacity profile; reports measured ratio against the oracle
+// or LP bound, plus which branch (small/medium/large) wins how often.
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/sap_solver.hpp"
+#include "src/gen/generators.hpp"
+#include "src/harness/ratio_harness.hpp"
+#include "src/harness/table.hpp"
+#include "src/model/verify.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/thread_pool.hpp"
+
+using namespace sap;
+
+int main() {
+  std::printf("== E6 / Theorem 4: full SAP pipeline on mixed workloads ==\n");
+  std::printf("bound: 9 + eps\n\n");
+
+  TablePrinter table({"profile", "n", "trials", "mean ratio", "max ratio",
+                      "win S/M/L", "exact-opt%"});
+  ThreadPool pool;
+
+  const std::pair<CapacityProfile, const char*> profiles[] = {
+      {CapacityProfile::kUniform, "uniform"},
+      {CapacityProfile::kValley, "valley"},
+      {CapacityProfile::kMountain, "mountain"},
+      {CapacityProfile::kStaircase, "staircase"},
+      {CapacityProfile::kRandomWalk, "walk"},
+  };
+
+  for (const auto& [profile, profile_name] : profiles) {
+    for (const std::size_t n : {12u, 24u, 48u}) {
+      const int trials = 20;
+      std::vector<Summary> ratios(static_cast<std::size_t>(trials));
+      std::vector<int> exact(static_cast<std::size_t>(trials), 0);
+      std::vector<int> wins(static_cast<std::size_t>(trials), -1);
+      pool.parallel_for(
+          static_cast<std::size_t>(trials), [&](std::size_t trial) {
+            Rng rng(5000 + 13 * trial + n);
+            PathGenOptions opt;
+            opt.num_edges = 12;
+            opt.num_tasks = n;
+            opt.profile = profile;
+            opt.min_capacity = 8;
+            opt.max_capacity = 48;
+            opt.demand = DemandClass::kMixed;
+            const PathInstance inst = generate_path_instance(opt, rng);
+            SolverParams params;
+            params.seed = trial;
+            SolveReport report;
+            const SapSolution sol = solve_sap(inst, params, &report);
+            if (!verify_sap(inst, sol)) return;
+            OptBoundOptions bopt;
+            bopt.exact_max_tasks = 26;
+            bopt.exact_max_capacity = 48;
+            const RatioMeasurement m = measure_ratio(inst, sol, bopt);
+            ratios[trial].add(m.ratio);
+            exact[trial] = m.bound_exact ? 1 : 0;
+            wins[trial] = static_cast<int>(report.winner);
+          });
+      Summary ratio;
+      int exact_count = 0;
+      int win_count[3] = {0, 0, 0};
+      for (int t = 0; t < trials; ++t) {
+        ratio.merge(ratios[static_cast<std::size_t>(t)]);
+        exact_count += exact[static_cast<std::size_t>(t)];
+        if (wins[static_cast<std::size_t>(t)] >= 0) {
+          ++win_count[wins[static_cast<std::size_t>(t)]];
+        }
+      }
+      table.add_row(
+          {profile_name, std::to_string(n), std::to_string(ratio.count()),
+           fmt(ratio.mean()), fmt(ratio.max()),
+           std::to_string(win_count[0]) + "/" + std::to_string(win_count[1]) +
+               "/" + std::to_string(win_count[2]),
+           fmt(100.0 * exact_count / trials, 0)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: every max ratio sits far below 9+eps; the class "
+      "that dominates the instance mix wins the best-of-three.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Experiment E9 (Section 4.1 vs Appendix): per-strip comparison of the two
+// UFPP-in-a-strip backends — LP rounding ((4+eps) end-to-end) vs the local
+// ratio Strip algorithm ((5+eps) end-to-end) — on identical instances with
+// bottlenecks in [B, 2B).
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+#include "src/gen/generators.hpp"
+#include "src/harness/table.hpp"
+#include "src/lp/ufpp_lp.hpp"
+#include "src/model/verify.hpp"
+#include "src/ufpp/lp_rounding.hpp"
+#include "src/ufpp/strip_local_ratio.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/thread_pool.hpp"
+
+using namespace sap;
+
+int main() {
+  std::printf("== E9: LP rounding vs local ratio in a strip ==\n");
+  std::printf("B = 32, capacities/bottlenecks in [B, 2B)\n\n");
+
+  TablePrinter table({"delta", "n", "trials", "LR/LPopt mean", "RND/LPopt mean",
+                      "RND wins", "LR wins", "ties"});
+  ThreadPool pool;
+  constexpr Value kB = 32;
+
+  const std::pair<Ratio, const char*> deltas[] = {{{1, 8}, "1/8"},
+                                                  {{1, 16}, "1/16"}};
+
+  for (const auto& [delta, delta_name] : deltas) {
+    for (const std::size_t n : {30u, 60u, 120u}) {
+      const int trials = 20;
+      std::vector<Summary> lr_frac(static_cast<std::size_t>(trials));
+      std::vector<Summary> rnd_frac(static_cast<std::size_t>(trials));
+      std::vector<int> outcome(static_cast<std::size_t>(trials), 2);
+      pool.parallel_for(
+          static_cast<std::size_t>(trials), [&](std::size_t trial) {
+            Rng rng(6000 + 41 * trial + n +
+                    static_cast<std::size_t>(delta.den));
+            PathGenOptions opt;
+            opt.num_edges = 14;
+            opt.num_tasks = n;
+            opt.min_capacity = kB;
+            opt.max_capacity = 2 * kB - 1;
+            opt.demand = DemandClass::kSmall;
+            opt.delta = delta;
+            const PathInstance inst = generate_path_instance(opt, rng);
+            std::vector<TaskId> all(inst.num_tasks());
+            std::iota(all.begin(), all.end(), TaskId{0});
+
+            const UfppSolution lr = ufpp_strip_local_ratio(inst, all, kB);
+            Rng rnd_rng = rng.fork();
+            const LpRoundingResult rnd = ufpp_lp_rounding_half_b(
+                inst, all, kB, {0.2, 8}, rnd_rng);
+            if (!verify_ufpp_packable(inst, lr, kB / 2) ||
+                !verify_ufpp_packable(inst, rnd.solution, kB / 2)) {
+              return;
+            }
+            const double lp_opt = std::max(1.0, rnd.lp_value);
+            const Weight lr_w = lr.weight(inst);
+            const Weight rnd_w = rnd.solution.weight(inst);
+            lr_frac[trial].add(static_cast<double>(lr_w) / lp_opt);
+            rnd_frac[trial].add(static_cast<double>(rnd_w) / lp_opt);
+            outcome[trial] = rnd_w > lr_w ? 0 : (lr_w > rnd_w ? 1 : 2);
+          });
+      Summary lr;
+      Summary rnd;
+      int wins[3] = {0, 0, 0};
+      for (int t = 0; t < trials; ++t) {
+        lr.merge(lr_frac[static_cast<std::size_t>(t)]);
+        rnd.merge(rnd_frac[static_cast<std::size_t>(t)]);
+        ++wins[outcome[static_cast<std::size_t>(t)]];
+      }
+      table.add_row({delta_name, std::to_string(n),
+                     std::to_string(lr.count()), fmt(lr.mean()),
+                     fmt(rnd.mean()), std::to_string(wins[0]),
+                     std::to_string(wins[1]), std::to_string(wins[2])});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nvalues are fractions of the *fractional* LP optimum (not of the "
+      "quarter-scaled target), so 0.25+ already certifies the paper's "
+      "regime; the LP-rounding backend should trend higher, matching its "
+      "better (4+eps vs 5+eps) constant.\n");
+  return 0;
+}

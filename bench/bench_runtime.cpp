@@ -1,0 +1,118 @@
+// Experiment E11: runtime scaling of every component (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "src/core/sap_solver.hpp"
+#include "src/dsa/strip_transform.hpp"
+#include "src/exact/profile_dp.hpp"
+#include "src/gen/generators.hpp"
+#include "src/lp/ufpp_lp.hpp"
+#include "src/ufpp/strip_local_ratio.hpp"
+
+namespace {
+
+using namespace sap;
+
+PathInstance make_instance(std::size_t n, DemandClass demand,
+                           Value cap_lo = 16, Value cap_hi = 64) {
+  Rng rng(42 + n);
+  PathGenOptions opt;
+  opt.num_edges = std::max<std::size_t>(8, n / 2);
+  opt.num_tasks = n;
+  opt.demand = demand;
+  opt.min_capacity = cap_lo;
+  opt.max_capacity = cap_hi;
+  return generate_path_instance(opt, rng);
+}
+
+std::vector<TaskId> all_ids(const PathInstance& inst) {
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  return ids;
+}
+
+void BM_FullSolver(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                  DemandClass::kMixed);
+  SolverParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_sap(inst, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullSolver)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_ProfileDp(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                  DemandClass::kMixed, 4, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sap_exact_profile_dp(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProfileDp)->DenseRange(6, 18, 4)->Complexity();
+
+void BM_UfppLp(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                  DemandClass::kMixed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ufpp_lp_upper_bound(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UfppLp)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_StripLocalRatio(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                  DemandClass::kSmall, 32, 63);
+  const auto ids = all_ids(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ufpp_strip_local_ratio(inst, ids, 32));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StripLocalRatio)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Complexity();
+
+void BM_StripTransform(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                  DemandClass::kSmall, 64, 64);
+  UfppSolution sol;
+  std::vector<Value> load(inst.num_edges(), 0);
+  for (TaskId j : all_ids(inst)) {
+    const Task& t = inst.task(j);
+    bool fits = true;
+    for (EdgeId e = t.first; e <= t.last && fits; ++e) {
+      fits = load[static_cast<std::size_t>(e)] + t.demand <= 32;
+    }
+    if (!fits) continue;
+    for (EdgeId e = t.first; e <= t.last; ++e) {
+      load[static_cast<std::size_t>(e)] += t.demand;
+    }
+    sol.tasks.push_back(j);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strip_transform(inst, sol, 32));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StripTransform)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Complexity();
+
+void BM_DsaPortfolio(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                  DemandClass::kSmall, 64, 64);
+  const auto ids = all_ids(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsa_pack_portfolio(inst, ids));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DsaPortfolio)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Experiment E10 (Observations 1-2, Lemma 17): structural invariants
+// measured on random optimal solutions — per-edge load vs 2*max bottleneck,
+// makespan vs max bottleneck, and rectangle degeneracy of 1/k-large
+// solutions vs 2k-2.
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+#include "src/core/rectangles.hpp"
+#include "src/exact/profile_dp.hpp"
+#include "src/gen/generators.hpp"
+#include "src/harness/table.hpp"
+#include "src/model/verify.hpp"
+#include "src/ufpp/branch_and_bound.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/thread_pool.hpp"
+
+using namespace sap;
+
+int main() {
+  std::printf("== E10: structural invariants ==\n\n");
+  ThreadPool pool;
+
+  // Observation 1 & 2.
+  {
+    TablePrinter table({"demand class", "trials", "UFPP load/2maxb (max)",
+                        "SAP mk/maxb (max)", "violations"});
+    const std::pair<DemandClass, const char*> classes[] = {
+        {DemandClass::kSmall, "small"},
+        {DemandClass::kMedium, "medium"},
+        {DemandClass::kLarge, "large"},
+        {DemandClass::kMixed, "mixed"}};
+    for (const auto& [demand, name] : classes) {
+      const int trials = 30;
+      std::vector<Summary> obs1(static_cast<std::size_t>(trials));
+      std::vector<Summary> obs2(static_cast<std::size_t>(trials));
+      std::vector<int> bad(static_cast<std::size_t>(trials), 0);
+      pool.parallel_for(
+          static_cast<std::size_t>(trials), [&](std::size_t trial) {
+            Rng rng(2000 + 7 * trial);
+            PathGenOptions opt;
+            opt.num_edges = 10;
+            opt.num_tasks = 12;
+            opt.min_capacity = 4;
+            opt.max_capacity = 24;
+            opt.demand = demand;
+            const PathInstance inst = generate_path_instance(opt, rng);
+            const UfppExactResult ufpp = ufpp_exact(inst);
+            if (!ufpp.solution.empty()) {
+              Value max_b = 0;
+              for (TaskId j : ufpp.solution.tasks) {
+                max_b = std::max(max_b, inst.bottleneck(j));
+              }
+              const double r =
+                  static_cast<double>(max_load(inst, ufpp.solution.tasks)) /
+                  static_cast<double>(2 * max_b);
+              obs1[trial].add(r);
+              if (r > 1.0) bad[trial] = 1;
+            }
+            const SapExactResult sap = sap_exact_profile_dp(inst);
+            if (sap.proven_optimal && !sap.solution.empty()) {
+              Value max_b = 0;
+              for (const Placement& p : sap.solution.placements) {
+                max_b = std::max(max_b, inst.bottleneck(p.task));
+              }
+              const double r =
+                  static_cast<double>(max_makespan(inst, sap.solution)) /
+                  static_cast<double>(max_b);
+              obs2[trial].add(r);
+              if (r > 1.0) bad[trial] = 1;
+            }
+          });
+      Summary o1;
+      Summary o2;
+      int violations = 0;
+      for (int t = 0; t < trials; ++t) {
+        o1.merge(obs1[static_cast<std::size_t>(t)]);
+        o2.merge(obs2[static_cast<std::size_t>(t)]);
+        violations += bad[static_cast<std::size_t>(t)];
+      }
+      table.add_row({name, std::to_string(trials), fmt(o1.max()),
+                     fmt(o2.max()), std::to_string(violations)});
+    }
+    std::printf("Observations 1-2 (ratios must stay <= 1):\n");
+    table.print(std::cout);
+  }
+
+  // Lemma 17 degeneracy statistics.
+  {
+    std::printf("\nLemma 17: rectangle degeneracy of optimal 1/k-large "
+                "solutions (bound 2k-2):\n");
+    TablePrinter table({"k", "trials", "mean degeneracy", "max degeneracy",
+                        "bound", "violations"});
+    for (const std::int64_t k : {2, 3, 4}) {
+      const int trials = 30;
+      std::vector<Summary> degen(static_cast<std::size_t>(trials));
+      std::vector<int> bad(static_cast<std::size_t>(trials), 0);
+      pool.parallel_for(
+          static_cast<std::size_t>(trials), [&](std::size_t trial) {
+            Rng rng(2500 + 19 * trial + static_cast<std::size_t>(k));
+            PathGenOptions opt;
+            opt.num_edges = 10;
+            opt.num_tasks = 14;
+            opt.min_capacity = 2 * k;
+            opt.max_capacity = 10 * k;
+            opt.demand = DemandClass::kLarge;
+            opt.k_large = k;
+            const PathInstance inst = generate_path_instance(opt, rng);
+            const SapExactResult sap = sap_exact_profile_dp(inst);
+            if (!sap.proven_optimal || sap.solution.empty()) return;
+            std::vector<TaskId> chosen;
+            for (const Placement& p : sap.solution.placements) {
+              chosen.push_back(p.task);
+            }
+            const auto rects = task_rectangles(inst, chosen);
+            const int d = smallest_last_coloring(rects).degeneracy;
+            degen[trial].add(static_cast<double>(d));
+            if (d > 2 * k - 2) bad[trial] = 1;
+          });
+      Summary d;
+      int violations = 0;
+      for (int t = 0; t < trials; ++t) {
+        d.merge(degen[static_cast<std::size_t>(t)]);
+        violations += bad[static_cast<std::size_t>(t)];
+      }
+      table.add_row({std::to_string(k), std::to_string(d.count()),
+                     fmt(d.mean(), 2), fmt(d.max(), 0),
+                     std::to_string(2 * k - 2), std::to_string(violations)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Command-line front end: read an instance (file or stdin), solve it with a
+// chosen algorithm, optionally verify and print the solution.
+//
+// Usage:
+//   sapkit_cli solve   [--algo full|uniform|small|medium|large] [--eps X]
+//                      [--seed N] [file]
+//   sapkit_cli exact   [file]            # profile-DP oracle
+//   sapkit_cli bound   [file]            # LP upper bound on OPT
+//   sapkit_cli gen     [--edges M] [--tasks N] [--seed S]   # emit instance
+//
+// Instances use the sap-path v1 text format (see src/io/instance_io.hpp).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+
+#include "src/core/sap_solver.hpp"
+#include "src/exact/profile_dp.hpp"
+#include "src/gen/generators.hpp"
+#include "src/io/instance_io.hpp"
+#include "src/lp/ufpp_lp.hpp"
+#include "src/model/verify.hpp"
+#include "src/sapu/sapu_solver.hpp"
+
+namespace {
+
+using namespace sap;
+
+int usage() {
+  std::cerr << "usage: sapkit_cli solve|exact|bound|gen [options] [file]\n"
+               "  solve --algo full|uniform|small|medium|large --eps X\n"
+               "  gen   --edges M --tasks N --seed S\n";
+  return 2;
+}
+
+PathInstance load(const std::string& path) {
+  if (path.empty() || path == "-") return read_path_instance(std::cin);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_path_instance(in);
+}
+
+std::vector<TaskId> all_ids(const PathInstance& inst) {
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  std::string algo = "full";
+  double eps = 0.5;
+  std::uint64_t seed = 1;
+  std::size_t edges = 16;
+  std::size_t tasks = 24;
+  std::string file;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--algo") {
+      algo = next();
+    } else if (arg == "--eps") {
+      eps = std::stod(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--edges") {
+      edges = std::stoull(next());
+    } else if (arg == "--tasks") {
+      tasks = std::stoull(next());
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return usage();
+    } else {
+      file = arg;
+    }
+  }
+
+  try {
+    if (command == "gen") {
+      Rng rng(seed);
+      PathGenOptions opt;
+      opt.num_edges = edges;
+      opt.num_tasks = tasks;
+      write_path_instance(std::cout, generate_path_instance(opt, rng));
+      return 0;
+    }
+
+    const PathInstance inst = load(file);
+    if (command == "exact") {
+      const SapExactResult opt = sap_exact_profile_dp(inst);
+      std::cerr << "optimum " << opt.weight
+                << (opt.proven_optimal ? "" : " (lower bound: beam cap hit)")
+                << "\n";
+      write_sap_solution(std::cout, opt.solution);
+      return 0;
+    }
+    if (command == "bound") {
+      std::cout << ufpp_lp_upper_bound(inst) << "\n";
+      return 0;
+    }
+    if (command != "solve") return usage();
+
+    SolverParams params;
+    params.eps = eps;
+    params.seed = seed;
+    SapSolution sol;
+    if (algo == "full") {
+      sol = solve_sap(inst, params);
+    } else if (algo == "uniform") {
+      sol = solve_sap_uniform(inst);
+    } else if (algo == "small") {
+      sol = solve_small_tasks(inst, all_ids(inst), params);
+    } else if (algo == "medium") {
+      sol = solve_medium_tasks(inst, all_ids(inst), params);
+    } else if (algo == "large") {
+      sol = solve_large_tasks(inst, all_ids(inst), params);
+    } else {
+      return usage();
+    }
+    const VerifyResult check = verify_sap(inst, sol);
+    if (!check) {
+      std::cerr << "INTERNAL ERROR: infeasible solution: " << check.reason
+                << "\n";
+      return 1;
+    }
+    std::cerr << "weight " << sol.weight(inst) << " (" << sol.size() << "/"
+              << inst.num_tasks() << " tasks)\n";
+    write_sap_solution(std::cout, sol);
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

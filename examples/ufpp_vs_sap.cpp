@@ -1,0 +1,89 @@
+// The price of contiguity (Figure 1 narrative): UFPP allows a task's
+// bandwidth to occupy different positions on different edges; SAP pins each
+// task to one contiguous band. This example walks through the paper's two
+// gap gadgets, then sweeps random workloads to show how large the gap gets
+// in practice.
+#include <cstdio>
+#include <numeric>
+
+#include "src/exact/profile_dp.hpp"
+#include "src/gen/generators.hpp"
+#include "src/gen/paper_instances.hpp"
+#include "src/model/verify.hpp"
+#include "src/ufpp/branch_and_bound.hpp"
+
+int main() {
+  using namespace sap;
+
+  std::printf("-- Figure 1(a): non-uniform capacities --\n");
+  {
+    const PathInstance inst = fig1a_instance();
+    std::vector<TaskId> all(inst.num_tasks());
+    std::iota(all.begin(), all.end(), TaskId{0});
+    std::printf("both tasks as flows: %s\n",
+                verify_ufpp(inst, UfppSolution{all}) ? "feasible" : "NO");
+    const SapExactResult opt = sap_exact_profile_dp(inst);
+    std::printf("best storage allocation keeps %lld of %lld tasks\n",
+                static_cast<long long>(opt.weight),
+                static_cast<long long>(inst.total_weight()));
+    std::printf("why: each task is pinned to height 0 at its own bottleneck "
+                "and they collide on the middle edge.\n\n");
+  }
+
+  std::printf("-- Figure 1(b): uniform capacities (Chen et al.) --\n");
+  {
+    const PathInstance inst = fig1b_instance();
+    std::vector<TaskId> all(inst.num_tasks());
+    std::iota(all.begin(), all.end(), TaskId{0});
+    std::printf("all %zu tasks as flows: %s\n", inst.num_tasks(),
+                verify_ufpp(inst, UfppSolution{all}) ? "feasible" : "NO");
+    const SapExactResult opt = sap_exact_profile_dp(inst);
+    std::printf("best storage allocation keeps %lld of %lld tasks\n\n",
+                static_cast<long long>(opt.weight),
+                static_cast<long long>(inst.total_weight()));
+  }
+
+  std::printf("-- random workloads: OPT_UFPP / OPT_SAP --\n");
+  std::printf("%-10s %-10s %-12s %-12s %-8s\n", "profile", "demands",
+              "UFPP opt", "SAP opt", "gap");
+  Rng rng(1848);
+  const std::pair<CapacityProfile, const char*> profiles[] = {
+      {CapacityProfile::kUniform, "uniform"},
+      {CapacityProfile::kValley, "valley"}};
+  const std::pair<DemandClass, const char*> demands[] = {
+      {DemandClass::kSmall, "small"},
+      {DemandClass::kLarge, "large"},
+      {DemandClass::kMixed, "mixed"}};
+  for (const auto& [profile, pname] : profiles) {
+    for (const auto& [demand, dname] : demands) {
+      Weight ufpp_total = 0;
+      Weight sap_total = 0;
+      for (int trial = 0; trial < 10; ++trial) {
+        PathGenOptions opt;
+        opt.num_edges = 8;
+        opt.num_tasks = 12;
+        opt.profile = profile;
+        opt.demand = demand;
+        opt.min_capacity = 4;
+        opt.max_capacity = 16;
+        const PathInstance inst = generate_path_instance(opt, rng);
+        const UfppExactResult flows = ufpp_exact(inst);
+        const SapExactResult storage = sap_exact_profile_dp(inst);
+        if (!flows.proven_optimal || !storage.proven_optimal) continue;
+        ufpp_total += flows.weight;
+        sap_total += storage.weight;
+      }
+      std::printf("%-10s %-10s %-12lld %-12lld %.4f\n", pname, dname,
+                  static_cast<long long>(ufpp_total),
+                  static_cast<long long>(sap_total),
+                  sap_total > 0 ? static_cast<double>(ufpp_total) /
+                                      static_cast<double>(sap_total)
+                                : 1.0);
+    }
+  }
+  std::printf(
+      "\ntakeaway: the UFPP/SAP gap exists (the gadgets) but random\n"
+      "workloads rarely exhibit it -- contiguity is usually cheap, which\n"
+      "is why a constant-factor SAP approximation is the right target.\n");
+  return 0;
+}

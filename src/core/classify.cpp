@@ -1,0 +1,22 @@
+#include "src/core/classify.hpp"
+
+namespace sap {
+
+TaskClasses classify_tasks(const PathInstance& inst,
+                           const SolverParams& params) {
+  TaskClasses out;
+  const Ratio large_threshold{1, params.k_large};
+  for (std::size_t j = 0; j < inst.num_tasks(); ++j) {
+    const auto id = static_cast<TaskId>(j);
+    if (inst.is_small(id, params.delta)) {
+      out.small.push_back(id);
+    } else if (inst.is_large(id, large_threshold)) {
+      out.large.push_back(id);
+    } else {
+      out.medium.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace sap

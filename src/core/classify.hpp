@@ -1,0 +1,24 @@
+// Task classification of Theorem 4: delta-small ("small"), 1/k-large
+// ("large") and everything in between ("medium": delta-large and
+// (1-2*beta)-small once k = 1/(1-2*beta)).
+#pragma once
+
+#include <vector>
+
+#include "src/core/params.hpp"
+#include "src/model/path_instance.hpp"
+
+namespace sap {
+
+struct TaskClasses {
+  std::vector<TaskId> small;   ///< d_j <= delta * b(j)
+  std::vector<TaskId> medium;  ///< delta-large and (1/k)-small
+  std::vector<TaskId> large;   ///< d_j > b(j) / k
+};
+
+/// Splits all tasks of `inst` by the params' delta and k_large thresholds.
+/// Every task lands in exactly one class.
+[[nodiscard]] TaskClasses classify_tasks(const PathInstance& inst,
+                                         const SolverParams& params);
+
+}  // namespace sap

@@ -1,0 +1,26 @@
+#include "src/core/large_tasks.hpp"
+
+namespace sap {
+
+SapSolution solve_large_tasks(const PathInstance& inst,
+                              std::span<const TaskId> subset,
+                              const SolverParams& params,
+                              LargeTasksReport* report) {
+  const std::vector<TaskRect> rects = task_rectangles(inst, subset);
+  const RectMwisResult mwis =
+      rectangle_mwis(rects, {params.large_max_nodes});
+  SapSolution out;
+  out.placements.reserve(mwis.chosen.size());
+  for (std::size_t idx : mwis.chosen) {
+    out.placements.push_back({rects[idx].task, rects[idx].bottom});
+  }
+  if (report != nullptr) {
+    report->num_rectangles = rects.size();
+    report->mwis_weight = mwis.weight;
+    report->proven_optimal = mwis.proven_optimal;
+    report->nodes = mwis.nodes;
+  }
+  return out;
+}
+
+}  // namespace sap

@@ -1,0 +1,34 @@
+// Section 6: the (2k-1)-approximation for 1/k-large SAP instances.
+//
+// Reduce to maximum-weight independent set over the anchored rectangles
+// R(j) = [s_j, t_j) x [b(j)-d_j, b(j)), solve it exactly, and read off the
+// SAP solution by placing every chosen task at its residual capacity
+// l(j) = b(j) - d_j. Pairwise-disjoint rectangles are by construction a
+// feasible SAP placement, and Lemma 17's (2k-2)-degeneracy argument bounds
+// the loss against OPT_SAP by (2k-1).
+#pragma once
+
+#include <span>
+
+#include "src/core/params.hpp"
+#include "src/core/rectangles.hpp"
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+struct LargeTasksReport {
+  std::size_t num_rectangles = 0;
+  Weight mwis_weight = 0;
+  bool proven_optimal = true;
+  std::size_t nodes = 0;
+};
+
+/// Runs the rectangle reduction + exact MWIS on `subset` (intended: the
+/// 1/k-large tasks). Always returns a feasible SAP solution for `inst`.
+[[nodiscard]] SapSolution solve_large_tasks(const PathInstance& inst,
+                                            std::span<const TaskId> subset,
+                                            const SolverParams& params,
+                                            LargeTasksReport* report = nullptr);
+
+}  // namespace sap

@@ -1,0 +1,75 @@
+// Section 5: the (2+eps)-approximation for medium tasks (delta-large and
+// (1-2*beta)-small).
+//
+// Algorithm AlmostUniform partitions tasks into overlapping bottleneck bands
+// J^{k,ell} = { j : 2^k <= b(j) < 2^(k+ell) }, runs Elevator on each band to
+// obtain a beta-elevated solution, groups bands by residue r modulo
+// (ell + q), q = ceil(log2(1/beta)), and keeps the heaviest residue class —
+// elevation makes stacked bands vertically disjoint (Lemma 8).
+//
+// Elevator follows the paper's remark after Lemma 15: instead of computing
+// an unconstrained optimum and splitting it (Lemma 14), it runs the exact
+// profile DP with a height floor of ceil(beta * 2^k), directly producing the
+// optimal beta-elevated solution, which Lemma 14 shows is 2-approximate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/params.hpp"
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+/// How Elevator obtains its beta-elevated solution.
+enum class ElevatorMode {
+  /// Exact DP with a height floor (the remark after Lemma 15): directly
+  /// the optimal beta-elevated solution.
+  kDirectDp,
+  /// The paper's stated two-step algorithm: compute an unconstrained
+  /// optimum (Lemma 13), split it into two beta-elevated solutions
+  /// (Lemma 14), keep the heavier. Integral rounding of the lift can
+  /// invalidate boundary tasks, which are then dropped (counted in
+  /// BandInfo::split_dropped).
+  kLemma14Split,
+};
+
+struct BandInfo {
+  int k = 0;                  ///< band: bottlenecks in [2^k, 2^(k+ell))
+  std::size_t num_tasks = 0;
+  Weight elevated_weight = 0; ///< weight of the Elevator solution
+  bool exact = true;          ///< false if the heuristic DP mode was used
+  std::size_t split_dropped = 0;  ///< Lemma-14 mode: lift casualties
+};
+
+struct MediumTasksReport {
+  int ell = 0;
+  int q = 0;
+  int chosen_residue = 0;
+  std::vector<BandInfo> bands;
+};
+
+/// Computes the beta-elevated solution for one band (tasks with
+/// b(j) in [2^k, 2^(k+ell))), heights floored at ceil(beta * 2^k).
+[[nodiscard]] SapSolution elevator(const PathInstance& inst,
+                                   std::span<const TaskId> band, int k,
+                                   int ell, const SolverParams& params,
+                                   bool* exact = nullptr);
+
+/// The Lemma-14 variant: unconstrained band optimum, split into two
+/// beta-elevated solutions, heavier one returned.
+[[nodiscard]] SapSolution elevator_lemma14(const PathInstance& inst,
+                                           std::span<const TaskId> band,
+                                           int k, int ell,
+                                           const SolverParams& params,
+                                           bool* exact = nullptr,
+                                           std::size_t* dropped = nullptr);
+
+/// Runs AlmostUniform on `subset` (intended: the medium tasks). Always
+/// returns a feasible SAP solution for `inst`.
+[[nodiscard]] SapSolution solve_medium_tasks(
+    const PathInstance& inst, std::span<const TaskId> subset,
+    const SolverParams& params, MediumTasksReport* report = nullptr);
+
+}  // namespace sap

@@ -1,0 +1,212 @@
+#include "src/core/rectangles.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace sap {
+namespace {
+
+/// Adjacency as bitsets: row v has bit u set iff rectangles v, u intersect.
+struct BitGraph {
+  std::size_t n = 0;
+  std::size_t words = 0;
+  std::vector<std::uint64_t> bits;
+
+  explicit BitGraph(std::span<const TaskRect> rects)
+      : n(rects.size()), words((rects.size() + 63) / 64),
+        bits(rects.size() * ((rects.size() + 63) / 64), 0) {
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t u = v + 1; u < n; ++u) {
+        if (rects[v].intersects(rects[u])) {
+          set(v, u);
+          set(u, v);
+        }
+      }
+    }
+  }
+
+  void set(std::size_t v, std::size_t u) {
+    bits[v * words + u / 64] |= std::uint64_t{1} << (u % 64);
+  }
+  [[nodiscard]] bool test(std::size_t v, std::size_t u) const {
+    return (bits[v * words + u / 64] >> (u % 64)) & 1u;
+  }
+  [[nodiscard]] const std::uint64_t* row(std::size_t v) const {
+    return &bits[v * words];
+  }
+};
+
+}  // namespace
+
+std::vector<TaskRect> task_rectangles(const PathInstance& inst,
+                                      std::span<const TaskId> subset) {
+  std::vector<TaskRect> out;
+  out.reserve(subset.size());
+  for (TaskId j : subset) {
+    const Task& t = inst.task(j);
+    const Value b = inst.bottleneck(j);
+    out.push_back({j, t.first, t.last, b - t.demand, b, t.weight});
+  }
+  return out;
+}
+
+std::vector<TaskRect> solution_rectangles(const PathInstance& inst,
+                                          const SapSolution& sol) {
+  std::vector<TaskRect> out;
+  out.reserve(sol.placements.size());
+  for (const Placement& p : sol.placements) {
+    const Task& t = inst.task(p.task);
+    out.push_back({p.task, t.first, t.last, p.height, p.height + t.demand,
+                   t.weight});
+  }
+  return out;
+}
+
+ColoringResult smallest_last_coloring(std::span<const TaskRect> rects) {
+  const std::size_t n = rects.size();
+  ColoringResult out;
+  out.color.assign(n, -1);
+  if (n == 0) return out;
+
+  // Smallest-last elimination order on the intersection graph.
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t u = v + 1; u < n; ++u) {
+      if (rects[v].intersects(rects[u])) {
+        adj[v].push_back(u);
+        adj[u].push_back(v);
+      }
+    }
+  }
+  std::vector<std::size_t> degree(n);
+  std::vector<bool> removed(n, false);
+  for (std::size_t v = 0; v < n; ++v) degree[v] = adj[v].size();
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!removed[v] && (best == n || degree[v] < degree[best])) best = v;
+    }
+    out.degeneracy =
+        std::max(out.degeneracy, static_cast<int>(degree[best]));
+    removed[best] = true;
+    order.push_back(best);
+    for (std::size_t u : adj[best]) {
+      if (!removed[u]) --degree[u];
+    }
+  }
+
+  // Color in reverse elimination order, greedily.
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t v = order[i];
+    std::vector<bool> used(n + 1, false);
+    for (std::size_t u : adj[v]) {
+      if (out.color[u] >= 0) used[static_cast<std::size_t>(out.color[u])] = true;
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    out.color[v] = c;
+    out.num_colors = std::max(out.num_colors, c + 1);
+  }
+  return out;
+}
+
+RectMwisResult rectangle_mwis(std::span<const TaskRect> rects,
+                              const RectMwisOptions& options) {
+  const std::size_t n = rects.size();
+  RectMwisResult out;
+  if (n == 0) return out;
+  BitGraph graph(rects);
+
+  // Static order: weight-descending makes the incumbent strong early.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::ranges::sort(order, [&](std::size_t a, std::size_t b) {
+    return rects[a].weight > rects[b].weight;
+  });
+
+  std::vector<std::uint64_t> alive(graph.words, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    alive[v / 64] |= std::uint64_t{1} << (v % 64);
+  }
+
+  std::vector<std::size_t> current;
+  std::vector<std::size_t> best;
+  Weight best_weight = -1;
+  std::size_t nodes = 0;
+  bool exhausted = false;
+
+  // Greedy clique cover of the alive set in static order; the bound is the
+  // sum over cliques of their maximum weight (first member, by the order).
+  auto clique_bound = [&](const std::vector<std::uint64_t>& mask) -> Weight {
+    std::vector<std::vector<std::uint64_t>> cliques;  // common-neighbor masks
+    Weight bound = 0;
+    for (std::size_t v : order) {
+      if (!((mask[v / 64] >> (v % 64)) & 1u)) continue;
+      bool placed = false;
+      for (std::size_t c = 0; c < cliques.size(); ++c) {
+        if ((cliques[c][v / 64] >> (v % 64)) & 1u) {
+          // v adjacent to every current member: shrink the common mask.
+          const std::uint64_t* row = graph.row(v);
+          for (std::size_t w = 0; w < graph.words; ++w) cliques[c][w] &= row[w];
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        cliques.emplace_back(graph.row(v), graph.row(v) + graph.words);
+        bound += rects[v].weight;
+      }
+    }
+    return bound;
+  };
+
+  std::function<void(std::vector<std::uint64_t>&, Weight)> dfs =
+      [&](std::vector<std::uint64_t>& mask, Weight weight) {
+        if (exhausted) return;
+        if (++nodes > options.max_nodes) {
+          exhausted = true;
+          return;
+        }
+        if (weight > best_weight) {
+          best_weight = weight;
+          best = current;
+        }
+        // Pick the heaviest alive vertex.
+        std::size_t pick = n;
+        for (std::size_t v : order) {
+          if ((mask[v / 64] >> (v % 64)) & 1u) {
+            pick = v;
+            break;
+          }
+        }
+        if (pick == n) return;
+        if (weight + clique_bound(mask) <= best_weight) return;
+
+        // Branch 1: include pick (drop its closed neighborhood).
+        std::vector<std::uint64_t> included = mask;
+        const std::uint64_t* row = graph.row(pick);
+        for (std::size_t w = 0; w < graph.words; ++w) included[w] &= ~row[w];
+        included[pick / 64] &= ~(std::uint64_t{1} << (pick % 64));
+        current.push_back(pick);
+        dfs(included, weight + rects[pick].weight);
+        current.pop_back();
+
+        // Branch 2: exclude pick.
+        std::vector<std::uint64_t> excluded = mask;
+        excluded[pick / 64] &= ~(std::uint64_t{1} << (pick % 64));
+        dfs(excluded, weight);
+      };
+  dfs(alive, 0);
+
+  out.chosen = std::move(best);
+  out.weight = best_weight;
+  out.proven_optimal = !exhausted;
+  out.nodes = nodes;
+  return out;
+}
+
+}  // namespace sap

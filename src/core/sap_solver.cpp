@@ -1,0 +1,52 @@
+#include "src/core/sap_solver.hpp"
+
+namespace sap {
+
+SapSolution solve_sap(const PathInstance& inst, const SolverParams& params,
+                      SolveReport* report) {
+  params.validate();
+  const TaskClasses classes = classify_tasks(inst, params);
+
+  SmallTasksReport small_report;
+  MediumTasksReport medium_report;
+  LargeTasksReport large_report;
+  SapSolution small_sol =
+      solve_small_tasks(inst, classes.small, params, &small_report);
+  SapSolution medium_sol =
+      solve_medium_tasks(inst, classes.medium, params, &medium_report);
+  SapSolution large_sol =
+      solve_large_tasks(inst, classes.large, params, &large_report);
+
+  const Weight ws = small_sol.weight(inst);
+  const Weight wm = medium_sol.weight(inst);
+  const Weight wl = large_sol.weight(inst);
+
+  SolverBranch winner = SolverBranch::kSmall;
+  if (wm > ws || (wm == ws && wm > 0)) winner = SolverBranch::kMedium;
+  if (wl > std::max(ws, wm)) winner = SolverBranch::kLarge;
+
+  if (report != nullptr) {
+    report->num_small = classes.small.size();
+    report->num_medium = classes.medium.size();
+    report->num_large = classes.large.size();
+    report->small_weight = ws;
+    report->medium_weight = wm;
+    report->large_weight = wl;
+    report->winner = winner;
+    report->small = std::move(small_report);
+    report->medium = std::move(medium_report);
+    report->large = std::move(large_report);
+  }
+
+  switch (winner) {
+    case SolverBranch::kSmall:
+      return small_sol;
+    case SolverBranch::kMedium:
+      return medium_sol;
+    case SolverBranch::kLarge:
+      return large_sol;
+  }
+  return small_sol;  // unreachable
+}
+
+}  // namespace sap

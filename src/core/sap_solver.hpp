@@ -1,0 +1,38 @@
+// Theorem 4: the (9+eps)-approximation for general SAP on paths.
+//
+// Classify tasks as small / medium / large (k = 2, beta = 1/4), run the
+// Section 4, 5 and 6 pipelines on their classes, and return the heaviest of
+// the three solutions (Lemma 3: ratios 4+eps, 2+eps and 3 add up to 9+eps).
+#pragma once
+
+#include "src/core/classify.hpp"
+#include "src/core/large_tasks.hpp"
+#include "src/core/medium_tasks.hpp"
+#include "src/core/params.hpp"
+#include "src/core/small_tasks.hpp"
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+enum class SolverBranch { kSmall, kMedium, kLarge };
+
+struct SolveReport {
+  std::size_t num_small = 0;
+  std::size_t num_medium = 0;
+  std::size_t num_large = 0;
+  Weight small_weight = 0;
+  Weight medium_weight = 0;
+  Weight large_weight = 0;
+  SolverBranch winner = SolverBranch::kSmall;
+  SmallTasksReport small;
+  MediumTasksReport medium;
+  LargeTasksReport large;
+};
+
+/// The full SAP approximation pipeline. Always returns a feasible solution.
+[[nodiscard]] SapSolution solve_sap(const PathInstance& inst,
+                                    const SolverParams& params = {},
+                                    SolveReport* report = nullptr);
+
+}  // namespace sap

@@ -1,0 +1,7 @@
+// Common DSA definitions live in first_fit.cpp and strip_transform.cpp; this
+// TU anchors dsa.hpp so the build compiles the header under full warnings.
+#include "src/dsa/dsa.hpp"
+
+namespace sap {
+static_assert(static_cast<int>(DsaOrder::kByLeftEndpoint) == 0);
+}  // namespace sap

@@ -1,0 +1,59 @@
+// Dynamic Storage Allocation (DSA) heuristics: place *every* given task,
+// minimizing makespan. DSA is the substrate of the small-task pipeline
+// (Section 4): the Lemma-4 strip transformation runs a DSA engine and then
+// extracts a bounded-height window.
+//
+// DSA is strongly NP-hard (Stockmeyer, via 3-PARTITION), so these are
+// heuristics; `bench_strip_transform` measures how close their makespan is
+// to LOAD on the delta-small workloads the paper's pipeline feeds them.
+#pragma once
+
+#include <span>
+
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+/// Placement order for the sequential DSA engines.
+enum class DsaOrder {
+  kByLeftEndpoint,     ///< classic sweep order (ties: taller first)
+  kByDemandDecreasing, ///< tall rectangles first
+  kBySpanDecreasing,   ///< long rectangles first
+};
+
+/// Height selection rule for each placed task.
+enum class DsaFit {
+  kFirstFit,  ///< lowest feasible height
+  kBestFit,   ///< smallest gap that fits (lowest on ties)
+};
+
+struct DsaOptions {
+  DsaOrder order = DsaOrder::kByLeftEndpoint;
+  DsaFit fit = DsaFit::kFirstFit;
+};
+
+struct DsaResult {
+  SapSolution solution;  ///< places every input task; ignores capacities
+  Value makespan = 0;    ///< max over placements of height + demand
+  Value load = 0;        ///< max per-edge demand sum (the LOAD lower bound)
+};
+
+/// Packs every task in `subset`, returning a vertically-disjoint placement
+/// (heights unbounded; callers bound them via strip extraction or lifting).
+[[nodiscard]] DsaResult dsa_pack(const PathInstance& inst,
+                                 std::span<const TaskId> subset,
+                                 const DsaOptions& options = {});
+
+/// Shelf packer: rounds demands up to powers of two, colors each class
+/// optimally (interval coloring), stacks the class shelves. Worse constants
+/// on average than first-fit but immune to fragmentation pathologies.
+[[nodiscard]] DsaResult dsa_pack_rounded(const PathInstance& inst,
+                                         std::span<const TaskId> subset);
+
+/// Runs dsa_pack under every (order, fit) combination plus the rounded
+/// shelf packer, and keeps the result with the smallest makespan.
+[[nodiscard]] DsaResult dsa_pack_portfolio(const PathInstance& inst,
+                                           std::span<const TaskId> subset);
+
+}  // namespace sap

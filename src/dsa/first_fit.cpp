@@ -1,0 +1,87 @@
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "src/dsa/dsa.hpp"
+#include "src/dsa/skyline.hpp"
+
+namespace sap {
+namespace {
+
+std::vector<TaskId> ordered(const PathInstance& inst,
+                            std::span<const TaskId> subset, DsaOrder order) {
+  std::vector<TaskId> ids(subset.begin(), subset.end());
+  switch (order) {
+    case DsaOrder::kByLeftEndpoint:
+      std::ranges::sort(ids, [&](TaskId a, TaskId b) {
+        const Task& ta = inst.task(a);
+        const Task& tb = inst.task(b);
+        if (ta.first != tb.first) return ta.first < tb.first;
+        if (ta.demand != tb.demand) return ta.demand > tb.demand;
+        return a < b;
+      });
+      break;
+    case DsaOrder::kByDemandDecreasing:
+      std::ranges::sort(ids, [&](TaskId a, TaskId b) {
+        const Task& ta = inst.task(a);
+        const Task& tb = inst.task(b);
+        if (ta.demand != tb.demand) return ta.demand > tb.demand;
+        if (ta.first != tb.first) return ta.first < tb.first;
+        return a < b;
+      });
+      break;
+    case DsaOrder::kBySpanDecreasing:
+      std::ranges::sort(ids, [&](TaskId a, TaskId b) {
+        const Task& ta = inst.task(a);
+        const Task& tb = inst.task(b);
+        if (ta.span() != tb.span()) return ta.span() > tb.span();
+        if (ta.demand != tb.demand) return ta.demand > tb.demand;
+        return a < b;
+      });
+      break;
+  }
+  return ids;
+}
+
+}  // namespace
+
+DsaResult dsa_pack(const PathInstance& inst, std::span<const TaskId> subset,
+                   const DsaOptions& options) {
+  OccupancyIndex index(inst);
+  for (TaskId j : ordered(inst, subset, options.order)) {
+    const Task& t = inst.task(j);
+    Value height = 0;
+    if (options.fit == DsaFit::kFirstFit) {
+      height = index.lowest_fit(t);
+    } else {
+      height = index.best_fit(t, std::numeric_limits<Value>::max() / 2)
+                   .value();  // unbounded limit always yields a height
+    }
+    index.add({j, height});
+  }
+  DsaResult out;
+  out.solution.placements = index.placements();
+  out.makespan = max_makespan(inst, out.solution);
+  out.load = max_load(inst, subset);
+  return out;
+}
+
+DsaResult dsa_pack_portfolio(const PathInstance& inst,
+                             std::span<const TaskId> subset) {
+  DsaResult best;
+  best.makespan = std::numeric_limits<Value>::max();
+  for (DsaOrder order : {DsaOrder::kByLeftEndpoint,
+                         DsaOrder::kByDemandDecreasing,
+                         DsaOrder::kBySpanDecreasing}) {
+    for (DsaFit fit : {DsaFit::kFirstFit, DsaFit::kBestFit}) {
+      DsaResult candidate = dsa_pack(inst, subset, {order, fit});
+      if (candidate.makespan < best.makespan) best = std::move(candidate);
+    }
+  }
+  DsaResult rounded = dsa_pack_rounded(inst, subset);
+  if (rounded.makespan < best.makespan) best = std::move(rounded);
+  return best;
+}
+
+}  // namespace sap

@@ -1,0 +1,78 @@
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <vector>
+
+#include "src/dsa/dsa.hpp"
+
+namespace sap {
+namespace {
+
+/// Optimal interval-graph coloring by left endpoint with a free-color pool:
+/// uses exactly the clique number (max per-edge count) of colors.
+std::vector<int> color_intervals(const PathInstance& inst,
+                                 std::span<const TaskId> ids,
+                                 int* num_colors) {
+  std::vector<TaskId> order(ids.begin(), ids.end());
+  std::ranges::sort(order, [&](TaskId a, TaskId b) {
+    if (inst.task(a).first != inst.task(b).first) {
+      return inst.task(a).first < inst.task(b).first;
+    }
+    return a < b;
+  });
+  // Min-heap of (release edge, color) of active tasks, plus free colors.
+  std::vector<int> color_of(inst.num_tasks(), -1);
+  std::multimap<EdgeId, int> active;  // last edge -> color
+  std::vector<int> free_colors;
+  int colors = 0;
+  for (TaskId j : order) {
+    const Task& t = inst.task(j);
+    while (!active.empty() && active.begin()->first < t.first) {
+      free_colors.push_back(active.begin()->second);
+      active.erase(active.begin());
+    }
+    int c;
+    if (free_colors.empty()) {
+      c = colors++;
+    } else {
+      c = free_colors.back();
+      free_colors.pop_back();
+    }
+    color_of[static_cast<std::size_t>(j)] = c;
+    active.emplace(t.last, c);
+  }
+  *num_colors = colors;
+  return color_of;
+}
+
+}  // namespace
+
+DsaResult dsa_pack_rounded(const PathInstance& inst,
+                           std::span<const TaskId> subset) {
+  // Round demands to powers of two; within a class all (rounded) demands
+  // are equal, so optimal stacking is interval coloring; classes stack on
+  // top of each other in shelves.
+  std::map<int, std::vector<TaskId>> classes;
+  for (TaskId j : subset) {
+    const auto demand = static_cast<std::uint64_t>(inst.task(j).demand);
+    const int cls = static_cast<int>(std::bit_width(demand - 1));  // ceil log2
+    classes[cls].push_back(j);
+  }
+  DsaResult out;
+  Value base = 0;
+  for (const auto& [cls, ids] : classes) {
+    const Value slab = Value{1} << cls;
+    int colors = 0;
+    const std::vector<int> color_of = color_intervals(inst, ids, &colors);
+    for (TaskId j : ids) {
+      out.solution.placements.push_back(
+          {j, base + slab * color_of[static_cast<std::size_t>(j)]});
+    }
+    base += slab * colors;
+  }
+  out.makespan = max_makespan(inst, out.solution);
+  out.load = max_load(inst, subset);
+  return out;
+}
+
+}  // namespace sap

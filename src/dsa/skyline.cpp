@@ -1,0 +1,76 @@
+#include "src/dsa/skyline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sap {
+
+OccupancyIndex::OccupancyIndex(const PathInstance& inst)
+    : inst_(&inst), by_edge_(inst.num_edges()) {}
+
+void OccupancyIndex::add(const Placement& p) {
+  const auto id = static_cast<std::uint32_t>(placements_.size());
+  placements_.push_back(p);
+  const Task& t = inst_->task(p.task);
+  for (EdgeId e = t.first; e <= t.last; ++e) {
+    by_edge_[static_cast<std::size_t>(e)].push_back(id);
+  }
+}
+
+std::vector<std::pair<Value, Value>> OccupancyIndex::blocking_spans(
+    const Task& t) const {
+  std::vector<std::uint32_t> ids;
+  for (EdgeId e = t.first; e <= t.last; ++e) {
+    const auto& bucket = by_edge_[static_cast<std::size_t>(e)];
+    ids.insert(ids.end(), bucket.begin(), bucket.end());
+  }
+  std::ranges::sort(ids);
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::vector<std::pair<Value, Value>> spans;
+  spans.reserve(ids.size());
+  for (std::uint32_t id : ids) {
+    const Placement& p = placements_[id];
+    spans.emplace_back(p.height,
+                       p.height + inst_->task(p.task).demand);
+  }
+  std::ranges::sort(spans);
+  return spans;
+}
+
+Value OccupancyIndex::lowest_fit(const Task& t) const {
+  Value candidate = 0;
+  for (const auto& [bottom, top] : blocking_spans(t)) {
+    if (bottom >= candidate + t.demand) break;  // gap below `bottom` fits
+    candidate = std::max(candidate, top);
+  }
+  return candidate;
+}
+
+std::optional<Value> OccupancyIndex::best_fit(const Task& t,
+                                              Value limit) const {
+  const auto spans = blocking_spans(t);
+  // Walk the free gaps between the merged occupied regions.
+  Value gap_start = 0;
+  Value best_height = -1;
+  Value best_waste = std::numeric_limits<Value>::max();
+  auto consider = [&](Value start, Value end) {  // bounded free gap
+    const Value size = end - start;
+    if (size >= t.demand && start + t.demand <= limit) {
+      const Value waste = size - t.demand;
+      if (waste < best_waste) {
+        best_waste = waste;
+        best_height = start;
+      }
+    }
+  };
+  for (const auto& [bottom, top] : spans) {
+    if (bottom > gap_start) consider(gap_start, bottom);
+    gap_start = std::max(gap_start, top);
+  }
+  if (best_height >= 0) return best_height;
+  // Unbounded top region.
+  if (gap_start + t.demand <= limit) return gap_start;
+  return std::nullopt;
+}
+
+}  // namespace sap

@@ -1,0 +1,49 @@
+// Occupancy index for dynamic-storage-allocation style placement: per-edge
+// buckets of placed tasks supporting "which placements overlap this task"
+// and exact lowest-fit / best-fit queries.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+/// Mutable index over a growing set of placements on a fixed instance.
+class OccupancyIndex {
+ public:
+  explicit OccupancyIndex(const PathInstance& inst);
+
+  /// Records a placement (caller guarantees it does not overlap existing
+  /// placements; `lowest_fit`/`best_fit` results always qualify).
+  void add(const Placement& p);
+
+  /// Vertical spans [bottom, top) of distinct placements overlapping task t.
+  [[nodiscard]] std::vector<std::pair<Value, Value>> blocking_spans(
+      const Task& t) const;
+
+  /// Lowest height h >= 0 such that [h, h + t.demand) is free along t's whole
+  /// edge range. Unconstrained by capacity; callers cap as needed.
+  [[nodiscard]] Value lowest_fit(const Task& t) const;
+
+  /// Lowest height whose enclosing free gap wastes the least space, i.e. the
+  /// bottom of the smallest free gap of size >= t.demand below `limit`;
+  /// falls back to lowest_fit when no bounded gap fits. Returns nullopt only
+  /// if even the unbounded top region starts at or above `limit`.
+  [[nodiscard]] std::optional<Value> best_fit(const Task& t,
+                                              Value limit) const;
+
+  [[nodiscard]] const std::vector<Placement>& placements() const noexcept {
+    return placements_;
+  }
+
+ private:
+  const PathInstance* inst_;
+  std::vector<Placement> placements_;
+  std::vector<std::vector<std::uint32_t>> by_edge_;  // placement ids per edge
+};
+
+}  // namespace sap

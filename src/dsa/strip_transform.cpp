@@ -1,0 +1,107 @@
+#include "src/dsa/strip_transform.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "src/dsa/skyline.hpp"
+#include "src/model/gravity.hpp"
+
+namespace sap {
+namespace {
+
+/// Best horizontal window [theta, theta + height) of the packing: the offset
+/// (among all placement bottoms and 0) maximizing the weight of placements
+/// entirely inside the window.
+Value best_window_offset(const PathInstance& inst, const SapSolution& packed,
+                         Value height) {
+  std::vector<Value> candidates{0};
+  candidates.reserve(packed.placements.size() + 1);
+  for (const Placement& p : packed.placements) candidates.push_back(p.height);
+  std::ranges::sort(candidates);
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  Value best_offset = 0;
+  Weight best_weight = -1;
+  for (Value theta : candidates) {
+    Weight inside = 0;
+    for (const Placement& p : packed.placements) {
+      const Task& t = inst.task(p.task);
+      if (p.height >= theta && p.height + t.demand <= theta + height) {
+        inside += t.weight;
+      }
+    }
+    if (inside > best_weight) {
+      best_weight = inside;
+      best_offset = theta;
+    }
+  }
+  return best_offset;
+}
+
+}  // namespace
+
+StripTransformResult strip_transform(const PathInstance& inst,
+                                     const UfppSolution& ufpp, Value height,
+                                     const StripTransformOptions& options) {
+  StripTransformResult out;
+  if (ufpp.empty()) return out;
+
+  const DsaResult packed = options.use_portfolio
+                               ? dsa_pack_portfolio(inst, ufpp.tasks)
+                               : dsa_pack(inst, ufpp.tasks, {});
+  out.dsa_makespan = packed.makespan;
+
+  SapSolution kept;
+  std::vector<TaskId> dropped;
+  if (packed.makespan <= height) {
+    kept = packed.solution;
+  } else {
+    const Value theta = best_window_offset(inst, packed.solution, height);
+    for (const Placement& p : packed.solution.placements) {
+      const Task& t = inst.task(p.task);
+      if (p.height >= theta && p.height + t.demand <= theta + height) {
+        kept.placements.push_back({p.task, p.height - theta});
+      } else {
+        dropped.push_back(p.task);
+      }
+    }
+    // Compact, then give the dropped tasks a second chance in the freed
+    // headroom, heaviest-density first.
+    if (options.apply_gravity) kept = apply_gravity(inst, kept);
+    if (!options.reinsert) {
+      out.solution = std::move(kept);
+      out.kept_weight = out.solution.weight(inst);
+      for (TaskId j : dropped) out.dropped_weight += inst.task(j).weight;
+      return out;
+    }
+    std::ranges::sort(dropped, [&](TaskId a, TaskId b) {
+      const Task& ta = inst.task(a);
+      const Task& tb = inst.task(b);
+      return static_cast<Int128>(ta.weight) * tb.demand >
+             static_cast<Int128>(tb.weight) * ta.demand;
+    });
+    OccupancyIndex index(inst);
+    for (const Placement& p : kept.placements) index.add(p);
+    std::vector<TaskId> still_dropped;
+    for (TaskId j : dropped) {
+      const std::optional<Value> h = index.best_fit(inst.task(j), height);
+      if (h.has_value()) {
+        index.add({j, *h});
+        ++out.reinserted;
+      } else {
+        still_dropped.push_back(j);
+      }
+    }
+    kept.placements = index.placements();
+    dropped = std::move(still_dropped);
+  }
+
+  out.solution = std::move(kept);
+  out.kept_weight = out.solution.weight(inst);
+  for (TaskId j : dropped) out.dropped_weight += inst.task(j).weight;
+  return out;
+}
+
+}  // namespace sap

@@ -1,0 +1,49 @@
+// The strip transformation of Lemma 4: turn a B-packable UFPP solution of
+// delta-small tasks into a B-packable SAP solution losing only a small
+// weight fraction ( >= (1-4*delta) in the paper's analysis).
+//
+// Substitution note (see DESIGN.md §4.2): the paper invokes the boxing-based
+// DSA of Buchsbaum et al. [12]; we replace it with a DSA heuristic portfolio
+// followed by best-window extraction and greedy re-insertion, and *measure*
+// the retained weight fraction in bench_strip_transform. The property the
+// rest of the pipeline consumes — a height-bounded SAP packing retaining
+// nearly all weight — is preserved.
+#pragma once
+
+#include "src/dsa/dsa.hpp"
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+/// Toggles for the transformation's design choices (ablated by
+/// bench_ablations; production callers use the defaults).
+struct StripTransformOptions {
+  bool use_portfolio = true;   ///< false: single first-fit engine
+  bool apply_gravity = true;   ///< compact the window before reinsertion
+  bool reinsert = true;        ///< greedy second chance for dropped tasks
+};
+
+struct StripTransformResult {
+  SapSolution solution;       ///< heights in [0, height); vertically disjoint
+  Weight kept_weight = 0;
+  Weight dropped_weight = 0;
+  Value dsa_makespan = 0;     ///< makespan of the unrestricted DSA packing
+  std::size_t reinserted = 0; ///< tasks recovered by the greedy second pass
+
+  [[nodiscard]] double retention() const noexcept {
+    const Weight total = kept_weight + dropped_weight;
+    return total == 0 ? 1.0
+                      : static_cast<double>(kept_weight) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Packs the tasks of `ufpp` into a strip of the given height. The result is
+/// vertically disjoint and below `height` everywhere; capacities are NOT
+/// consulted (Strip-Pack lifts strips so capacity holds by construction).
+[[nodiscard]] StripTransformResult strip_transform(
+    const PathInstance& inst, const UfppSolution& ufpp, Value height,
+    const StripTransformOptions& options = {});
+
+}  // namespace sap

@@ -1,0 +1,82 @@
+#include "src/exact/brute_force.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sap {
+namespace {
+
+struct BruteSearcher {
+  const PathInstance& inst;
+  std::vector<TaskId> order;
+  std::vector<Weight> suffix;
+  std::vector<Placement> current;
+  std::vector<Placement> best;
+  Weight current_weight = 0;
+  Weight best_weight = -1;
+
+  BruteSearcher(const PathInstance& instance, std::span<const TaskId> subset)
+      : inst(instance), order(subset.begin(), subset.end()) {
+    suffix.assign(order.size() + 1, 0);
+    for (std::size_t i = order.size(); i-- > 0;) {
+      suffix[i] = suffix[i + 1] + inst.task(order[i]).weight;
+    }
+  }
+
+  [[nodiscard]] bool placeable(const Task& t, Value h) const {
+    for (const Placement& p : current) {
+      const Task& other = inst.task(p.task);
+      if (!t.overlaps(other)) continue;
+      const Value other_top = p.height + other.demand;
+      if (h < other_top && p.height < h + t.demand) return false;
+    }
+    return true;
+  }
+
+  void dfs(std::size_t i) {
+    if (current_weight > best_weight) {
+      best_weight = current_weight;
+      best = current;
+    }
+    if (i == order.size()) return;
+    if (current_weight + suffix[i] <= best_weight) return;
+    const TaskId j = order[i];
+    const Task& t = inst.task(j);
+    const Value top_limit = inst.bottleneck(j) - t.demand;
+    for (Value h = 0; h <= top_limit; ++h) {
+      if (!placeable(t, h)) continue;
+      current.push_back({j, h});
+      current_weight += t.weight;
+      dfs(i + 1);
+      current_weight -= t.weight;
+      current.pop_back();
+    }
+    dfs(i + 1);  // skip j
+  }
+};
+
+}  // namespace
+
+SapSolution sap_brute_force(const PathInstance& inst,
+                            std::span<const TaskId> subset,
+                            const SapBruteForceOptions& options) {
+  if (subset.size() > options.max_tasks) {
+    throw std::invalid_argument("sap_brute_force: too many tasks");
+  }
+  if (inst.max_capacity() > options.max_capacity) {
+    throw std::invalid_argument("sap_brute_force: capacities too large");
+  }
+  BruteSearcher searcher(inst, subset);
+  searcher.dfs(0);
+  return SapSolution{std::move(searcher.best)};
+}
+
+SapSolution sap_brute_force(const PathInstance& inst,
+                            const SapBruteForceOptions& options) {
+  std::vector<TaskId> all(inst.num_tasks());
+  std::iota(all.begin(), all.end(), TaskId{0});
+  return sap_brute_force(inst, all, options);
+}
+
+}  // namespace sap

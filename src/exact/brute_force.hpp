@@ -1,0 +1,30 @@
+// Obviously-correct exponential SAP oracle for tiny instances.
+//
+// Enumerates, via DFS with weight pruning, every subset and every integral
+// height assignment (integral heights are WLOG for integral demands: apply
+// gravity, Observation 11, and heights become sums of demands). Exists to
+// cross-validate the profile DP and to anchor the ratio benches.
+#pragma once
+
+#include <span>
+
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+struct SapBruteForceOptions {
+  std::size_t max_tasks = 20;        ///< guard: refuse larger inputs
+  Value max_capacity = 64;           ///< guard: refuse taller instances
+};
+
+/// Maximum-weight SAP solution by exhaustive search. Throws
+/// std::invalid_argument when the instance exceeds the guards.
+[[nodiscard]] SapSolution sap_brute_force(
+    const PathInstance& inst, std::span<const TaskId> subset,
+    const SapBruteForceOptions& options = {});
+
+[[nodiscard]] SapSolution sap_brute_force(
+    const PathInstance& inst, const SapBruteForceOptions& options = {});
+
+}  // namespace sap

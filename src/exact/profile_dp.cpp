@@ -1,0 +1,275 @@
+#include "src/exact/profile_dp.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace sap {
+namespace {
+
+/// One selected task alive at the current edge. Identity is reduced to what
+/// future feasibility needs: vertical extent and remaining lifetime.
+struct Slot {
+  Value height;
+  Value demand;
+  EdgeId last;
+
+  friend bool operator==(const Slot&, const Slot&) = default;
+  [[nodiscard]] Value top() const noexcept { return height + demand; }
+};
+
+struct State {
+  std::vector<Slot> slots;  // sorted by height
+  Weight weight = 0;
+  std::int32_t parent = -1;           // arena index of predecessor state
+  std::vector<Placement> added;       // placements introduced at this edge
+};
+
+std::uint64_t hash_profile(const std::vector<Slot>& slots) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (const Slot& s : slots) {
+    mix(static_cast<std::uint64_t>(s.height));
+    mix(static_cast<std::uint64_t>(s.demand));
+    mix(static_cast<std::uint64_t>(s.last));
+  }
+  return h;
+}
+
+/// Enumerates placements of `starters[i..]` on top of `slots`, invoking
+/// `emit` at every leaf (including "place none").
+struct StarterEnumerator {
+  const PathInstance& inst;
+  const std::vector<TaskId>& starters;
+  Value cap;
+  std::size_t max_heights;
+  Value min_height;
+  bool grounded_only;
+  std::vector<Slot>* slots;                // sorted by height, mutated in DFS
+  std::vector<Placement>* added;
+  Weight added_weight = 0;
+  const bool* stop = nullptr;              // set when the state cap trips
+  std::function<void(Weight)> emit;
+
+  [[nodiscard]] bool free_span(Value h, Value demand) const {
+    for (const Slot& s : *slots) {
+      if (s.height >= h + demand) break;  // sorted: all later are above
+      if (s.top() > h) return false;
+    }
+    return true;
+  }
+
+  void run(std::size_t i) {
+    if (stop != nullptr && *stop) return;
+    if (i == starters.size()) {
+      emit(added_weight);
+      return;
+    }
+    run(i + 1);  // skip starters[i]
+    const TaskId j = starters[i];
+    const Task& t = inst.task(j);
+    if (min_height + t.demand > cap) return;
+    if (grounded_only) {
+      // Candidates: the floor and the top of every alive slot.
+      std::vector<Value> candidates{min_height};
+      for (const Slot& s : *slots) {
+        if (s.top() >= min_height) candidates.push_back(s.top());
+      }
+      std::ranges::sort(candidates);
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      std::size_t tried = 0;
+      for (Value h : candidates) {
+        if (h + t.demand > cap) break;
+        if (!free_span(h, t.demand)) continue;
+        if (max_heights != 0 && tried >= max_heights) return;
+        ++tried;
+        place(i, j, t, h);
+      }
+      return;
+    }
+    // Try every integral height whose span is free. Walk the free gaps of
+    // the (sorted) profile so each feasible height is visited once.
+    std::size_t tried = 0;
+    Value h = min_height;
+    std::size_t k = 0;
+    while (h + t.demand <= cap) {
+      // Skip forward over any slot blocking [h, h+demand).
+      bool blocked = false;
+      for (; k < slots->size(); ++k) {
+        const Slot& s = (*slots)[k];
+        if (s.top() <= h) continue;           // entirely below
+        if (s.height >= h + t.demand) break;  // entirely above; gap is free
+        h = s.top();                          // jump past the blocker
+        blocked = true;
+        break;
+      }
+      if (blocked) continue;
+      // [h, h+demand) is free; recurse with every height in this gap.
+      Value gap_end = cap;
+      if (k < slots->size()) gap_end = std::min(gap_end, (*slots)[k].height);
+      for (Value hh = h; hh + t.demand <= gap_end; ++hh) {
+        if (max_heights != 0 && tried >= max_heights) return;
+        ++tried;
+        place(i, j, t, hh);
+      }
+      if (k >= slots->size()) return;  // explored the unbounded top gap
+      h = (*slots)[k].top();
+      ++k;
+    }
+  }
+
+  void place(std::size_t i, TaskId j, const Task& t, Value h) {
+    const Slot slot{h, t.demand, t.last};
+    const auto pos = std::lower_bound(
+        slots->begin(), slots->end(), slot,
+        [](const Slot& a, const Slot& b) { return a.height < b.height; });
+    const auto idx = static_cast<std::size_t>(pos - slots->begin());
+    slots->insert(pos, slot);
+    added->push_back({j, h});
+    added_weight += t.weight;
+    run(i + 1);
+    added_weight -= t.weight;
+    added->pop_back();
+    slots->erase(slots->begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+};
+
+}  // namespace
+
+SapExactResult sap_exact_profile_dp(const PathInstance& inst,
+                                    std::span<const TaskId> subset,
+                                    const SapExactOptions& options) {
+  const auto m = static_cast<EdgeId>(inst.num_edges());
+  std::vector<std::vector<TaskId>> starters_at(inst.num_edges());
+  for (TaskId j : subset) {
+    starters_at[static_cast<std::size_t>(inst.task(j).first)].push_back(j);
+  }
+
+  std::vector<State> arena;
+  arena.push_back(State{});  // empty start state
+  std::vector<std::int32_t> frontier{0};
+  SapExactResult out;
+  out.peak_states = 1;
+  if (options.grounded_only || options.max_heights_per_task != 0) {
+    out.proven_optimal = false;  // restricted height candidates: heuristic
+  }
+
+  for (EdgeId e = 0; e < m; ++e) {
+    const Value cap = inst.capacity(e);
+    std::unordered_map<std::uint64_t, std::int32_t> dedupe;
+    std::vector<std::int32_t> next;
+
+    // Hard cap on states generated at this edge: past it, stop expanding so
+    // memory stays bounded; the result degrades to a feasible lower bound.
+    bool overflow = false;
+    for (std::int32_t sid : frontier) {
+      if (overflow) break;
+      // Drop tasks ending before e; kill the state if a survivor no longer
+      // fits under this edge's capacity.
+      std::vector<Slot> slots;
+      slots.reserve(arena[static_cast<std::size_t>(sid)].slots.size());
+      bool alive = true;
+      for (const Slot& s : arena[static_cast<std::size_t>(sid)].slots) {
+        if (s.last < e) continue;
+        if (s.top() > cap) {
+          alive = false;
+          break;
+        }
+        slots.push_back(s);
+      }
+      if (!alive) continue;
+
+      std::vector<Placement> added;
+      const Weight base_weight = arena[static_cast<std::size_t>(sid)].weight;
+      StarterEnumerator enumerator{
+          inst,
+          starters_at[static_cast<std::size_t>(e)],
+          cap,
+          options.max_heights_per_task,
+          options.min_height,
+          options.grounded_only,
+          &slots,
+          &added,
+          0,
+          &overflow,
+          {}};
+      enumerator.emit = [&](Weight added_weight) {
+        if (next.size() > 4 * options.max_states) {
+          overflow = true;
+          return;
+        }
+        const Weight total = base_weight + added_weight;
+        const std::uint64_t key = hash_profile(slots);
+        auto [it, inserted] = dedupe.try_emplace(key, -1);
+        bool collision = false;
+        if (!inserted) {
+          const std::int32_t existing = it->second;
+          const State& old = arena[static_cast<std::size_t>(existing)];
+          if (old.slots == slots) {
+            if (old.weight >= total) return;
+          } else {
+            collision = true;  // 64-bit hash collision: keep both states
+          }
+        }
+        State state;
+        state.slots = slots;
+        state.weight = total;
+        state.parent = sid;
+        state.added = added;
+        if (!inserted && !collision) {
+          // Overwrite the weaker state in place; `next` already points at it.
+          arena[static_cast<std::size_t>(it->second)] = std::move(state);
+        } else {
+          arena.push_back(std::move(state));
+          const auto id = static_cast<std::int32_t>(arena.size() - 1);
+          if (inserted) it->second = id;
+          next.push_back(id);
+        }
+      };
+      enumerator.run(0);
+    }
+
+    if (overflow) out.proven_optimal = false;
+    if (next.size() > options.max_states) {
+      std::ranges::sort(next, [&](std::int32_t a, std::int32_t b) {
+        return arena[static_cast<std::size_t>(a)].weight >
+               arena[static_cast<std::size_t>(b)].weight;
+      });
+      next.resize(options.max_states);
+      out.proven_optimal = false;
+    }
+    out.peak_states = std::max(out.peak_states, next.size());
+    frontier = std::move(next);
+  }
+
+  std::int32_t best = -1;
+  for (std::int32_t sid : frontier) {
+    if (best < 0 || arena[static_cast<std::size_t>(sid)].weight >
+                        arena[static_cast<std::size_t>(best)].weight) {
+      best = sid;
+    }
+  }
+  if (best < 0) return out;  // no feasible state (cannot happen: empty set)
+  out.weight = arena[static_cast<std::size_t>(best)].weight;
+  for (std::int32_t sid = best; sid >= 0;
+       sid = arena[static_cast<std::size_t>(sid)].parent) {
+    const State& s = arena[static_cast<std::size_t>(sid)];
+    out.solution.placements.insert(out.solution.placements.end(),
+                                   s.added.begin(), s.added.end());
+  }
+  return out;
+}
+
+SapExactResult sap_exact_profile_dp(const PathInstance& inst,
+                                    const SapExactOptions& options) {
+  std::vector<TaskId> all(inst.num_tasks());
+  std::iota(all.begin(), all.end(), TaskId{0});
+  return sap_exact_profile_dp(inst, all, options);
+}
+
+}  // namespace sap

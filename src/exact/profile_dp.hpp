@@ -1,0 +1,57 @@
+// Exact SAP on paths by an edge-sweep dynamic program over vertical
+// "profiles", in the style of Chen, Hassin, Tzur [18] (O(n (nK)^K) for
+// integer capacity K) and of the paper's Lemma 13 DP.
+//
+// A state at edge e is the canonical multiset of (height, demand, last-edge)
+// slots of the selected tasks alive at e; integral heights are WLOG for
+// integral demands (gravity, Observation 11). States are merged by profile
+// (task identity beyond (height, demand, last) is irrelevant to future
+// feasibility), keeping the maximum accumulated weight.
+//
+// This is the exact oracle behind the medium-task Elevator (Lemma 13) and
+// behind every measured-approximation-ratio bench.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+struct SapExactOptions {
+  /// Beam cap on live states per edge; exceeding it truncates to the best
+  /// states and clears `proven_optimal`.
+  std::size_t max_states = 500'000;
+  /// Cap on candidate heights tried per starting task per state (0 = all
+  /// integer heights). Leave 0 for exactness.
+  std::size_t max_heights_per_task = 0;
+  /// Every placement must satisfy height >= min_height: used by the medium-
+  /// task Elevator to compute optimal beta-elevated solutions directly (the
+  /// paper's remark after Lemma 15).
+  Value min_height = 0;
+  /// Heuristic mode: restrict candidate heights to min_height and the tops
+  /// of tasks currently alive. Exponentially faster on tall instances but
+  /// no longer exact (clears proven_optimal); misses solutions in which a
+  /// task rests on a later-starting task.
+  bool grounded_only = false;
+};
+
+struct SapExactResult {
+  SapSolution solution;
+  Weight weight = 0;
+  bool proven_optimal = true;   ///< false iff the beam cap truncated states
+  std::size_t peak_states = 0;  ///< max live states over the sweep
+};
+
+/// Maximum-weight SAP solution over `subset` (exact unless the beam cap
+/// trips, in which case the result is still feasible and a lower bound).
+[[nodiscard]] SapExactResult sap_exact_profile_dp(
+    const PathInstance& inst, std::span<const TaskId> subset,
+    const SapExactOptions& options = {});
+
+[[nodiscard]] SapExactResult sap_exact_profile_dp(
+    const PathInstance& inst, const SapExactOptions& options = {});
+
+}  // namespace sap

@@ -1,0 +1,172 @@
+#include "src/exact/ufpp_profile_dp.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace sap {
+namespace {
+
+/// One selected task alive at the current edge, reduced to what future
+/// feasibility depends on.
+struct ActiveTask {
+  Value demand;
+  EdgeId last;
+
+  friend auto operator<=>(const ActiveTask&, const ActiveTask&) = default;
+};
+
+struct State {
+  std::vector<ActiveTask> active;  // sorted
+  Value load = 0;                  // sum of active demands
+  Weight weight = 0;
+  std::int32_t parent = -1;
+  std::vector<TaskId> added;       // selections made at this edge
+};
+
+std::uint64_t hash_profile(const std::vector<ActiveTask>& active) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (const ActiveTask& a : active) {
+    mix(static_cast<std::uint64_t>(a.demand));
+    mix(static_cast<std::uint64_t>(a.last));
+  }
+  return h;
+}
+
+}  // namespace
+
+UfppProfileDpResult ufpp_exact_profile_dp(
+    const PathInstance& inst, std::span<const TaskId> subset,
+    const UfppProfileDpOptions& options) {
+  const auto m = static_cast<EdgeId>(inst.num_edges());
+  std::vector<std::vector<TaskId>> starters_at(inst.num_edges());
+  for (TaskId j : subset) {
+    starters_at[static_cast<std::size_t>(inst.task(j).first)].push_back(j);
+  }
+
+  std::vector<State> arena;
+  arena.push_back(State{});
+  std::vector<std::int32_t> frontier{0};
+  UfppProfileDpResult out;
+  out.peak_states = 1;
+
+  for (EdgeId e = 0; e < m; ++e) {
+    const Value cap = inst.capacity(e);
+    std::unordered_map<std::uint64_t, std::int32_t> dedupe;
+    std::vector<std::int32_t> next;
+    bool overflow = false;
+
+    for (std::int32_t sid : frontier) {
+      if (overflow) break;
+      // Retire tasks ending before e.
+      std::vector<ActiveTask> active;
+      Value load = 0;
+      for (const ActiveTask& a :
+           arena[static_cast<std::size_t>(sid)].active) {
+        if (a.last < e) continue;
+        active.push_back(a);
+        load += a.demand;
+      }
+      if (load > cap) continue;  // dead branch (capacity dropped)
+
+      const Weight base_weight = arena[static_cast<std::size_t>(sid)].weight;
+      const auto& starters = starters_at[static_cast<std::size_t>(e)];
+
+      // Enumerate subsets of starters whose added demand fits under cap.
+      std::vector<TaskId> added;
+      std::function<void(std::size_t, Value, Weight)> enumerate =
+          [&](std::size_t i, Value used, Weight gained) {
+            if (overflow) return;
+            if (i == starters.size()) {
+              // Emit the state.
+              std::vector<ActiveTask> profile = active;
+              for (TaskId j : added) {
+                profile.push_back({inst.task(j).demand, inst.task(j).last});
+              }
+              std::ranges::sort(profile);
+              const Weight total = base_weight + gained;
+              const std::uint64_t key = hash_profile(profile);
+              auto [it, inserted] = dedupe.try_emplace(key, -1);
+              bool collision = false;
+              if (!inserted) {
+                const State& old =
+                    arena[static_cast<std::size_t>(it->second)];
+                if (old.active == profile) {
+                  if (old.weight >= total) return;
+                } else {
+                  collision = true;
+                }
+              }
+              State state;
+              state.active = std::move(profile);
+              state.load = used;
+              state.weight = total;
+              state.parent = sid;
+              state.added = added;
+              if (!inserted && !collision) {
+                arena[static_cast<std::size_t>(it->second)] =
+                    std::move(state);
+              } else {
+                arena.push_back(std::move(state));
+                const auto id = static_cast<std::int32_t>(arena.size() - 1);
+                if (inserted) it->second = id;
+                next.push_back(id);
+              }
+              if (next.size() > 4 * options.max_states) overflow = true;
+              return;
+            }
+            enumerate(i + 1, used, gained);  // skip starter i
+            const Task& t = inst.task(starters[i]);
+            if (used + t.demand <= cap) {
+              added.push_back(starters[i]);
+              enumerate(i + 1, used + t.demand, gained + t.weight);
+              added.pop_back();
+            }
+          };
+      enumerate(0, load, 0);
+    }
+
+    if (overflow) out.proven_optimal = false;
+    if (next.size() > options.max_states) {
+      std::ranges::sort(next, [&](std::int32_t a, std::int32_t b) {
+        return arena[static_cast<std::size_t>(a)].weight >
+               arena[static_cast<std::size_t>(b)].weight;
+      });
+      next.resize(options.max_states);
+      out.proven_optimal = false;
+    }
+    out.peak_states = std::max(out.peak_states, next.size());
+    frontier = std::move(next);
+  }
+
+  std::int32_t best = -1;
+  for (std::int32_t sid : frontier) {
+    if (best < 0 || arena[static_cast<std::size_t>(sid)].weight >
+                        arena[static_cast<std::size_t>(best)].weight) {
+      best = sid;
+    }
+  }
+  if (best < 0) return out;
+  out.weight = arena[static_cast<std::size_t>(best)].weight;
+  for (std::int32_t sid = best; sid >= 0;
+       sid = arena[static_cast<std::size_t>(sid)].parent) {
+    const State& s = arena[static_cast<std::size_t>(sid)];
+    out.solution.tasks.insert(out.solution.tasks.end(), s.added.begin(),
+                              s.added.end());
+  }
+  return out;
+}
+
+UfppProfileDpResult ufpp_exact_profile_dp(
+    const PathInstance& inst, const UfppProfileDpOptions& options) {
+  std::vector<TaskId> all(inst.num_tasks());
+  std::iota(all.begin(), all.end(), TaskId{0});
+  return ufpp_exact_profile_dp(inst, all, options);
+}
+
+}  // namespace sap

@@ -1,0 +1,158 @@
+#include "src/gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sap {
+namespace {
+
+std::vector<Value> make_capacities(std::size_t m, CapacityProfile profile,
+                                   Value lo, Value hi, Rng& rng) {
+  std::vector<Value> caps(m);
+  switch (profile) {
+    case CapacityProfile::kUniform: {
+      const Value c = rng.uniform_int(lo, hi);
+      std::ranges::fill(caps, c);
+      break;
+    }
+    case CapacityProfile::kValley:
+    case CapacityProfile::kMountain: {
+      for (std::size_t e = 0; e < m; ++e) {
+        // Distance from the middle in [0, 1].
+        const double x =
+            std::abs(static_cast<double>(2 * e + 1) /
+                         static_cast<double>(2 * m) - 0.5) * 2.0;
+        const double frac =
+            profile == CapacityProfile::kValley ? x : 1.0 - x;
+        caps[e] = lo + static_cast<Value>(std::llround(
+                           frac * static_cast<double>(hi - lo)));
+      }
+      break;
+    }
+    case CapacityProfile::kStaircase: {
+      const std::size_t steps = std::max<std::size_t>(2, m / 4);
+      for (std::size_t e = 0; e < m; ++e) {
+        const std::size_t step = e * steps / m;
+        caps[e] = lo + static_cast<Value>(
+                           static_cast<double>(step) *
+                           static_cast<double>(hi - lo) /
+                           static_cast<double>(steps - 1));
+      }
+      break;
+    }
+    case CapacityProfile::kRandomWalk: {
+      Value c = rng.uniform_int(lo, hi);
+      for (std::size_t e = 0; e < m; ++e) {
+        caps[e] = c;
+        const Value delta = std::max<Value>(1, (hi - lo) / 8);
+        c = std::clamp(c + rng.uniform_int(-delta, delta), lo, hi);
+      }
+      break;
+    }
+  }
+  for (Value& c : caps) c = std::max<Value>(1, c);
+  return caps;
+}
+
+/// Demand for one task given its bottleneck and class; 0 if impossible.
+Value draw_demand(Value b, DemandClass cls, Ratio delta, std::int64_t k,
+                  Rng& rng) {
+  // Class boundaries as floor(delta*b) and floor(b/k).
+  const Value small_hi =
+      static_cast<Value>(static_cast<Int128>(delta.num) * b / delta.den);
+  const Value medium_hi = b / k;
+  switch (cls) {
+    case DemandClass::kSmall:
+      if (small_hi < 1) return 0;
+      return rng.uniform_int(1, small_hi);
+    case DemandClass::kMedium:
+      if (medium_hi <= small_hi) return 0;
+      return rng.uniform_int(small_hi + 1, medium_hi);
+    case DemandClass::kLarge:
+      if (b <= medium_hi) return 0;
+      return rng.uniform_int(medium_hi + 1, b);
+    case DemandClass::kMixed: {
+      const auto pick = static_cast<int>(rng.uniform_int(0, 2));
+      const DemandClass sub = pick == 0   ? DemandClass::kSmall
+                              : pick == 1 ? DemandClass::kMedium
+                                          : DemandClass::kLarge;
+      const Value d = draw_demand(b, sub, delta, k, rng);
+      return d > 0 ? d : rng.uniform_int(1, b);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+PathInstance generate_path_instance(const PathGenOptions& opt, Rng& rng) {
+  auto caps = make_capacities(opt.num_edges, opt.profile, opt.min_capacity,
+                              opt.max_capacity, rng);
+  const RangeMin rmq(caps);
+  const auto m = static_cast<EdgeId>(opt.num_edges);
+
+  std::vector<Task> tasks;
+  tasks.reserve(opt.num_tasks);
+  std::size_t attempts = 0;
+  while (tasks.size() < opt.num_tasks && attempts < 64 * opt.num_tasks) {
+    ++attempts;
+    // Geometric-ish span around the requested mean.
+    const double mean_span =
+        std::max(1.0, opt.mean_span_fraction * static_cast<double>(m));
+    EdgeId span = 1;
+    while (span < m && rng.uniform01() > 1.0 / mean_span) ++span;
+    const EdgeId first = static_cast<EdgeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(m - span)));
+    const EdgeId last = static_cast<EdgeId>(first + span - 1);
+    const Value b = rmq.min(static_cast<std::size_t>(first),
+                            static_cast<std::size_t>(last));
+    const Value d =
+        draw_demand(b, opt.demand, opt.delta, opt.k_large, rng);
+    if (d < 1) continue;
+    Weight w;
+    if (opt.weight_by_area) {
+      w = std::max<Weight>(1, d * span);
+    } else {
+      w = rng.uniform_int(1, opt.max_weight);
+    }
+    tasks.push_back({first, last, d, w});
+  }
+  return PathInstance(std::move(caps), std::move(tasks));
+}
+
+RingInstance generate_ring_instance(const RingGenOptions& opt, Rng& rng) {
+  std::vector<Value> caps(opt.num_edges);
+  for (Value& c : caps) {
+    c = rng.uniform_int(opt.min_capacity, opt.max_capacity);
+  }
+  const auto m = static_cast<int>(opt.num_edges);
+  std::vector<RingTask> tasks;
+  tasks.reserve(opt.num_tasks);
+  std::size_t attempts = 0;
+  while (tasks.size() < opt.num_tasks && attempts < 64 * opt.num_tasks) {
+    ++attempts;
+    const double mean_span =
+        std::max(1.0, opt.mean_span_fraction * static_cast<double>(m));
+    int span = 1;
+    while (span < m - 1 && rng.uniform01() > 1.0 / mean_span) ++span;
+    const int start = static_cast<int>(rng.uniform_int(0, m - 1));
+    const int end = (start + span) % m;
+    // Demand bounded by the larger of the two route bottlenecks so the task
+    // is routable at least one way.
+    Value b_cw = caps[static_cast<std::size_t>(start)];
+    for (int v = start; v != end; v = (v + 1) % m) {
+      b_cw = std::min(b_cw, caps[static_cast<std::size_t>(v)]);
+    }
+    Value b_ccw = caps[static_cast<std::size_t>(end)];
+    for (int v = end; v != start; v = (v + 1) % m) {
+      b_ccw = std::min(b_ccw, caps[static_cast<std::size_t>(v)]);
+    }
+    const Value b = std::max(b_cw, b_ccw);
+    if (b < 1) continue;
+    tasks.push_back({start, end, rng.uniform_int(1, b),
+                     rng.uniform_int(1, opt.max_weight)});
+  }
+  return RingInstance(std::move(caps), std::move(tasks));
+}
+
+}  // namespace sap

@@ -1,0 +1,57 @@
+// Synthetic workload generators for tests and benches: capacity profiles
+// (uniform, valley, mountain, staircase, random walk) crossed with demand
+// classes (delta-small, medium band, 1/k-large, mixed).
+#pragma once
+
+#include "src/model/path_instance.hpp"
+#include "src/model/ring_instance.hpp"
+#include "src/util/rng.hpp"
+
+namespace sap {
+
+enum class CapacityProfile {
+  kUniform,
+  kValley,      ///< high at the ends, low in the middle
+  kMountain,    ///< low at the ends, high in the middle
+  kStaircase,   ///< monotone steps
+  kRandomWalk,  ///< bounded multiplicative random walk
+};
+
+enum class DemandClass {
+  kSmall,   ///< d_j <= delta * b(j)
+  kMedium,  ///< delta * b(j) < d_j <= b(j) / k
+  kLarge,   ///< b(j) / k < d_j <= b(j)
+  kMixed,   ///< uniform over the three classes per task
+};
+
+struct PathGenOptions {
+  std::size_t num_edges = 24;
+  std::size_t num_tasks = 30;
+  CapacityProfile profile = CapacityProfile::kUniform;
+  Value min_capacity = 8;
+  Value max_capacity = 32;
+  DemandClass demand = DemandClass::kMixed;
+  Ratio delta{1, 4};            ///< small threshold
+  std::int64_t k_large = 2;     ///< large threshold denominator
+  double mean_span_fraction = 0.3;  ///< mean task span / path length
+  Weight max_weight = 100;
+  bool weight_by_area = false;  ///< weight ~ demand * span instead of uniform
+};
+
+/// Draws an instance; every task is guaranteed to fit under its bottleneck.
+[[nodiscard]] PathInstance generate_path_instance(const PathGenOptions& opt,
+                                                  Rng& rng);
+
+struct RingGenOptions {
+  std::size_t num_edges = 16;
+  std::size_t num_tasks = 24;
+  Value min_capacity = 8;
+  Value max_capacity = 32;
+  Weight max_weight = 100;
+  double mean_span_fraction = 0.3;
+};
+
+[[nodiscard]] RingInstance generate_ring_instance(const RingGenOptions& opt,
+                                                  Rng& rng);
+
+}  // namespace sap

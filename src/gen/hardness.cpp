@@ -1,0 +1,43 @@
+#include "src/gen/hardness.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sap {
+
+TwoBinGadget two_bin_packing_gadget(std::span<const Value> sizes,
+                                    Value bin_capacity) {
+  const Value c = bin_capacity;
+  if (c < 1) throw std::invalid_argument("gadget: bin capacity must be >= 1");
+  for (Value a : sizes) {
+    if (a < 1 || a > c) {
+      throw std::invalid_argument("gadget: item sizes must lie in [1, C]");
+    }
+  }
+  // Edges: e_b = 0, e_0 = 1, a_1 = 2.
+  std::vector<Value> caps{1, 2 * (c + 1), c + 2};
+  std::vector<Task> tasks{
+      Task{0, 1, 1, 1},      // blocker
+      Task{2, 2, c + 1, 1},  // pedestal
+      Task{1, 2, 1, 1},      // separator
+  };
+  for (Value a : sizes) tasks.push_back(Task{1, 1, a, 1});
+  TwoBinGadget out{PathInstance(std::move(caps), std::move(tasks)), 3, c};
+  return out;
+}
+
+bool two_bin_packable(std::span<const Value> sizes, Value bin_capacity) {
+  const std::size_t n = sizes.size();
+  if (n > 24) throw std::invalid_argument("two_bin_packable: too many items");
+  const Value total = std::accumulate(sizes.begin(), sizes.end(), Value{0});
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    Value left = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask >> i & 1) left += sizes[i];
+    }
+    if (left <= bin_capacity && total - left <= bin_capacity) return true;
+  }
+  return false;
+}
+
+}  // namespace sap

@@ -1,0 +1,45 @@
+// Computational witness of the paper's NP-hardness discussion (Section 1.1
+// and the conference version [7]): a reduction from PARTITION-style bin
+// packing to SAP.
+//
+// The gadget (two bins; see DESIGN.md §4.4 for the forcing argument):
+//
+//   edges:      e_b        e_0           a_1
+//   capacity:    1       2(C+1)         C+2
+//
+//   blocker  = [e_b, e_0], d = 1   -> pinned to [0,1) everywhere
+//   pedestal = [a_1],      d = C+1 -> occupies [0,C+1) or [1,C+2) on a_1
+//   separator= [e_0, a_1], d = 1   -> the only placement compatible with
+//                                     the blocker is [C+1, C+2)
+//   item_j   = [e_0],      d = a_j
+//
+// With blocker, pedestal and separator scheduled, the free space on e_0 is
+// exactly two bins [1, C+1) and [C+2, 2C+2) of height C each; hence ALL
+// tasks are schedulable iff the items pack into two bins of capacity C.
+#pragma once
+
+#include <span>
+
+#include "src/model/path_instance.hpp"
+
+namespace sap {
+
+struct TwoBinGadget {
+  PathInstance instance;
+  std::size_t num_gadget_tasks = 3;  ///< blocker, pedestal, separator
+  Value bin_capacity = 0;
+};
+
+/// Builds the gadget for items `sizes` (each in [1, C]) and bin capacity C.
+/// The full task set is SAP-schedulable iff `sizes` packs into two bins of
+/// capacity C. Item j becomes task id 3 + j.
+[[nodiscard]] TwoBinGadget two_bin_packing_gadget(std::span<const Value> sizes,
+                                                  Value bin_capacity);
+
+/// Reference decision procedure: can `sizes` be split into two groups each
+/// of total at most `bin_capacity`? Exponential (subset enumeration); for
+/// test-sized inputs only.
+[[nodiscard]] bool two_bin_packable(std::span<const Value> sizes,
+                                    Value bin_capacity);
+
+}  // namespace sap

@@ -1,0 +1,72 @@
+#include "src/gen/paper_instances.hpp"
+
+namespace sap {
+
+PathInstance fig1a_instance() {
+  // Capacities 1/2, 1, 1/2 scaled by 4; thick tasks of demand 1/2.
+  return PathInstance({2, 4, 2},
+                      {Task{0, 1, 2, 1},    // left thick task
+                       Task{1, 2, 2, 1}});  // right thick task
+}
+
+PathInstance fig1b_instance() {
+  // Uniform capacity 1 scaled by 4 (thick = 1/2 -> 2, thin = 1/4 -> 1).
+  // Found by exhaustive search over all load-feasible multisets of task
+  // types on short uniform paths (see tools/search notes in DESIGN.md):
+  // the eight tasks below are a feasible UFPP solution (load = 4 on every
+  // edge) yet no SAP height assignment packs all of them, reproducing the
+  // Chen-Hassin-Tzur phenomenon of Figure 1(b). Certified by
+  // paper_instances_test against the exact oracle.
+  return PathInstance({4, 4, 4, 4, 4}, {
+                                           Task{0, 0, 2, 1},  // thick
+                                           Task{0, 1, 2, 1},  // thick
+                                           Task{1, 2, 1, 1},  // thin
+                                           Task{1, 3, 1, 1},  // thin
+                                           Task{2, 2, 1, 1},  // thin
+                                           Task{2, 3, 1, 1},  // thin
+                                           Task{3, 4, 2, 1},  // thick
+                                           Task{4, 4, 2, 1},  // thick
+                                       });
+}
+
+PathInstance fig2a_instance() {
+  // Uniform capacity 8; a handful of 1/4-small tasks (d <= b/4 = 2).
+  return PathInstance({8, 8, 8, 8},
+                      {Task{0, 1, 2, 3}, Task{1, 3, 1, 2}, Task{0, 3, 2, 5},
+                       Task{2, 2, 2, 1}});
+}
+
+PathInstance fig2b_instance() {
+  // Non-uniform capacities; every task is 1/4-small w.r.t. its bottleneck.
+  return PathInstance({16, 8, 12, 24},
+                      {Task{0, 1, 2, 3},    // b = 8,  d = 2
+                       Task{1, 2, 2, 2},    // b = 8,  d = 2
+                       Task{2, 3, 3, 5},    // b = 12, d = 3
+                       Task{3, 3, 6, 4}});  // b = 24, d = 6
+}
+
+const OddCycleWitness& fig8_instance() {
+  // Derived analytically (see DESIGN.md §4.3): a "pentagon" of anchored
+  // rectangles. Any interval realization of C5 is a triangulation fan, so
+  // one task (B below) x-overlaps all others; B's two C5-chords (to u and
+  // D) are the pairs its rectangle must clear vertically. The bottlenecks
+  // are pinned by dedicated low-capacity edges:
+  //   u = [1,7]  b=7  d=4   R_u = [ 3, 7)
+  //   A = [3,4]  b=25 d=20  R_A = [ 5,25)   (bridges u <-> B)
+  //   B = [4,10] b=49 d=25  R_B = [24,49)   (the high universal task)
+  //   C = [9,12] b=25 d=13  R_C = [12,25)   (bridges B <-> D)
+  //   D = [5,13] b=13 d=7   R_D = [ 6,13)   (dips back down to u)
+  // Rectangle graph: u-A-B-C-D-u, exactly a 5-cycle. The stored heights
+  // place all five tasks feasibly (u:0, A:4, B:24, C:11, D:4).
+  static const OddCycleWitness witness = [] {
+    PathInstance inst(
+        {60, 7, 7, 25, 49, 60, 60, 60, 60, 60, 60, 60, 25, 13},
+        {Task{1, 7, 4, 1}, Task{3, 4, 20, 1}, Task{4, 10, 25, 1},
+         Task{9, 12, 13, 1}, Task{5, 13, 7, 1}});
+    SapSolution solution{{{0, 0}, {1, 4}, {2, 24}, {3, 11}, {4, 4}}};
+    return OddCycleWitness{std::move(inst), std::move(solution)};
+  }();
+  return witness;
+}
+
+}  // namespace sap

@@ -1,0 +1,39 @@
+#include "src/harness/ratio_harness.hpp"
+
+#include <limits>
+
+#include "src/lp/ufpp_lp.hpp"
+
+namespace sap {
+
+OptBound sap_opt_bound(const PathInstance& inst,
+                       const OptBoundOptions& options) {
+  if (options.try_exact && inst.num_tasks() <= options.exact_max_tasks &&
+      inst.max_capacity() <= options.exact_max_capacity) {
+    const SapExactResult exact = sap_exact_profile_dp(inst, options.dp);
+    if (exact.proven_optimal) {
+      return {static_cast<double>(exact.weight), true};
+    }
+  }
+  return {ufpp_lp_upper_bound(inst), false};
+}
+
+RatioMeasurement measure_ratio(const PathInstance& inst,
+                               const SapSolution& sol,
+                               const OptBoundOptions& options) {
+  RatioMeasurement out;
+  out.algo_weight = sol.weight(inst);
+  const OptBound bound = sap_opt_bound(inst, options);
+  out.bound = bound.value;
+  out.bound_exact = bound.exact;
+  if (out.algo_weight > 0) {
+    out.ratio = bound.value / static_cast<double>(out.algo_weight);
+  } else if (bound.value <= 1e-9) {
+    out.ratio = 1.0;
+  } else {
+    out.ratio = std::numeric_limits<double>::infinity();
+  }
+  return out;
+}
+
+}  // namespace sap

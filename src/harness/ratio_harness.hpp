@@ -1,0 +1,46 @@
+// Approximation-ratio measurement: bound OPT_SAP from above (exact oracle
+// when the instance is tractable, LP relaxation otherwise) and compare an
+// algorithm's solution weight against it.
+#pragma once
+
+#include "src/exact/profile_dp.hpp"
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+/// An upper bound on OPT_SAP for one instance.
+struct OptBound {
+  double value = 0.0;
+  bool exact = false;  ///< true when value == OPT_SAP (oracle proved it)
+};
+
+struct OptBoundOptions {
+  bool try_exact = true;
+  /// Oracle budget: fall back to the LP bound if the DP truncates.
+  SapExactOptions dp{.max_states = 100'000};
+  /// Skip the oracle entirely above these sizes (the DP is pseudo-
+  /// polynomial; tall/crowded instances go straight to the LP bound).
+  std::size_t exact_max_tasks = 24;
+  Value exact_max_capacity = 48;
+};
+
+/// Upper-bounds OPT_SAP: exact profile DP when within budget, else the UFPP
+/// LP relaxation (OPT_SAP <= OPT_UFPP <= LP).
+[[nodiscard]] OptBound sap_opt_bound(const PathInstance& inst,
+                                     const OptBoundOptions& options = {});
+
+struct RatioMeasurement {
+  Weight algo_weight = 0;
+  double bound = 0.0;
+  bool bound_exact = false;
+  /// bound / algo_weight; 1.0 when both are zero; +inf when only the
+  /// algorithm is zero.
+  double ratio = 1.0;
+};
+
+[[nodiscard]] RatioMeasurement measure_ratio(
+    const PathInstance& inst, const SapSolution& sol,
+    const OptBoundOptions& options = {});
+
+}  // namespace sap

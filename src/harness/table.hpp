@@ -1,0 +1,27 @@
+// Fixed-width table printer for the bench binaries: the benches print
+// paper-shaped tables (parameter point, measured ratio, theorem bound,
+// margin), and EXPERIMENTS.md records these outputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sap {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the point.
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+}  // namespace sap

@@ -1,0 +1,173 @@
+#include "src/io/instance_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sap {
+namespace {
+
+/// Token reader that skips '#' comments and tracks line numbers for errors.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& is) : is_(is) {}
+
+  std::string next(const char* what) {
+    std::string token;
+    for (;;) {
+      if (!(is_ >> token)) {
+        throw std::invalid_argument(std::string("instance_io: expected ") +
+                                    what + ", got end of input");
+      }
+      if (token.front() == '#') {
+        std::string rest;
+        std::getline(is_, rest);
+        continue;
+      }
+      return token;
+    }
+  }
+
+  std::int64_t next_int(const char* what) {
+    const std::string token = next(what);
+    try {
+      std::size_t used = 0;
+      const std::int64_t value = std::stoll(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+      return value;
+    } catch (const std::exception&) {
+      throw std::invalid_argument(std::string("instance_io: expected ") +
+                                  what + ", got '" + token + "'");
+    }
+  }
+
+  void expect(const std::string& literal) {
+    const std::string token = next(literal.c_str());
+    if (token != literal) {
+      throw std::invalid_argument("instance_io: expected '" + literal +
+                                  "', got '" + token + "'");
+    }
+  }
+
+ private:
+  std::istream& is_;
+};
+
+std::size_t checked_count(std::int64_t n, const char* what) {
+  if (n < 0 || n > 10'000'000) {
+    throw std::invalid_argument(std::string("instance_io: implausible ") +
+                                what + " count");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::vector<Value> read_capacities(TokenReader& reader, std::size_t m) {
+  reader.expect("capacities");
+  std::vector<Value> caps(m);
+  for (auto& c : caps) c = reader.next_int("capacity");
+  return caps;
+}
+
+}  // namespace
+
+void write_path_instance(std::ostream& os, const PathInstance& inst) {
+  os << "sap-path v1\n";
+  os << "edges " << inst.num_edges() << "\n";
+  os << "capacities";
+  for (Value c : inst.capacities()) os << ' ' << c;
+  os << "\n";
+  os << "tasks " << inst.num_tasks() << "\n";
+  for (const Task& t : inst.tasks()) {
+    os << t.first << ' ' << t.last << ' ' << t.demand << ' ' << t.weight
+       << "\n";
+  }
+}
+
+PathInstance read_path_instance(std::istream& is) {
+  TokenReader reader(is);
+  reader.expect("sap-path");
+  reader.expect("v1");
+  reader.expect("edges");
+  const std::size_t m = checked_count(reader.next_int("edge count"), "edge");
+  auto caps = read_capacities(reader, m);
+  reader.expect("tasks");
+  const std::size_t n = checked_count(reader.next_int("task count"), "task");
+  std::vector<Task> tasks(n);
+  for (Task& t : tasks) {
+    t.first = static_cast<EdgeId>(reader.next_int("task first edge"));
+    t.last = static_cast<EdgeId>(reader.next_int("task last edge"));
+    t.demand = reader.next_int("task demand");
+    t.weight = reader.next_int("task weight");
+  }
+  return PathInstance(std::move(caps), std::move(tasks));
+}
+
+void write_ring_instance(std::ostream& os, const RingInstance& inst) {
+  os << "sap-ring v1\n";
+  os << "edges " << inst.num_edges() << "\n";
+  os << "capacities";
+  for (Value c : inst.capacities()) os << ' ' << c;
+  os << "\n";
+  os << "tasks " << inst.num_tasks() << "\n";
+  for (const RingTask& t : inst.tasks()) {
+    os << t.start << ' ' << t.end << ' ' << t.demand << ' ' << t.weight
+       << "\n";
+  }
+}
+
+RingInstance read_ring_instance(std::istream& is) {
+  TokenReader reader(is);
+  reader.expect("sap-ring");
+  reader.expect("v1");
+  reader.expect("edges");
+  const std::size_t m = checked_count(reader.next_int("edge count"), "edge");
+  auto caps = read_capacities(reader, m);
+  reader.expect("tasks");
+  const std::size_t n = checked_count(reader.next_int("task count"), "task");
+  std::vector<RingTask> tasks(n);
+  for (RingTask& t : tasks) {
+    t.start = static_cast<int>(reader.next_int("task start vertex"));
+    t.end = static_cast<int>(reader.next_int("task end vertex"));
+    t.demand = reader.next_int("task demand");
+    t.weight = reader.next_int("task weight");
+  }
+  return RingInstance(std::move(caps), std::move(tasks));
+}
+
+void write_sap_solution(std::ostream& os, const SapSolution& sol) {
+  os << "sap-solution v1\n";
+  os << "placements " << sol.placements.size() << "\n";
+  for (const Placement& p : sol.placements) {
+    os << p.task << ' ' << p.height << "\n";
+  }
+}
+
+SapSolution read_sap_solution(std::istream& is) {
+  TokenReader reader(is);
+  reader.expect("sap-solution");
+  reader.expect("v1");
+  reader.expect("placements");
+  const std::size_t k =
+      checked_count(reader.next_int("placement count"), "placement");
+  SapSolution sol;
+  sol.placements.resize(k);
+  for (Placement& p : sol.placements) {
+    p.task = static_cast<TaskId>(reader.next_int("placement task"));
+    p.height = reader.next_int("placement height");
+  }
+  return sol;
+}
+
+std::string to_string(const PathInstance& inst) {
+  std::ostringstream os;
+  write_path_instance(os, inst);
+  return os.str();
+}
+
+PathInstance path_instance_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_path_instance(is);
+}
+
+}  // namespace sap

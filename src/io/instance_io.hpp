@@ -1,0 +1,48 @@
+// Plain-text (de)serialization of instances and solutions, so workloads can
+// be saved, shared and replayed (and so the CLI example can exist).
+//
+// Format (line oriented, '#' comments, whitespace separated):
+//   sap-path v1
+//   edges <m>
+//   capacities c_0 ... c_{m-1}
+//   tasks <n>
+//   <first> <last> <demand> <weight>     (n lines)
+//
+//   sap-ring v1
+//   edges <m>
+//   capacities c_0 ... c_{m-1}
+//   tasks <n>
+//   <start> <end> <demand> <weight>      (n lines)
+//
+//   sap-solution v1
+//   placements <k>
+//   <task> <height>                      (k lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/model/path_instance.hpp"
+#include "src/model/ring_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+/// Serializes a path instance. Throws std::ios_base::failure on bad stream.
+void write_path_instance(std::ostream& os, const PathInstance& inst);
+
+/// Parses a path instance; throws std::invalid_argument with a line-
+/// numbered message on malformed input.
+[[nodiscard]] PathInstance read_path_instance(std::istream& is);
+
+void write_ring_instance(std::ostream& os, const RingInstance& inst);
+[[nodiscard]] RingInstance read_ring_instance(std::istream& is);
+
+void write_sap_solution(std::ostream& os, const SapSolution& sol);
+[[nodiscard]] SapSolution read_sap_solution(std::istream& is);
+
+/// Convenience round-trips through std::string (used by tests and the CLI).
+[[nodiscard]] std::string to_string(const PathInstance& inst);
+[[nodiscard]] PathInstance path_instance_from_string(const std::string& text);
+
+}  // namespace sap

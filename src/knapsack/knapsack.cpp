@@ -1,0 +1,161 @@
+#include "src/knapsack/knapsack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace sap {
+namespace {
+
+constexpr Value kInfSize = std::numeric_limits<Value>::max() / 4;
+
+}  // namespace
+
+KnapsackResult knapsack_exact_by_capacity(std::span<const KnapsackItem> items,
+                                          Value capacity) {
+  if (capacity < 0) throw std::invalid_argument("knapsack: capacity < 0");
+  const std::size_t n = items.size();
+  const auto cap = static_cast<std::size_t>(capacity);
+  // best[c] = max profit using size budget exactly <= c; take[i][c] tracks
+  // decisions for reconstruction.
+  std::vector<Weight> best(cap + 1, 0);
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(cap + 1, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto size = items[i].size;
+    if (size <= 0) throw std::invalid_argument("knapsack: size <= 0");
+    if (size > capacity) continue;
+    const auto s = static_cast<std::size_t>(size);
+    for (std::size_t c = cap; c >= s; --c) {
+      const Weight with = best[c - s] + items[i].profit;
+      if (with > best[c]) {
+        best[c] = with;
+        take[i][c] = true;
+      }
+      if (c == s) break;
+    }
+  }
+  KnapsackResult out;
+  out.profit = best[cap];
+  std::size_t c = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][c]) {
+      out.chosen.push_back(i);
+      c -= static_cast<std::size_t>(items[i].size);
+    }
+  }
+  std::ranges::reverse(out.chosen);
+  return out;
+}
+
+KnapsackResult knapsack_exact_by_weight(std::span<const KnapsackItem> items,
+                                        Value capacity) {
+  if (capacity < 0) throw std::invalid_argument("knapsack: capacity < 0");
+  const std::size_t n = items.size();
+  Weight total_profit = 0;
+  for (const KnapsackItem& item : items) {
+    if (item.size <= 0) throw std::invalid_argument("knapsack: size <= 0");
+    if (item.profit < 0) throw std::invalid_argument("knapsack: profit < 0");
+    total_profit += item.profit;
+  }
+  const auto p_max = static_cast<std::size_t>(total_profit);
+  // min_size[p] = minimum total size achieving profit exactly p.
+  std::vector<Value> min_size(p_max + 1, kInfSize);
+  min_size[0] = 0;
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(p_max + 1, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto profit = static_cast<std::size_t>(items[i].profit);
+    if (profit == 0) continue;  // zero-profit items never help
+    for (std::size_t p = p_max; p >= profit; --p) {
+      if (min_size[p - profit] >= kInfSize) {
+        if (p == profit) break;
+        continue;
+      }
+      const Value with = min_size[p - profit] + items[i].size;
+      if (with < min_size[p]) {
+        min_size[p] = with;
+        take[i][p] = true;
+      }
+      if (p == profit) break;
+    }
+  }
+  std::size_t best_p = 0;
+  for (std::size_t p = 0; p <= p_max; ++p) {
+    if (min_size[p] <= capacity) best_p = p;
+  }
+  KnapsackResult out;
+  out.profit = static_cast<Weight>(best_p);
+  std::size_t p = best_p;
+  for (std::size_t i = n; i-- > 0;) {
+    if (p > 0 && take[i][p]) {
+      out.chosen.push_back(i);
+      p -= static_cast<std::size_t>(items[i].profit);
+    }
+  }
+  std::ranges::reverse(out.chosen);
+  return out;
+}
+
+KnapsackResult knapsack_fptas(std::span<const KnapsackItem> items,
+                              Value capacity, double eps) {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    throw std::invalid_argument("knapsack_fptas: eps must be in (0,1)");
+  }
+  const std::size_t n = items.size();
+  Weight max_profit = 0;
+  for (const KnapsackItem& item : items) {
+    if (item.size <= capacity) max_profit = std::max(max_profit, item.profit);
+  }
+  if (max_profit == 0 || n == 0) return {};
+
+  // Scale so total scaled profit is O(n^2 / eps); the classic bound loses at
+  // most one scaled unit per chosen item, i.e. <= eps * OPT overall.
+  const double k = eps * static_cast<double>(max_profit) /
+                   static_cast<double>(n);
+  std::vector<KnapsackItem> scaled(items.begin(), items.end());
+  if (k > 1.0) {
+    for (KnapsackItem& item : scaled) {
+      item.profit = static_cast<Weight>(
+          std::floor(static_cast<double>(item.profit) / k));
+    }
+  }
+  KnapsackResult picked = knapsack_exact_by_weight(scaled, capacity);
+  // Report true profits for the chosen set.
+  KnapsackResult out;
+  out.chosen = std::move(picked.chosen);
+  for (std::size_t i : out.chosen) out.profit += items[i].profit;
+  return out;
+}
+
+KnapsackResult knapsack_greedy(std::span<const KnapsackItem> items,
+                               Value capacity) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::ranges::sort(order, [&](std::size_t a, std::size_t b) {
+    // Compare profit densities exactly: p_a/s_a > p_b/s_b.
+    return static_cast<Int128>(items[a].profit) * items[b].size >
+           static_cast<Int128>(items[b].profit) * items[a].size;
+  });
+  KnapsackResult greedy;
+  Value used = 0;
+  for (std::size_t i : order) {
+    if (items[i].size <= 0) throw std::invalid_argument("knapsack: size <= 0");
+    if (used + items[i].size <= capacity) {
+      used += items[i].size;
+      greedy.profit += items[i].profit;
+      greedy.chosen.push_back(i);
+    }
+  }
+  // Best single item can beat the greedy prefix; take the better of the two.
+  KnapsackResult single;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].size <= capacity && items[i].profit > single.profit) {
+      single.profit = items[i].profit;
+      single.chosen = {i};
+    }
+  }
+  return greedy.profit >= single.profit ? greedy : single;
+}
+
+}  // namespace sap

@@ -1,0 +1,45 @@
+// 0/1 knapsack: exact dynamic programs, the classic profit-scaling FPTAS and
+// a density-greedy 1/2-approximation.
+//
+// The ring reduction (Lemma 18) stacks every task routed through the cut
+// edge from height 0, so selecting those tasks is exactly a knapsack with
+// capacity = the cut edge's (minimum) capacity; the paper calls an FPTAS.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/model/task.hpp"
+
+namespace sap {
+
+struct KnapsackItem {
+  Value size = 0;
+  Weight profit = 0;
+};
+
+struct KnapsackResult {
+  Weight profit = 0;
+  std::vector<std::size_t> chosen;  ///< indices into the item span
+};
+
+/// Exact DP over capacities: O(n * capacity) time and O(capacity) + parent
+/// tracking memory. Requires capacity >= 0; sizes must be positive.
+[[nodiscard]] KnapsackResult knapsack_exact_by_capacity(
+    std::span<const KnapsackItem> items, Value capacity);
+
+/// Exact DP over achievable profit: O(n * total_profit). Preferable when
+/// profits are small and capacity is huge.
+[[nodiscard]] KnapsackResult knapsack_exact_by_weight(
+    std::span<const KnapsackItem> items, Value capacity);
+
+/// FPTAS: profit >= (1 - eps) * OPT, time O(n^3 / eps) via profit scaling
+/// over the by-weight DP. eps must be in (0, 1).
+[[nodiscard]] KnapsackResult knapsack_fptas(
+    std::span<const KnapsackItem> items, Value capacity, double eps);
+
+/// Density greedy plus best-single-item: a 1/2-approximation baseline.
+[[nodiscard]] KnapsackResult knapsack_greedy(
+    std::span<const KnapsackItem> items, Value capacity);
+
+}  // namespace sap

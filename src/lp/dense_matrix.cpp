@@ -1,0 +1,18 @@
+#include "src/lp/dense_matrix.hpp"
+
+namespace sap {
+
+void DenseMatrix::axpy_row(std::size_t target, std::size_t source,
+                           double factor) {
+  assert(target < rows_ && source < rows_ && target != source);
+  double* t = row(target);
+  const double* s = row(source);
+  for (std::size_t c = 0; c < cols_; ++c) t[c] += factor * s[c];
+}
+
+void DenseMatrix::scale_row(std::size_t r, double factor) {
+  double* t = row(r);
+  for (std::size_t c = 0; c < cols_; ++c) t[c] *= factor;
+}
+
+}  // namespace sap

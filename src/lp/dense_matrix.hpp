@@ -1,0 +1,47 @@
+// Minimal dense row-major matrix used by the simplex tableau.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace sap {
+
+/// Dense row-major matrix of doubles with bounds-checked-in-debug access.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous, cols() entries).
+  [[nodiscard]] double* row(std::size_t r) { return &data_[r * cols_]; }
+  [[nodiscard]] const double* row(std::size_t r) const {
+    return &data_[r * cols_];
+  }
+
+  /// row(target) += factor * row(source); the inner loop of every pivot.
+  void axpy_row(std::size_t target, std::size_t source, double factor);
+
+  /// row(r) *= factor.
+  void scale_row(std::size_t r, double factor);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sap

@@ -1,0 +1,226 @@
+#include "src/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sap {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense tableau state shared by both phases.
+struct Tableau {
+  DenseMatrix a;               // m x total coefficient matrix
+  std::vector<double> rhs;     // m, kept >= -kEps
+  std::vector<double> cost;    // reduced-cost row (minimization)
+  double cost_rhs = 0.0;       // negated objective value so far
+  std::vector<std::size_t> basis;  // m entries, column of basic var per row
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double pivot_value = a(row, col);
+    a.scale_row(row, 1.0 / pivot_value);
+    rhs[row] /= pivot_value;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      if (r == row) continue;
+      const double factor = a(r, col);
+      if (std::abs(factor) < kEps) continue;
+      a.axpy_row(r, row, -factor);
+      rhs[r] -= factor * rhs[row];
+      a(r, col) = 0.0;  // clear residual round-off exactly
+    }
+    const double cost_factor = cost[col];
+    if (std::abs(cost_factor) > 0.0) {
+      const double* src = a.row(row);
+      for (std::size_t c = 0; c < cost.size(); ++c) {
+        cost[c] -= cost_factor * src[c];
+      }
+      cost_rhs -= cost_factor * rhs[row];
+      cost[col] = 0.0;
+    }
+    basis[row] = col;
+  }
+
+  /// Runs simplex iterations on the current cost row until optimal,
+  /// unbounded, or the iteration budget runs out.
+  LpStatus iterate(std::size_t max_iterations) {
+    const std::size_t bland_after = max_iterations / 2;
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+      const bool bland = iter >= bland_after;
+      // Entering column: most negative reduced cost (or first, under Bland).
+      std::size_t enter = cost.size();
+      double best = -kEps;
+      for (std::size_t c = 0; c < cost.size(); ++c) {
+        if (cost[c] < best) {
+          enter = c;
+          if (bland) break;
+          best = cost[c];
+        }
+      }
+      if (enter == cost.size()) return LpStatus::kOptimal;
+
+      // Ratio test: tightest row; ties to the smallest basis column (keeps
+      // Bland's rule anti-cycling valid in the fallback regime).
+      std::size_t leave = a.rows();
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < a.rows(); ++r) {
+        const double coeff = a(r, enter);
+        if (coeff <= kEps) continue;
+        const double ratio = rhs[r] / coeff;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && leave < a.rows() &&
+             basis[r] < basis[leave])) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+      if (leave == a.rows()) return LpStatus::kUnbounded;
+      pivot(leave, enter);
+    }
+    return LpStatus::kIterationLimit;
+  }
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
+  const std::size_t n = problem.num_vars();
+  const std::size_t m = problem.constraints.size();
+  if (max_iterations == 0) max_iterations = 200 * (n + m + 16);
+
+  // Column layout: [0, n) structural, [n, n + m) slack/surplus (one per
+  // row; unused for equalities), [n + m, n + m + artificials) artificial.
+  std::size_t num_artificial = 0;
+  std::vector<bool> row_flipped(m, false);
+  for (std::size_t r = 0; r < m; ++r) {
+    const LpConstraint& con = problem.constraints[r];
+    double rhs = con.rhs;
+    LpRelation rel = con.relation;
+    if (rhs < 0.0) {  // normalize to rhs >= 0 by negating the row
+      row_flipped[r] = true;
+      rhs = -rhs;
+      if (rel == LpRelation::kLessEqual) {
+        rel = LpRelation::kGreaterEqual;
+      } else if (rel == LpRelation::kGreaterEqual) {
+        rel = LpRelation::kLessEqual;
+      }
+    }
+    // >= rows and equalities need an artificial; <= rows start on slack.
+    if (rel != LpRelation::kLessEqual) ++num_artificial;
+  }
+
+  const std::size_t total = n + m + num_artificial;
+  Tableau t;
+  t.a = DenseMatrix(m, total);
+  t.rhs.assign(m, 0.0);
+  t.basis.assign(m, 0);
+
+  std::size_t next_artificial = n + m;
+  for (std::size_t r = 0; r < m; ++r) {
+    const LpConstraint& con = problem.constraints[r];
+    const double sign = row_flipped[r] ? -1.0 : 1.0;
+    for (std::size_t c = 0; c < std::min(n, con.coeffs.size()); ++c) {
+      t.a(r, c) = sign * con.coeffs[c];
+    }
+    double rhs = sign * con.rhs;
+    LpRelation rel = con.relation;
+    if (row_flipped[r]) {
+      if (rel == LpRelation::kLessEqual) {
+        rel = LpRelation::kGreaterEqual;
+      } else if (rel == LpRelation::kGreaterEqual) {
+        rel = LpRelation::kLessEqual;
+      }
+    }
+    t.rhs[r] = rhs;
+    switch (rel) {
+      case LpRelation::kLessEqual:
+        t.a(r, n + r) = 1.0;
+        t.basis[r] = n + r;
+        break;
+      case LpRelation::kGreaterEqual:
+        t.a(r, n + r) = -1.0;  // surplus
+        t.a(r, next_artificial) = 1.0;
+        t.basis[r] = next_artificial++;
+        break;
+      case LpRelation::kEqual:
+        t.a(r, next_artificial) = 1.0;
+        t.basis[r] = next_artificial++;
+        break;
+    }
+  }
+
+  LpSolution out;
+
+  // Phase 1: minimize the sum of artificials (skippable when there are none).
+  if (num_artificial > 0) {
+    t.cost.assign(total, 0.0);
+    t.cost_rhs = 0.0;
+    for (std::size_t c = n + m; c < total; ++c) t.cost[c] = 1.0;
+    // Price out the artificial basis so reduced costs start consistent.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (t.basis[r] >= n + m) {
+        const double* src = t.a.row(r);
+        for (std::size_t c = 0; c < total; ++c) t.cost[c] -= src[c];
+        t.cost_rhs -= t.rhs[r];
+      }
+    }
+    const LpStatus phase1 = t.iterate(max_iterations);
+    if (phase1 == LpStatus::kIterationLimit) {
+      out.status = phase1;
+      return out;
+    }
+    if (-t.cost_rhs > 1e-7) {  // objective value = -cost_rhs
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+    // Drive any artificial still in the basis out (degenerate at zero).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (t.basis[r] < n + m) continue;
+      std::size_t enter = total;
+      for (std::size_t c = 0; c < n + m; ++c) {
+        if (std::abs(t.a(r, c)) > kEps) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter == total) continue;  // redundant row; leave it degenerate
+      t.pivot(r, enter);
+    }
+  }
+
+  // Phase 2: minimize -objective over structural variables; forbid
+  // artificials by pricing them prohibitively.
+  t.cost.assign(total, 0.0);
+  t.cost_rhs = 0.0;
+  for (std::size_t c = 0; c < n; ++c) t.cost[c] = -problem.objective[c];
+  for (std::size_t c = n + m; c < total; ++c) {
+    t.cost[c] = 1e30;  // never re-enter
+  }
+  for (std::size_t r = 0; r < m; ++r) {  // price out the current basis
+    const double basic_cost = t.cost[t.basis[r]];
+    if (basic_cost == 0.0) continue;
+    const double* src = t.a.row(r);
+    const std::size_t basic = t.basis[r];
+    for (std::size_t c = 0; c < total; ++c) t.cost[c] -= basic_cost * src[c];
+    t.cost_rhs -= basic_cost * t.rhs[r];
+    t.cost[basic] = 0.0;
+  }
+  const LpStatus phase2 = t.iterate(max_iterations);
+  if (phase2 != LpStatus::kOptimal) {
+    out.status = phase2;
+    return out;
+  }
+
+  out.status = LpStatus::kOptimal;
+  out.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis[r] < n) out.x[t.basis[r]] = std::max(0.0, t.rhs[r]);
+  }
+  out.objective = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    out.objective += problem.objective[c] * out.x[c];
+  }
+  return out;
+}
+
+}  // namespace sap

@@ -1,0 +1,50 @@
+// Two-phase primal simplex, built from scratch.
+//
+// This is the LP substrate behind (a) the UFPP LP relaxation used by the
+// small-task LP-rounding pipeline (the relaxation of ILP (1) in the paper),
+// (b) LP upper bounds on OPT used by the ratio harness when instances exceed
+// the exact oracles, and (c) bounding in the exact UFPP branch-and-bound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/lp/dense_matrix.hpp"
+
+namespace sap {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+enum class LpRelation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: sum_i coeffs[i] * x[i] (rel) rhs.
+struct LpConstraint {
+  std::vector<double> coeffs;
+  LpRelation relation = LpRelation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A linear program in n non-negative variables: maximize objective . x
+/// subject to the constraints (x >= 0 implicit; upper bounds are rows).
+struct LpProblem {
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+
+  [[nodiscard]] std::size_t num_vars() const noexcept {
+    return objective.size();
+  }
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves `problem` with dense two-phase primal simplex. Largest-coefficient
+/// pricing with a Bland's-rule fallback kicks in after a stall to guarantee
+/// termination; `max_iterations` (0 = automatic) is a final backstop.
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
+                                  std::size_t max_iterations = 0);
+
+}  // namespace sap

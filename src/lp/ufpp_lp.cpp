@@ -1,0 +1,67 @@
+#include "src/lp/ufpp_lp.hpp"
+
+#include <numeric>
+#include <vector>
+
+namespace sap {
+
+LpProblem build_ufpp_relaxation(const PathInstance& inst,
+                                std::span<const TaskId> subset) {
+  const std::size_t n = subset.size();
+  LpProblem lp;
+  lp.objective.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    lp.objective[v] = static_cast<double>(inst.task(subset[v]).weight);
+  }
+
+  // Capacity rows, one per edge used by at least one selected task.
+  std::vector<std::vector<std::size_t>> edge_users(inst.num_edges());
+  for (std::size_t v = 0; v < n; ++v) {
+    const Task& t = inst.task(subset[v]);
+    for (EdgeId e = t.first; e <= t.last; ++e) {
+      edge_users[static_cast<std::size_t>(e)].push_back(v);
+    }
+  }
+  for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+    if (edge_users[e].empty()) continue;
+    LpConstraint row;
+    row.coeffs.assign(n, 0.0);
+    for (std::size_t v : edge_users[e]) {
+      row.coeffs[v] = static_cast<double>(inst.task(subset[v]).demand);
+    }
+    row.relation = LpRelation::kLessEqual;
+    row.rhs = static_cast<double>(inst.capacities()[e]);
+    lp.constraints.push_back(std::move(row));
+  }
+
+  // Box rows x_v <= 1.
+  for (std::size_t v = 0; v < n; ++v) {
+    LpConstraint row;
+    row.coeffs.assign(n, 0.0);
+    row.coeffs[v] = 1.0;
+    row.relation = LpRelation::kLessEqual;
+    row.rhs = 1.0;
+    lp.constraints.push_back(std::move(row));
+  }
+  return lp;
+}
+
+LpProblem build_ufpp_relaxation(const PathInstance& inst) {
+  std::vector<TaskId> all(inst.num_tasks());
+  std::iota(all.begin(), all.end(), TaskId{0});
+  return build_ufpp_relaxation(inst, all);
+}
+
+LpSolution solve_ufpp_relaxation(const PathInstance& inst,
+                                 std::span<const TaskId> subset) {
+  return solve_lp(build_ufpp_relaxation(inst, subset));
+}
+
+double ufpp_lp_upper_bound(const PathInstance& inst) {
+  std::vector<TaskId> all(inst.num_tasks());
+  std::iota(all.begin(), all.end(), TaskId{0});
+  const LpSolution sol = solve_ufpp_relaxation(inst, all);
+  return sol.objective;
+}
+
+}  // namespace sap

@@ -1,0 +1,25 @@
+// Gravity compaction (Observation 11): any feasible SAP solution can be
+// transformed, without changing the selected set, into one where every task
+// either rests on the floor (h = 0) or on top of an overlapping task.
+//
+// Used by the medium-task DP to justify its height candidate set, and as a
+// post-pass that frees headroom before strip stacking and re-insertion.
+#pragma once
+
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+/// Applies gravity: lowers tasks in increasing-height order, each to the
+/// lowest feasible position given the already-settled tasks. The result is
+/// feasible whenever the input is, never raises any task, and satisfies
+/// Observation 11 (every task at 0 or resting on an overlapping task's top).
+[[nodiscard]] SapSolution apply_gravity(const PathInstance& inst,
+                                        const SapSolution& sol);
+
+/// True iff every placement is grounded in the Observation-11 sense.
+[[nodiscard]] bool is_grounded(const PathInstance& inst,
+                               const SapSolution& sol);
+
+}  // namespace sap

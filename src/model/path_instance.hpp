@@ -1,0 +1,85 @@
+// The SAP/UFPP instance on a path: edge capacities plus a task set, with O(1)
+// bottleneck queries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "src/model/task.hpp"
+#include "src/util/rmq.hpp"
+
+namespace sap {
+
+/// An immutable problem instance on a path with m edges (vertices 0..m).
+///
+/// Construction validates that every task uses a non-empty edge range inside
+/// the path, has positive demand, non-negative weight, and fits under its
+/// bottleneck (tasks that cannot be scheduled alone are rejected rather than
+/// silently carried: the paper assumes d_j <= b(j) throughout).
+class PathInstance {
+ public:
+  PathInstance() = default;
+  PathInstance(std::vector<Value> capacities, std::vector<Task> tasks);
+
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return capacities_.size();
+  }
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return tasks_.size();
+  }
+  [[nodiscard]] const std::vector<Value>& capacities() const noexcept {
+    return capacities_;
+  }
+  [[nodiscard]] Value capacity(EdgeId e) const {
+    return capacities_.at(static_cast<std::size_t>(e));
+  }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept {
+    return tasks_;
+  }
+  [[nodiscard]] const Task& task(TaskId j) const {
+    return tasks_.at(static_cast<std::size_t>(j));
+  }
+
+  /// Bottleneck capacity b(j) = min_{e in I_j} c_e, O(1).
+  [[nodiscard]] Value bottleneck(TaskId j) const;
+  /// Bottleneck of an arbitrary closed edge range.
+  [[nodiscard]] Value range_bottleneck(EdgeId first, EdgeId last) const;
+  /// Left-most edge in I_j attaining b(j).
+  [[nodiscard]] EdgeId bottleneck_edge(TaskId j) const;
+
+  [[nodiscard]] Value min_capacity() const;
+  [[nodiscard]] Value max_capacity() const;
+
+  /// Sum of weights of all tasks.
+  [[nodiscard]] Weight total_weight() const noexcept;
+
+  /// Is task j delta-small, i.e. d_j <= delta * b(j)?
+  [[nodiscard]] bool is_small(TaskId j, Ratio delta) const {
+    return delta.le_scaled(task(j).demand, bottleneck(j));
+  }
+  /// Is task j delta-large, i.e. d_j > delta * b(j)?
+  [[nodiscard]] bool is_large(TaskId j, Ratio delta) const {
+    return !is_small(j, delta);
+  }
+
+  /// New instance containing only `subset` (ids into this instance), with
+  /// capacities unchanged. Returns the sub-instance and the id map back to
+  /// this instance (result id -> original id).
+  [[nodiscard]] std::pair<PathInstance, std::vector<TaskId>> restrict_tasks(
+      std::span<const TaskId> subset) const;
+
+  /// New instance with every capacity clamped to at most `cap`. Tasks whose
+  /// demand no longer fits under their bottleneck are dropped; the returned
+  /// map gives result id -> original id.
+  [[nodiscard]] std::pair<PathInstance, std::vector<TaskId>> clamp_capacities(
+      Value cap, std::span<const TaskId> subset) const;
+
+ private:
+  std::vector<Value> capacities_;
+  std::vector<Task> tasks_;
+  RangeMin capacity_rmq_;
+};
+
+}  // namespace sap

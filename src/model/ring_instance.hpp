@@ -1,0 +1,85 @@
+// SAP on ring networks (Section 7): a cycle of capacitated edges where each
+// task may be routed clockwise or counter-clockwise between its endpoints.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/model/task.hpp"
+#include "src/model/verify.hpp"
+
+namespace sap {
+
+/// A task on the ring: endpoints are vertices; the route is part of the
+/// solution, not the instance.
+struct RingTask {
+  int start = 0;  ///< start vertex in [0, m)
+  int end = 0;    ///< end vertex in [0, m), != start
+  Value demand = 0;
+  Weight weight = 0;
+};
+
+/// One placed-and-routed task of a ring SAP solution.
+struct RingPlacement {
+  TaskId task = 0;
+  Value height = 0;
+  bool clockwise = true;  ///< route start -> end in increasing vertex order
+};
+
+struct RingSapSolution {
+  std::vector<RingPlacement> placements;
+
+  [[nodiscard]] bool empty() const noexcept { return placements.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return placements.size(); }
+};
+
+/// A cycle C = (V, E) with m >= 3 edges; edge e connects vertex e to vertex
+/// (e+1) mod m.
+class RingInstance {
+ public:
+  RingInstance() = default;
+  RingInstance(std::vector<Value> capacities, std::vector<RingTask> tasks);
+
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return capacities_.size();
+  }
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return tasks_.size();
+  }
+  [[nodiscard]] const std::vector<Value>& capacities() const noexcept {
+    return capacities_;
+  }
+  [[nodiscard]] Value capacity(EdgeId e) const {
+    return capacities_.at(static_cast<std::size_t>(e));
+  }
+  [[nodiscard]] const std::vector<RingTask>& tasks() const noexcept {
+    return tasks_;
+  }
+  [[nodiscard]] const RingTask& task(TaskId j) const {
+    return tasks_.at(static_cast<std::size_t>(j));
+  }
+
+  /// Edge ids used by task j when routed as given, in traversal order.
+  [[nodiscard]] std::vector<EdgeId> route_edges(TaskId j,
+                                                bool clockwise) const;
+
+  /// Bottleneck capacity along the chosen route.
+  [[nodiscard]] Value route_bottleneck(TaskId j, bool clockwise) const;
+
+  /// Index of a minimum-capacity edge (left-most).
+  [[nodiscard]] EdgeId min_capacity_edge() const;
+
+  [[nodiscard]] Weight solution_weight(const RingSapSolution& sol) const;
+
+ private:
+  std::vector<Value> capacities_;
+  std::vector<RingTask> tasks_;
+};
+
+/// Full feasibility check for ring SAP: valid unique ids, heights >= 0,
+/// capacity respected on every routed edge, vertical disjointness on every
+/// shared edge.
+[[nodiscard]] VerifyResult verify_ring_sap(const RingInstance& inst,
+                                           const RingSapSolution& sol);
+
+}  // namespace sap

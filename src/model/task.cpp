@@ -1,0 +1,7 @@
+#include "src/model/task.hpp"
+
+// Header-only value types; this TU anchors the header in the build so
+// compiler warnings cover it.
+namespace sap {
+static_assert(sizeof(Task) == 24);
+}  // namespace sap

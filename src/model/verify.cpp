@@ -1,0 +1,138 @@
+#include "src/model/verify.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_set>
+
+namespace sap {
+namespace {
+
+VerifyResult check_ids(const PathInstance& inst,
+                       std::span<const TaskId> tasks) {
+  std::unordered_set<TaskId> seen;
+  seen.reserve(tasks.size());
+  for (TaskId j : tasks) {
+    if (j < 0 || static_cast<std::size_t>(j) >= inst.num_tasks()) {
+      return VerifyResult::failure("task id " + std::to_string(j) +
+                                   " out of range");
+    }
+    if (!seen.insert(j).second) {
+      return VerifyResult::failure("task id " + std::to_string(j) +
+                                   " selected twice");
+    }
+  }
+  return VerifyResult::success();
+}
+
+VerifyResult check_loads(const PathInstance& inst,
+                         std::span<const TaskId> tasks,
+                         const std::function<Value(EdgeId)>& limit_of) {
+  const auto loads = edge_loads(inst, tasks);
+  for (std::size_t e = 0; e < loads.size(); ++e) {
+    const auto edge = static_cast<EdgeId>(e);
+    if (loads[e] > limit_of(edge)) {
+      return VerifyResult::failure(
+          "load " + std::to_string(loads[e]) + " exceeds limit " +
+          std::to_string(limit_of(edge)) + " on edge " + std::to_string(e));
+    }
+  }
+  return VerifyResult::success();
+}
+
+}  // namespace
+
+VerifyResult verify_ufpp(const PathInstance& inst, const UfppSolution& sol) {
+  if (auto r = check_ids(inst, sol.tasks); !r) return r;
+  return check_loads(inst, sol.tasks,
+                     [&](EdgeId e) { return inst.capacity(e); });
+}
+
+VerifyResult verify_ufpp_packable(const PathInstance& inst,
+                                  const UfppSolution& sol, Value bound) {
+  if (auto r = check_ids(inst, sol.tasks); !r) return r;
+  return check_loads(inst, sol.tasks, [&](EdgeId) { return bound; });
+}
+
+namespace detail {
+
+VerifyResult verify_sap_impl(const PathInstance& inst, const SapSolution& sol,
+                             const std::function<Value(TaskId)>& cap_of) {
+  std::vector<TaskId> ids;
+  ids.reserve(sol.placements.size());
+  for (const Placement& p : sol.placements) ids.push_back(p.task);
+  if (auto r = check_ids(inst, ids); !r) return r;
+
+  for (const Placement& p : sol.placements) {
+    if (p.height < 0) {
+      return VerifyResult::failure("task " + std::to_string(p.task) +
+                                   " has negative height");
+    }
+    const Value top = p.height + inst.task(p.task).demand;
+    if (top > cap_of(p.task)) {
+      return VerifyResult::failure(
+          "task " + std::to_string(p.task) + " top " + std::to_string(top) +
+          " exceeds its capacity limit " + std::to_string(cap_of(p.task)));
+    }
+  }
+
+  // Sweep edges left to right; maintain active vertical intervals in a map
+  // keyed by height, and check each insertion against its neighbours.
+  struct Event {
+    EdgeId edge;
+    bool insert;
+    std::size_t index;  // into sol.placements
+  };
+  std::vector<Event> events;
+  events.reserve(2 * sol.placements.size());
+  for (std::size_t i = 0; i < sol.placements.size(); ++i) {
+    const Task& t = inst.task(sol.placements[i].task);
+    events.push_back({t.first, true, i});
+    events.push_back({static_cast<EdgeId>(t.last + 1), false, i});
+  }
+  std::ranges::sort(events, [](const Event& a, const Event& b) {
+    if (a.edge != b.edge) return a.edge < b.edge;
+    return a.insert < b.insert;  // removals before insertions on each edge
+  });
+
+  std::map<Value, std::pair<Value, TaskId>> active;  // height -> (top, id)
+  for (const Event& ev : events) {
+    const Placement& p = sol.placements[ev.index];
+    const Value bottom = p.height;
+    const Value top = p.height + inst.task(p.task).demand;
+    if (!ev.insert) {
+      active.erase(bottom);
+      continue;
+    }
+    auto above = active.lower_bound(bottom);
+    if (above != active.end() && above->first < top) {
+      return VerifyResult::failure(
+          "tasks " + std::to_string(p.task) + " and " +
+          std::to_string(above->second.second) + " overlap vertically");
+    }
+    if (above != active.begin()) {
+      auto below = std::prev(above);
+      if (below->second.first > bottom) {
+        return VerifyResult::failure(
+            "tasks " + std::to_string(p.task) + " and " +
+            std::to_string(below->second.second) + " overlap vertically");
+      }
+    }
+    active.emplace(bottom, std::make_pair(top, p.task));
+  }
+  return VerifyResult::success();
+}
+
+}  // namespace detail
+
+VerifyResult verify_sap(const PathInstance& inst, const SapSolution& sol) {
+  return detail::verify_sap_impl(
+      inst, sol, [&](TaskId j) { return inst.bottleneck(j); });
+}
+
+VerifyResult verify_sap_packable(const PathInstance& inst,
+                                 const SapSolution& sol, Value bound) {
+  return detail::verify_sap_impl(inst, sol, [&](TaskId) { return bound; });
+}
+
+}  // namespace sap

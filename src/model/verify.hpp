@@ -1,0 +1,55 @@
+// Exact feasibility verifiers. Every algorithm's output in the test suite is
+// pushed through these; they are written independently of the solvers (sweep
+// line over edges) so they can catch solver bugs rather than share them.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+/// Outcome of a verification with a human-readable reason on failure.
+struct VerifyResult {
+  bool ok = true;
+  std::string reason;
+
+  explicit operator bool() const noexcept { return ok; }
+
+  static VerifyResult success() { return {}; }
+  static VerifyResult failure(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+/// UFPP feasibility: ids valid and unique, load <= capacity on every edge.
+[[nodiscard]] VerifyResult verify_ufpp(const PathInstance& inst,
+                                       const UfppSolution& sol);
+
+/// UFPP B-packability: load <= bound on every edge (ignores capacities).
+[[nodiscard]] VerifyResult verify_ufpp_packable(const PathInstance& inst,
+                                                const UfppSolution& sol,
+                                                Value bound);
+
+/// SAP feasibility: ids valid and unique, heights >= 0, h(j)+d_j <= c_e for
+/// every e in I_j, and overlapping tasks occupy disjoint vertical ranges.
+/// O((n + m) log n) sweep line.
+[[nodiscard]] VerifyResult verify_sap(const PathInstance& inst,
+                                      const SapSolution& sol);
+
+/// SAP B-packability: feasible except capacity is replaced by `bound`
+/// (mu_h(S(e)) <= bound on every edge); used for strip solutions.
+[[nodiscard]] VerifyResult verify_sap_packable(const PathInstance& inst,
+                                               const SapSolution& sol,
+                                               Value bound);
+
+namespace detail {
+/// Shared sweep: checks id validity/uniqueness, non-negative heights and
+/// vertical disjointness; capacity is checked through `cap_of(task_id)`.
+VerifyResult verify_sap_impl(const PathInstance& inst, const SapSolution& sol,
+                             const std::function<Value(TaskId)>& cap_of);
+}  // namespace detail
+
+}  // namespace sap

@@ -1,0 +1,142 @@
+#include "src/ufpp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/lp/ufpp_lp.hpp"
+
+namespace sap {
+namespace {
+
+struct Searcher {
+  const PathInstance& inst;
+  const UfppExactOptions& options;
+  std::vector<TaskId> order;        // density-descending task ids
+  std::vector<Weight> suffix;       // suffix weight sums over `order`
+  std::vector<Value> residual;      // per-edge remaining capacity
+  std::vector<TaskId> current;
+  std::vector<TaskId> best;
+  Weight current_weight = 0;
+  Weight best_weight = 0;
+  std::size_t nodes = 0;
+  bool budget_exhausted = false;
+
+  Searcher(const PathInstance& instance, std::span<const TaskId> subset,
+           const UfppExactOptions& opts)
+      : inst(instance), options(opts), order(subset.begin(), subset.end()) {
+    std::ranges::sort(order, [&](TaskId a, TaskId b) {
+      const Task& ta = inst.task(a);
+      const Task& tb = inst.task(b);
+      const Int128 lhs = static_cast<Int128>(ta.weight) * tb.demand;
+      const Int128 rhs = static_cast<Int128>(tb.weight) * ta.demand;
+      if (lhs != rhs) return lhs > rhs;
+      return a < b;
+    });
+    suffix.assign(order.size() + 1, 0);
+    for (std::size_t i = order.size(); i-- > 0;) {
+      suffix[i] = suffix[i + 1] + inst.task(order[i]).weight;
+    }
+    residual = inst.capacities();
+  }
+
+  [[nodiscard]] bool fits(const Task& t) const {
+    for (EdgeId e = t.first; e <= t.last; ++e) {
+      if (residual[static_cast<std::size_t>(e)] < t.demand) return false;
+    }
+    return true;
+  }
+
+  void occupy(const Task& t, Value sign) {
+    for (EdgeId e = t.first; e <= t.last; ++e) {
+      residual[static_cast<std::size_t>(e)] -= sign * t.demand;
+    }
+  }
+
+  /// Upper bound on the weight attainable from order[i..) with the current
+  /// residual capacities.
+  [[nodiscard]] double remaining_bound(std::size_t i, std::size_t depth) {
+    const auto loose = static_cast<double>(suffix[i]);
+    if (!options.use_lp_bound || depth >= options.lp_bound_depth) {
+      return loose;
+    }
+    std::vector<TaskId> rest;
+    rest.reserve(order.size() - i);
+    for (std::size_t k = i; k < order.size(); ++k) {
+      if (fits(inst.task(order[k]))) rest.push_back(order[k]);
+    }
+    if (rest.empty()) return 0.0;
+    // Residual capacities can hit 0 on saturated edges; clamp to 1 so the
+    // instance stays constructible. This only loosens the LP value, which
+    // keeps it a valid upper bound.
+    std::vector<Value> caps = residual;
+    for (Value& c : caps) c = std::max<Value>(1, c);
+    PathInstance sub(std::move(caps), [&] {
+      std::vector<Task> ts;
+      ts.reserve(rest.size());
+      for (TaskId j : rest) ts.push_back(inst.task(j));
+      return ts;
+    }());
+    const LpSolution lp = solve_ufpp_relaxation(
+        sub, [&] {
+          std::vector<TaskId> all(rest.size());
+          std::iota(all.begin(), all.end(), TaskId{0});
+          return all;
+        }());
+    if (lp.status != LpStatus::kOptimal) return loose;
+    return std::min(loose, lp.objective + 1e-6);
+  }
+
+  void dfs(std::size_t i, std::size_t depth) {
+    if (budget_exhausted) return;
+    if (++nodes > options.max_nodes) {
+      budget_exhausted = true;
+      return;
+    }
+    if (current_weight > best_weight) {
+      best_weight = current_weight;
+      best = current;
+    }
+    if (i == order.size()) return;
+    const double bound = remaining_bound(i, depth);
+    if (static_cast<double>(current_weight) + bound <=
+        static_cast<double>(best_weight)) {
+      return;
+    }
+    const Task& t = inst.task(order[i]);
+    if (fits(t)) {  // include-first: density order makes this promising
+      occupy(t, 1);
+      current.push_back(order[i]);
+      current_weight += t.weight;
+      dfs(i + 1, depth + 1);
+      current_weight -= t.weight;
+      current.pop_back();
+      occupy(t, -1);
+    }
+    dfs(i + 1, depth + 1);
+  }
+};
+
+}  // namespace
+
+UfppExactResult ufpp_exact(const PathInstance& inst,
+                           std::span<const TaskId> subset,
+                           const UfppExactOptions& options) {
+  Searcher searcher(inst, subset, options);
+  searcher.dfs(0, 0);
+  UfppExactResult out;
+  out.solution.tasks = std::move(searcher.best);
+  out.weight = searcher.best_weight;
+  out.proven_optimal = !searcher.budget_exhausted;
+  out.nodes = searcher.nodes;
+  return out;
+}
+
+UfppExactResult ufpp_exact(const PathInstance& inst,
+                           const UfppExactOptions& options) {
+  std::vector<TaskId> all(inst.num_tasks());
+  std::iota(all.begin(), all.end(), TaskId{0});
+  return ufpp_exact(inst, all, options);
+}
+
+}  // namespace sap

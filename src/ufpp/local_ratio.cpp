@@ -1,0 +1,121 @@
+#include "src/ufpp/local_ratio.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sap {
+
+UfppSolution interval_mwis(const PathInstance& inst,
+                           std::span<const TaskId> subset) {
+  // Classic DP over tasks sorted by last edge: f(i) = best of skip/take.
+  std::vector<TaskId> ids(subset.begin(), subset.end());
+  std::ranges::sort(ids, [&](TaskId a, TaskId b) {
+    return inst.task(a).last < inst.task(b).last;
+  });
+  const std::size_t n = ids.size();
+  // pred[i] = number of tasks (prefix length) fully left of task i.
+  std::vector<std::size_t> pred(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const EdgeId first = inst.task(ids[i]).first;
+    // Largest prefix whose members end strictly before `first`.
+    std::size_t lo = 0, hi = i;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (inst.task(ids[mid]).last < first) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    pred[i] = lo;
+  }
+  std::vector<Weight> f(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    f[i + 1] = std::max(f[i], inst.task(ids[i]).weight + f[pred[i]]);
+  }
+  UfppSolution out;
+  for (std::size_t i = n; i > 0;) {
+    if (f[i] == f[i - 1]) {
+      --i;
+    } else {
+      out.tasks.push_back(ids[i - 1]);
+      i = pred[i - 1];
+    }
+  }
+  std::ranges::reverse(out.tasks);
+  return out;
+}
+
+UfppSolution ufpp_uniform_narrow_local_ratio(const PathInstance& inst,
+                                             std::span<const TaskId> subset,
+                                             Value cap) {
+  constexpr double kEps = 1e-9;
+  std::vector<TaskId> ids(subset.begin(), subset.end());
+  std::ranges::sort(ids, [&](TaskId a, TaskId b) {
+    return inst.task(a).last < inst.task(b).last;
+  });
+  std::vector<double> w(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    w[i] = static_cast<double>(inst.task(ids[i]).weight);
+  }
+
+  // Forward pass: repeatedly take the min-right-endpoint task with positive
+  // residual weight and subtract its local decomposition from overlappers.
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (w[i] <= kEps) continue;
+    const double star = w[i];
+    const Task& tstar = inst.task(ids[i]);
+    stack.push_back(i);
+    w[i] = 0.0;
+    for (std::size_t k = i + 1; k < ids.size(); ++k) {
+      const Task& t = inst.task(ids[k]);
+      if (t.overlaps(tstar)) {
+        w[k] -= star * 2.0 * static_cast<double>(t.demand) /
+                static_cast<double>(cap);
+      }
+    }
+  }
+
+  // Backward pass: add each stacked task if it stays feasible against the
+  // uniform capacity.
+  std::vector<Value> load(inst.num_edges() + 1, 0);
+  UfppSolution out;
+  for (std::size_t s = stack.size(); s-- > 0;) {
+    const TaskId j = ids[stack[s]];
+    const Task& t = inst.task(j);
+    bool fits = true;
+    for (EdgeId e = t.first; e <= t.last && fits; ++e) {
+      fits = load[static_cast<std::size_t>(e)] + t.demand <= cap;
+    }
+    if (!fits) continue;
+    for (EdgeId e = t.first; e <= t.last; ++e) {
+      load[static_cast<std::size_t>(e)] += t.demand;
+    }
+    out.tasks.push_back(j);
+  }
+  return out;
+}
+
+UfppSolution ufpp_uniform_local_ratio(const PathInstance& inst) {
+  const Value cap = inst.min_capacity();
+  if (cap != inst.max_capacity()) {
+    throw std::invalid_argument(
+        "ufpp_uniform_local_ratio: capacities must be uniform");
+  }
+  std::vector<TaskId> wide;
+  std::vector<TaskId> narrow;
+  for (std::size_t j = 0; j < inst.num_tasks(); ++j) {
+    const auto id = static_cast<TaskId>(j);
+    (2 * inst.task(id).demand > cap ? wide : narrow).push_back(id);
+  }
+  UfppSolution wide_sol = interval_mwis(inst, wide);
+  UfppSolution narrow_sol =
+      ufpp_uniform_narrow_local_ratio(inst, narrow, cap);
+  return wide_sol.weight(inst) >= narrow_sol.weight(inst) ? wide_sol
+                                                          : narrow_sol;
+}
+
+}  // namespace sap

@@ -1,0 +1,32 @@
+// Local-ratio approximation for UFPP with uniform capacities (Bar-Noy,
+// Bar-Yehuda, Freund, Naor, Schieber [5]): 3-approximation obtained by
+// combining an exact interval-graph MWIS for wide tasks (d > c/2) with a
+// 2-approximate local-ratio pass for narrow tasks (d <= c/2).
+//
+// This is the baseline the paper's related work compares against for
+// UFPP-U / SAP-U, and a building block of the ratio benches.
+#pragma once
+
+#include <span>
+
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+/// Exact maximum-weight independent set of tasks that pairwise conflict
+/// whenever they overlap (interval MWIS, O(n log n)). Used for "wide" tasks
+/// where any two overlapping tasks exceed capacity together.
+[[nodiscard]] UfppSolution interval_mwis(const PathInstance& inst,
+                                         std::span<const TaskId> subset);
+
+/// 2-approximation for tasks with d_j <= cap/2 on a uniform-capacity path,
+/// by the classic local-ratio weight decomposition.
+[[nodiscard]] UfppSolution ufpp_uniform_narrow_local_ratio(
+    const PathInstance& inst, std::span<const TaskId> subset, Value cap);
+
+/// 3-approximation for UFPP with uniform capacity `cap` (every c_e == cap):
+/// best of exact-wide and local-ratio-narrow.
+[[nodiscard]] UfppSolution ufpp_uniform_local_ratio(const PathInstance& inst);
+
+}  // namespace sap

@@ -1,0 +1,130 @@
+#include "src/ufpp/lp_rounding.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/lp/ufpp_lp.hpp"
+
+namespace sap {
+namespace {
+
+/// Drops lowest-density tasks from overloaded edges until every edge's load
+/// is at most `limit`; returns the surviving subset positions.
+std::vector<std::size_t> alteration(const PathInstance& inst,
+                                    std::span<const TaskId> subset,
+                                    std::vector<std::size_t> picked,
+                                    Value limit) {
+  // Iterate until clean: each round finds the most overloaded edge and
+  // removes the lowest weight-density task crossing it.
+  for (;;) {
+    std::vector<Value> load(inst.num_edges(), 0);
+    for (std::size_t v : picked) {
+      const Task& t = inst.task(subset[v]);
+      for (EdgeId e = t.first; e <= t.last; ++e) {
+        load[static_cast<std::size_t>(e)] += t.demand;
+      }
+    }
+    std::size_t worst_edge = load.size();
+    Value worst = limit;
+    for (std::size_t e = 0; e < load.size(); ++e) {
+      if (load[e] > worst) {
+        worst = load[e];
+        worst_edge = e;
+      }
+    }
+    if (worst_edge == load.size()) return picked;
+
+    std::size_t victim_pos = picked.size();
+    for (std::size_t i = 0; i < picked.size(); ++i) {
+      const Task& t = inst.task(subset[picked[i]]);
+      if (!t.uses(static_cast<EdgeId>(worst_edge))) continue;
+      if (victim_pos == picked.size()) {
+        victim_pos = i;
+        continue;
+      }
+      const Task& v = inst.task(subset[picked[victim_pos]]);
+      // Lower weight per unit of demand*span goes first.
+      const Int128 lhs = static_cast<Int128>(t.weight) * v.demand *
+                           v.span();
+      const Int128 rhs = static_cast<Int128>(v.weight) * t.demand *
+                           t.span();
+      if (lhs < rhs) victim_pos = i;
+    }
+    picked.erase(picked.begin() + static_cast<std::ptrdiff_t>(victim_pos));
+  }
+}
+
+/// Greedily re-adds unpicked tasks (by density) while the load cap holds.
+void repair_reinsert(const PathInstance& inst, std::span<const TaskId> subset,
+                     std::vector<std::size_t>& picked, Value limit) {
+  std::vector<bool> in(subset.size(), false);
+  for (std::size_t v : picked) in[v] = true;
+  std::vector<Value> load(inst.num_edges(), 0);
+  for (std::size_t v : picked) {
+    const Task& t = inst.task(subset[v]);
+    for (EdgeId e = t.first; e <= t.last; ++e) {
+      load[static_cast<std::size_t>(e)] += t.demand;
+    }
+  }
+  std::vector<std::size_t> rest;
+  for (std::size_t v = 0; v < subset.size(); ++v) {
+    if (!in[v]) rest.push_back(v);
+  }
+  std::ranges::sort(rest, [&](std::size_t a, std::size_t b) {
+    const Task& ta = inst.task(subset[a]);
+    const Task& tb = inst.task(subset[b]);
+    return static_cast<Int128>(ta.weight) * tb.demand >
+           static_cast<Int128>(tb.weight) * ta.demand;
+  });
+  for (std::size_t v : rest) {
+    const Task& t = inst.task(subset[v]);
+    bool fits = true;
+    for (EdgeId e = t.first; e <= t.last && fits; ++e) {
+      fits = load[static_cast<std::size_t>(e)] + t.demand <= limit;
+    }
+    if (!fits) continue;
+    for (EdgeId e = t.first; e <= t.last; ++e) {
+      load[static_cast<std::size_t>(e)] += t.demand;
+    }
+    picked.push_back(v);
+  }
+}
+
+}  // namespace
+
+LpRoundingResult ufpp_lp_rounding_half_b(const PathInstance& inst,
+                                         std::span<const TaskId> subset,
+                                         Value big_b,
+                                         const LpRoundingOptions& options,
+                                         Rng& rng) {
+  LpRoundingResult out;
+  if (subset.empty()) return out;
+
+  const LpSolution lp = solve_ufpp_relaxation(inst, subset);
+  out.lp_value = lp.objective;
+  out.scaled_lp = lp.objective / 4.0;
+  if (lp.status != LpStatus::kOptimal) return out;
+
+  const Value limit = big_b / 2;
+  Weight best_weight = -1;
+  std::vector<std::size_t> best;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    std::vector<std::size_t> picked;
+    for (std::size_t v = 0; v < subset.size(); ++v) {
+      const double p = (lp.x[v] / 4.0) / (1.0 + options.eps);
+      if (rng.bernoulli(p)) picked.push_back(v);
+    }
+    picked = alteration(inst, subset, std::move(picked), limit);
+    repair_reinsert(inst, subset, picked, limit);
+    Weight weight = 0;
+    for (std::size_t v : picked) weight += inst.task(subset[v]).weight;
+    if (weight > best_weight) {
+      best_weight = weight;
+      best = std::move(picked);
+    }
+  }
+  for (std::size_t v : best) out.solution.tasks.push_back(subset[v]);
+  return out;
+}
+
+}  // namespace sap

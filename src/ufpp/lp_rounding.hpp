@@ -1,0 +1,38 @@
+// LP-rounding pipeline of Section 4.1: solve the UFPP LP relaxation, scale
+// the optimum by 1/4 (which makes it feasible for uniform capacity B/2 by
+// Observation 2's "capacities in [B,2B)" normalization), then round.
+//
+// Substitution note (DESIGN.md §4.1): the paper invokes the Chekuri-Mydlarz-
+// Shepherd (1+eps) rounding [17] as a black box; we implement randomized
+// rounding with deterministic alteration (overloaded edges shed their
+// lowest-density tasks) plus greedy repair-reinsertion, repeated over
+// independent trials. bench_lr_vs_lp measures the achieved fraction of the
+// scaled LP value.
+#pragma once
+
+#include <span>
+
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+#include "src/util/rng.hpp"
+
+namespace sap {
+
+struct LpRoundingOptions {
+  double eps = 0.2;       ///< rounding slack: include with prob x'/(1+eps)
+  int trials = 8;         ///< independent rounding trials; best kept
+};
+
+struct LpRoundingResult {
+  UfppSolution solution;    ///< (B/2)-packable on every edge
+  double lp_value = 0.0;    ///< optimum of the (unscaled) LP relaxation
+  double scaled_lp = 0.0;   ///< lp_value / 4: the rounding target
+};
+
+/// Rounds the quarter-scaled LP optimum of `subset` (tasks with b(j) in
+/// [B, 2B)) into an integral UFPP solution with load <= B/2 everywhere.
+[[nodiscard]] LpRoundingResult ufpp_lp_rounding_half_b(
+    const PathInstance& inst, std::span<const TaskId> subset, Value big_b,
+    const LpRoundingOptions& options, Rng& rng);
+
+}  // namespace sap

@@ -1,0 +1,63 @@
+#include "src/ufpp/strip_local_ratio.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sap {
+
+UfppSolution ufpp_strip_local_ratio(const PathInstance& inst,
+                                    std::span<const TaskId> subset,
+                                    Value big_b) {
+  constexpr double kEps = 1e-9;
+
+  // Line 2 of Algorithm 3 always picks the remaining positive-weight task
+  // with minimum right endpoint, so one pass in right-endpoint order
+  // realizes the whole recursion; the stack records the pick order.
+  std::vector<TaskId> ids(subset.begin(), subset.end());
+  std::ranges::sort(ids, [&](TaskId a, TaskId b) {
+    if (inst.task(a).last != inst.task(b).last) {
+      return inst.task(a).last < inst.task(b).last;
+    }
+    return a < b;
+  });
+  std::vector<double> w(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    w[i] = static_cast<double>(inst.task(ids[i]).weight);
+  }
+
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (w[i] <= kEps) continue;
+    const double star = w[i];
+    const Task& tstar = inst.task(ids[i]);
+    stack.push_back(i);
+    w[i] = 0.0;  // w1(j*) = w(j*)
+    for (std::size_t k = i + 1; k < ids.size(); ++k) {
+      const Task& t = inst.task(ids[k]);
+      if (t.overlaps(tstar)) {
+        // w1(j) = w(j*) * 2 d_j / B for overlapping j != j*.
+        w[k] -= star * 2.0 * static_cast<double>(t.demand) /
+                static_cast<double>(big_b);
+      }
+    }
+  }
+
+  // Unwind (line 7): add j* back iff the load on its right-most edge stays
+  // at most B/2 - d_{j*}. As in the paper, every already-added task that
+  // touches I_{j*} also touches e*, so this single check bounds all edges.
+  std::vector<Value> load(inst.num_edges(), 0);
+  UfppSolution out;
+  for (std::size_t s = stack.size(); s-- > 0;) {
+    const TaskId j = ids[stack[s]];
+    const Task& t = inst.task(j);
+    const auto e_star = static_cast<std::size_t>(t.last);
+    if (2 * (load[e_star] + t.demand) > big_b) continue;
+    for (EdgeId e = t.first; e <= t.last; ++e) {
+      load[static_cast<std::size_t>(e)] += t.demand;
+    }
+    out.tasks.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace sap

@@ -1,0 +1,21 @@
+// Algorithm "Strip" — the paper's Appendix, verbatim: a local-ratio
+// algorithm that computes (B/2)-packable UFPP solutions for delta-small
+// instances whose bottlenecks lie in [B, 2B). Combined with the strip
+// transformation it yields the deterministic (5+eps) small-task pipeline.
+#pragma once
+
+#include <span>
+
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap {
+
+/// Runs Algorithm 3 (Strip) on `subset`, which must consist of tasks with
+/// b(j) in [B, 2B). The result is (B/2)-packable: its load never exceeds B/2
+/// on any edge. Approximation factor 5/(1-4*delta) against OPT_SAP(subset).
+[[nodiscard]] UfppSolution ufpp_strip_local_ratio(const PathInstance& inst,
+                                                  std::span<const TaskId> subset,
+                                                  Value big_b);
+
+}  // namespace sap

@@ -1,0 +1,44 @@
+#include "src/util/rmq.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace sap {
+
+RangeMin::RangeMin(std::span<const std::int64_t> values)
+    : values_(values.begin(), values.end()), size_(values.size()) {
+  if (size_ == 0) return;
+  const auto levels =
+      static_cast<std::size_t>(std::bit_width(size_));  // >= 1
+  table_.resize(levels);
+  table_[0].resize(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    table_[0][i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t k = 1; k < levels; ++k) {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    const std::size_t width = half << 1;
+    table_[k].resize(size_ - width + 1);
+    for (std::size_t i = 0; i + width <= size_; ++i) {
+      const std::uint32_t left = table_[k - 1][i];
+      const std::uint32_t right = table_[k - 1][i + half];
+      table_[k][i] = values_[left] <= values_[right] ? left : right;
+    }
+  }
+}
+
+std::size_t RangeMin::argmin(std::size_t lo, std::size_t hi) const {
+  assert(lo <= hi && hi < size_);
+  const std::size_t span_len = hi - lo + 1;
+  const auto k = static_cast<std::size_t>(std::bit_width(span_len)) - 1;
+  const std::uint32_t left = table_[k][lo];
+  const std::uint32_t right = table_[k][hi + 1 - (std::size_t{1} << k)];
+  if (values_[left] <= values_[right]) return left;
+  return right;
+}
+
+std::int64_t RangeMin::min(std::size_t lo, std::size_t hi) const {
+  return values_[argmin(lo, hi)];
+}
+
+}  // namespace sap

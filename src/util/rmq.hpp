@@ -1,0 +1,43 @@
+// Sparse-table range-minimum queries over a static array.
+//
+// The path model uses this to answer bottleneck queries b(j) = min_{e in I_j}
+// c_e in O(1) after O(m log m) preprocessing, which every classification and
+// rectangle-reduction step in the SAP pipeline depends on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sap {
+
+/// Static range-minimum structure: O(n log n) build, O(1) query.
+///
+/// Queries return the minimum *value*; `argmin` returns the left-most index
+/// attaining it. Both operate on closed ranges [lo, hi].
+class RangeMin {
+ public:
+  RangeMin() = default;
+
+  /// Builds the table over a snapshot of `values`.
+  explicit RangeMin(std::span<const std::int64_t> values);
+
+  /// Minimum value over the closed index range [lo, hi]. Requires lo <= hi
+  /// and hi < size().
+  [[nodiscard]] std::int64_t min(std::size_t lo, std::size_t hi) const;
+
+  /// Left-most index attaining min(lo, hi).
+  [[nodiscard]] std::size_t argmin(std::size_t lo, std::size_t hi) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  // table_[k][i] = index of the minimum in [i, i + 2^k - 1]; ties to the left.
+  std::vector<std::vector<std::uint32_t>> table_;
+  std::vector<std::int64_t> values_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sap

@@ -1,0 +1,33 @@
+// Streaming summary statistics for ratio measurements in the bench harness.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace sap {
+
+/// Welford-style accumulator: mean/variance/min/max over a stream of doubles.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another summary into this one (parallel-reduction friendly).
+  void merge(const Summary& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace sap

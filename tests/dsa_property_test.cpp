@@ -1,0 +1,110 @@
+// Parameterized sweeps over every DSA engine configuration: all engines
+// must place every task disjointly, and their makespans obey the LOAD lower
+// bound and sane upper envelopes on small-task workloads.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/dsa/dsa.hpp"
+#include "src/gen/generators.hpp"
+#include "src/model/verify.hpp"
+
+namespace sap {
+namespace {
+
+struct DsaCase {
+  DsaOrder order;
+  DsaFit fit;
+  CapacityProfile profile;
+  std::uint64_t seed;
+};
+
+std::string CaseName(const testing::TestParamInfo<DsaCase>& info) {
+  static const char* orders[] = {"Left", "Demand", "Span"};
+  static const char* fits[] = {"First", "Best"};
+  static const char* profiles[] = {"Uniform", "Valley", "Mountain",
+                                   "Staircase", "Walk"};
+  return std::string(orders[static_cast<int>(info.param.order)]) +
+         fits[static_cast<int>(info.param.fit)] +
+         profiles[static_cast<int>(info.param.profile)] +
+         std::to_string(info.param.seed);
+}
+
+class DsaEngineTest : public testing::TestWithParam<DsaCase> {};
+
+TEST_P(DsaEngineTest, PlacesAllTasksWithinSaneMakespan) {
+  Rng rng(GetParam().seed * 6151 + 7);
+  PathGenOptions opt;
+  opt.num_edges = 14;
+  opt.num_tasks = 40;
+  opt.profile = GetParam().profile;
+  opt.min_capacity = 32;
+  opt.max_capacity = 64;
+  opt.demand = DemandClass::kSmall;
+  opt.delta = {1, 8};
+  const PathInstance inst = generate_path_instance(opt, rng);
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+
+  const DsaResult r =
+      dsa_pack(inst, ids, {GetParam().order, GetParam().fit});
+  ASSERT_EQ(r.solution.size(), inst.num_tasks());
+  EXPECT_TRUE(verify_sap_packable(inst, r.solution, r.makespan));
+  EXPECT_GE(r.makespan, r.load);
+  // Small-task first/best fit stays well under the trivial stacking bound.
+  Value total = 0;
+  for (TaskId j : ids) total += inst.task(j).demand;
+  EXPECT_LT(r.makespan, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, DsaEngineTest,
+    testing::ValuesIn([] {
+      std::vector<DsaCase> cases;
+      for (DsaOrder order :
+           {DsaOrder::kByLeftEndpoint, DsaOrder::kByDemandDecreasing,
+            DsaOrder::kBySpanDecreasing}) {
+        for (DsaFit fit : {DsaFit::kFirstFit, DsaFit::kBestFit}) {
+          for (CapacityProfile profile :
+               {CapacityProfile::kUniform, CapacityProfile::kValley,
+                CapacityProfile::kRandomWalk}) {
+            for (std::uint64_t seed : {1ULL, 2ULL}) {
+              cases.push_back({order, fit, profile, seed});
+            }
+          }
+        }
+      }
+      return cases;
+    }()),
+    CaseName);
+
+class RoundedEngineTest : public testing::TestWithParam<int> {};
+
+TEST_P(RoundedEngineTest, ShelfInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 3);
+  PathGenOptions opt;
+  opt.num_edges = 12;
+  opt.num_tasks = 30;
+  opt.min_capacity = 16;
+  opt.max_capacity = 64;
+  const PathInstance inst = generate_path_instance(opt, rng);
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  const DsaResult r = dsa_pack_rounded(inst, ids);
+  ASSERT_EQ(r.solution.size(), inst.num_tasks());
+  EXPECT_TRUE(verify_sap_packable(inst, r.solution, r.makespan));
+  // Rounding at most doubles each demand, and per class the coloring is
+  // optimal, so the makespan is at most sum over classes of
+  // 2^cls * omega_cls <= 2 * sum of per-class LOADs. A crude but useful
+  // envelope: makespan <= 2 * (number of classes) * LOAD.
+  Value max_demand = 0;
+  for (TaskId j : ids) max_demand = std::max(max_demand, inst.task(j).demand);
+  int classes = 0;
+  for (Value d = 1; d < 2 * max_demand; d *= 2) ++classes;
+  EXPECT_LE(r.makespan, 2 * classes * r.load);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundedEngineTest, testing::Range(1, 9));
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,186 @@
+// Unit tests for the DSA substrate and the strip transformation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/dsa/dsa.hpp"
+#include "src/dsa/skyline.hpp"
+#include "src/dsa/strip_transform.hpp"
+#include "src/gen/generators.hpp"
+#include "src/model/verify.hpp"
+#include "src/util/stats.hpp"
+
+namespace sap {
+namespace {
+
+std::vector<TaskId> all_ids(const PathInstance& inst) {
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  return ids;
+}
+
+TEST(OccupancyIndexTest, LowestFitFindsGaps) {
+  const PathInstance inst({100, 100},
+                          {Task{0, 1, 2, 1}, Task{0, 1, 3, 1},
+                           Task{0, 1, 1, 1}});
+  OccupancyIndex index(inst);
+  index.add({0, 0});   // occupies [0,2)
+  index.add({1, 5});   // occupies [5,8)
+  // Demand-1 task fits in the gap [2,5).
+  EXPECT_EQ(index.lowest_fit(inst.task(2)), 2);
+  // Demand-3 task fits exactly in the gap too.
+  EXPECT_EQ(index.lowest_fit(inst.task(1)), 2);
+}
+
+TEST(OccupancyIndexTest, BestFitPrefersTightestGap) {
+  const PathInstance inst({100},
+                          {Task{0, 0, 4, 1}, Task{0, 0, 10, 1},
+                           Task{0, 0, 3, 1}});
+  OccupancyIndex index(inst);
+  index.add({0, 0});    // [0,4)
+  index.add({1, 7});    // [7,17)
+  // Gap [4,7) has size 3; the top region above 17 is unbounded. Best fit
+  // for demand 3 is the exact gap at height 4.
+  const auto h = index.best_fit(inst.task(2), 100);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(*h, 4);
+}
+
+TEST(OccupancyIndexTest, BestFitRespectsLimit) {
+  const PathInstance inst({100}, {Task{0, 0, 5, 1}});
+  OccupancyIndex index(inst);
+  EXPECT_EQ(index.best_fit(inst.task(0), 5).value(), 0);
+  index.add({0, 0});
+  EXPECT_FALSE(index.best_fit(inst.task(0), 5).has_value());
+}
+
+TEST(OccupancyIndexTest, NonOverlappingTasksShareHeights) {
+  const PathInstance inst({100, 100},
+                          {Task{0, 0, 4, 1}, Task{1, 1, 4, 1}});
+  OccupancyIndex index(inst);
+  index.add({0, 0});
+  EXPECT_EQ(index.lowest_fit(inst.task(1)), 0);
+}
+
+TEST(DsaPackTest, PlacesEveryTaskDisjointly) {
+  Rng rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    PathGenOptions opt;
+    opt.num_edges = 12;
+    opt.num_tasks = 25;
+    opt.min_capacity = 8;
+    opt.max_capacity = 32;
+    const PathInstance inst = generate_path_instance(opt, rng);
+    for (DsaOrder order :
+         {DsaOrder::kByLeftEndpoint, DsaOrder::kByDemandDecreasing,
+          DsaOrder::kBySpanDecreasing}) {
+      for (DsaFit fit : {DsaFit::kFirstFit, DsaFit::kBestFit}) {
+        const DsaResult r = dsa_pack(inst, all_ids(inst), {order, fit});
+        EXPECT_EQ(r.solution.size(), inst.num_tasks());
+        // Vertical disjointness holds even though capacities are ignored.
+        EXPECT_TRUE(verify_sap_packable(inst, r.solution, r.makespan));
+        EXPECT_GE(r.makespan, r.load);  // makespan can never beat LOAD
+      }
+    }
+  }
+}
+
+TEST(DsaPackTest, PortfolioNeverWorseThanSingleEngine) {
+  Rng rng(59);
+  PathGenOptions opt;
+  opt.num_edges = 10;
+  opt.num_tasks = 30;
+  const PathInstance inst = generate_path_instance(opt, rng);
+  const DsaResult portfolio = dsa_pack_portfolio(inst, all_ids(inst));
+  const DsaResult single = dsa_pack(inst, all_ids(inst), {});
+  EXPECT_LE(portfolio.makespan, single.makespan);
+}
+
+TEST(DsaPackTest, DisjointTasksPackAtLoad) {
+  // Non-overlapping tasks: makespan should equal LOAD exactly.
+  const PathInstance inst({10, 10, 10},
+                          {Task{0, 0, 4, 1}, Task{1, 1, 7, 1},
+                           Task{2, 2, 2, 1}});
+  const DsaResult r = dsa_pack(inst, all_ids(inst), {});
+  EXPECT_EQ(r.makespan, 7);
+  EXPECT_EQ(r.load, 7);
+}
+
+TEST(StripTransformTest, KeepsEverythingWhenItFits) {
+  const PathInstance inst({16, 16},
+                          {Task{0, 1, 2, 5}, Task{0, 1, 3, 7},
+                           Task{0, 0, 1, 2}});
+  const StripTransformResult r =
+      strip_transform(inst, UfppSolution{{0, 1, 2}}, 8);
+  EXPECT_EQ(r.solution.size(), 3u);
+  EXPECT_EQ(r.dropped_weight, 0);
+  EXPECT_DOUBLE_EQ(r.retention(), 1.0);
+  EXPECT_TRUE(verify_sap_packable(inst, r.solution, 8));
+}
+
+TEST(StripTransformTest, WindowDropsOverflowButStaysBounded) {
+  // Five demand-2 tasks on one edge, strip of height 6: at most 3 fit.
+  const PathInstance inst(
+      {32},
+      {Task{0, 0, 2, 1}, Task{0, 0, 2, 1}, Task{0, 0, 2, 1},
+       Task{0, 0, 2, 10}, Task{0, 0, 2, 1}});
+  const StripTransformResult r =
+      strip_transform(inst, UfppSolution{{0, 1, 2, 3, 4}}, 6);
+  EXPECT_EQ(r.solution.size(), 3u);
+  EXPECT_TRUE(verify_sap_packable(inst, r.solution, 6));
+  // The heavy task must survive (best window + reinsertion by density).
+  bool heavy_kept = false;
+  for (const Placement& p : r.solution.placements) {
+    if (p.task == 3) heavy_kept = true;
+  }
+  EXPECT_TRUE(heavy_kept);
+}
+
+TEST(StripTransformTest, EmptyInput) {
+  const PathInstance inst({8}, {Task{0, 0, 1, 1}});
+  const StripTransformResult r = strip_transform(inst, UfppSolution{}, 4);
+  EXPECT_TRUE(r.solution.empty());
+  EXPECT_DOUBLE_EQ(r.retention(), 1.0);
+}
+
+TEST(StripTransformTest, HighRetentionOnSmallTasks) {
+  // delta-small workloads with load <= height: the Lemma-4 regime. The
+  // transformation should retain well above the (1 - 4*delta) floor.
+  Rng rng(61);
+  Summary retention;
+  for (int trial = 0; trial < 20; ++trial) {
+    PathGenOptions opt;
+    opt.num_edges = 16;
+    opt.num_tasks = 60;
+    opt.profile = CapacityProfile::kUniform;
+    opt.min_capacity = 64;
+    opt.max_capacity = 64;
+    opt.demand = DemandClass::kSmall;
+    opt.delta = {1, 8};
+    const PathInstance inst = generate_path_instance(opt, rng);
+    // Build a 32-packable UFPP solution greedily.
+    std::vector<Value> load(inst.num_edges(), 0);
+    UfppSolution sol;
+    for (TaskId j : all_ids(inst)) {
+      const Task& t = inst.task(j);
+      bool fits = true;
+      for (EdgeId e = t.first; e <= t.last && fits; ++e) {
+        fits = load[static_cast<std::size_t>(e)] + t.demand <= 32;
+      }
+      if (!fits) continue;
+      for (EdgeId e = t.first; e <= t.last; ++e) {
+        load[static_cast<std::size_t>(e)] += t.demand;
+      }
+      sol.tasks.push_back(j);
+    }
+    const StripTransformResult r = strip_transform(inst, sol, 32);
+    EXPECT_TRUE(verify_sap_packable(inst, r.solution, 32));
+    retention.add(r.retention());
+    // 1 - 4*delta = 0.5 with delta = 1/8.
+    EXPECT_GE(r.retention(), 0.5);
+  }
+  EXPECT_GE(retention.mean(), 0.9);
+}
+
+}  // namespace
+}  // namespace sap

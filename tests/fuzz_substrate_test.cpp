@@ -1,0 +1,195 @@
+// Randomized cross-validation fuzz for the low-level substrates: the
+// occupancy index vs a naive reference, the simplex solver vs exhaustive
+// vertex enumeration on tiny LPs, and serialization fuzz (parse errors must
+// be exceptions, never crashes or silent misparses).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/dsa/skyline.hpp"
+#include "src/io/instance_io.hpp"
+#include "src/lp/simplex.hpp"
+#include "src/util/rng.hpp"
+
+namespace sap {
+namespace {
+
+// ----------------------------------------------------------- occupancy --
+
+/// Naive lowest-fit: try every height from 0 upward (bounded domain).
+Value naive_lowest_fit(const PathInstance& inst,
+                       const std::vector<Placement>& placed, const Task& t,
+                       Value limit) {
+  for (Value h = 0; h <= limit; ++h) {
+    bool free = true;
+    for (const Placement& p : placed) {
+      const Task& other = inst.task(p.task);
+      if (!t.overlaps(other)) continue;
+      if (h < p.height + other.demand && p.height < h + t.demand) {
+        free = false;
+        break;
+      }
+    }
+    if (free) return h;
+  }
+  return limit + 1;
+}
+
+TEST(OccupancyFuzzTest, LowestFitMatchesNaive) {
+  Rng rng(467);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto m = static_cast<EdgeId>(rng.uniform_int(1, 6));
+    std::vector<Task> tasks;
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    for (int i = 0; i < n; ++i) {
+      const auto first = static_cast<EdgeId>(rng.uniform_int(0, m - 1));
+      const auto last = static_cast<EdgeId>(rng.uniform_int(first, m - 1));
+      tasks.push_back({first, last, rng.uniform_int(1, 5), 1});
+    }
+    const PathInstance inst(
+        std::vector<Value>(static_cast<std::size_t>(m), 1000), tasks);
+    OccupancyIndex index(inst);
+    std::vector<Placement> placed;
+    for (int i = 0; i < n; ++i) {
+      const auto id = static_cast<TaskId>(i);
+      const Value expected =
+          naive_lowest_fit(inst, placed, inst.task(id), 200);
+      const Value actual = index.lowest_fit(inst.task(id));
+      ASSERT_EQ(actual, expected) << "trial " << trial << " task " << i;
+      index.add({id, actual});
+      placed.push_back({id, actual});
+    }
+  }
+}
+
+TEST(OccupancyFuzzTest, BestFitReturnsFreeFeasiblePositions) {
+  Rng rng(479);
+  for (int trial = 0; trial < 30; ++trial) {
+    const PathInstance inst(
+        {1000, 1000},
+        {Task{0, 1, rng.uniform_int(1, 6), 1}, Task{0, 1, 3, 1},
+         Task{0, 1, 2, 1}, Task{0, 0, 4, 1}, Task{1, 1, 5, 1}});
+    OccupancyIndex index(inst);
+    std::vector<Placement> placed;
+    for (TaskId id = 0; id < 5; ++id) {
+      const Value limit = rng.uniform_int(6, 30);
+      const auto h = index.best_fit(inst.task(id), limit);
+      if (!h.has_value()) continue;
+      // Returned position must be free and under the limit.
+      EXPECT_LE(*h + inst.task(id).demand, limit);
+      for (const Placement& p : placed) {
+        const Task& other = inst.task(p.task);
+        if (!inst.task(id).overlaps(other)) continue;
+        EXPECT_FALSE(*h < p.height + other.demand &&
+                     p.height < *h + inst.task(id).demand);
+      }
+      index.add({id, *h});
+      placed.push_back({id, *h});
+    }
+  }
+}
+
+// ------------------------------------------------------------- simplex --
+
+/// Exhaustive reference for tiny LPs: evaluate every vertex (intersection
+/// of n active constraints among rows and axes) and keep the best feasible.
+double brute_force_lp_2d(const LpProblem& lp) {
+  // Candidate points: intersections of pairs drawn from constraint lines
+  // and the two axes, clipped to feasibility.
+  struct Line {
+    double a, b, c;  // a x + b y = c
+  };
+  std::vector<Line> lines{{1, 0, 0}, {0, 1, 0}};  // axes
+  for (const LpConstraint& con : lp.constraints) {
+    lines.push_back({con.coeffs[0],
+                     con.coeffs.size() > 1 ? con.coeffs[1] : 0.0, con.rhs});
+  }
+  auto feasible = [&](double x, double y) {
+    if (x < -1e-9 || y < -1e-9) return false;
+    for (const LpConstraint& con : lp.constraints) {
+      const double lhs =
+          con.coeffs[0] * x +
+          (con.coeffs.size() > 1 ? con.coeffs[1] : 0.0) * y;
+      if (lhs > con.rhs + 1e-7) return false;
+    }
+    return true;
+  };
+  double best = -1;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const double det =
+          lines[i].a * lines[j].b - lines[j].a * lines[i].b;
+      if (std::abs(det) < 1e-12) continue;
+      const double x =
+          (lines[i].c * lines[j].b - lines[j].c * lines[i].b) / det;
+      const double y =
+          (lines[i].a * lines[j].c - lines[j].a * lines[i].c) / det;
+      if (!feasible(x, y)) continue;
+      best = std::max(best, lp.objective[0] * x + lp.objective[1] * y);
+    }
+  }
+  return best;
+}
+
+TEST(SimplexFuzzTest, MatchesVertexEnumerationOn2dProblems) {
+  Rng rng(487);
+  for (int trial = 0; trial < 60; ++trial) {
+    LpProblem lp;
+    lp.objective = {static_cast<double>(rng.uniform_int(0, 10)),
+                    static_cast<double>(rng.uniform_int(0, 10))};
+    const int rows = static_cast<int>(rng.uniform_int(1, 5));
+    bool bounded_x = false;
+    bool bounded_y = false;
+    for (int r = 0; r < rows; ++r) {
+      LpConstraint con;
+      con.coeffs = {static_cast<double>(rng.uniform_int(0, 6)),
+                    static_cast<double>(rng.uniform_int(0, 6))};
+      con.rhs = static_cast<double>(rng.uniform_int(1, 30));
+      bounded_x |= con.coeffs[0] > 0;
+      bounded_y |= con.coeffs[1] > 0;
+      lp.constraints.push_back(std::move(con));
+    }
+    // Ensure boundedness so the comparison is meaningful.
+    if (!bounded_x) lp.constraints.push_back({{1, 0}, LpRelation::kLessEqual, 20});
+    if (!bounded_y) lp.constraints.push_back({{0, 1}, LpRelation::kLessEqual, 20});
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, LpStatus::kOptimal) << "trial " << trial;
+    const double reference = brute_force_lp_2d(lp);
+    EXPECT_NEAR(sol.objective, reference, 1e-5) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------------------ io --
+
+TEST(IoFuzzTest, MutatedInputsNeverCrash) {
+  const std::string good =
+      "sap-path v1\nedges 3\ncapacities 4 8 4\ntasks 2\n0 1 2 5\n1 2 3 7\n";
+  Rng rng(491);
+  int parsed = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = good;
+    const int edits = static_cast<int>(rng.uniform_int(1, 4));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      const char replacement =
+          "0123456789 ax-\n"[rng.uniform_int(0, 14)];
+      mutated[pos] = replacement;
+    }
+    try {
+      const PathInstance inst = path_instance_from_string(mutated);
+      ++parsed;  // survived mutation: must still be structurally valid
+      EXPECT_GT(inst.num_edges(), 0u);
+    } catch (const std::invalid_argument&) {
+      // expected for most mutations
+    } catch (const std::out_of_range&) {
+      // stoll overflow on digit-extended tokens: acceptable rejection
+    }
+  }
+  // Some mutations (e.g. weight digit changes) must still parse.
+  EXPECT_GT(parsed, 0);
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,79 @@
+// Unit tests for gravity compaction (Observation 11).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/exact/brute_force.hpp"
+#include "src/gen/generators.hpp"
+#include "src/model/gravity.hpp"
+#include "src/model/verify.hpp"
+
+namespace sap {
+namespace {
+
+TEST(GravityTest, FloatingTaskDropsToFloor) {
+  const PathInstance inst({10}, {Task{0, 0, 2, 1}});
+  const SapSolution lowered =
+      apply_gravity(inst, SapSolution{{{0, 7}}});
+  ASSERT_EQ(lowered.size(), 1u);
+  EXPECT_EQ(lowered.placements[0].height, 0);
+}
+
+TEST(GravityTest, StackedTasksCompact) {
+  // Two overlapping tasks placed with a gap between them.
+  const PathInstance inst({10, 10}, {Task{0, 1, 2, 1}, Task{0, 1, 3, 1}});
+  const SapSolution lowered =
+      apply_gravity(inst, SapSolution{{{0, 1}, {1, 6}}});
+  EXPECT_TRUE(verify_sap(inst, lowered));
+  EXPECT_TRUE(is_grounded(inst, lowered));
+  EXPECT_EQ(max_makespan(inst, lowered), 5);  // 2 + 3, no gaps
+}
+
+TEST(GravityTest, DoesNotMoveNonOverlappingTasksOntoEachOther) {
+  const PathInstance inst({10, 10}, {Task{0, 0, 4, 1}, Task{1, 1, 4, 1}});
+  const SapSolution lowered =
+      apply_gravity(inst, SapSolution{{{0, 3}, {1, 5}}});
+  EXPECT_TRUE(verify_sap(inst, lowered));
+  for (const Placement& p : lowered.placements) EXPECT_EQ(p.height, 0);
+}
+
+TEST(GravityTest, NeverRaisesAndPreservesFeasibilityOnRandomInstances) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    PathGenOptions opt;
+    opt.num_edges = 10;
+    opt.num_tasks = 12;
+    opt.min_capacity = 6;
+    opt.max_capacity = 12;
+    const PathInstance inst = generate_path_instance(opt, rng);
+    // Build some feasible solution with the brute-force oracle on a subset.
+    std::vector<TaskId> subset;
+    for (std::size_t j = 0; j < std::min<std::size_t>(8, inst.num_tasks());
+         ++j) {
+      subset.push_back(static_cast<TaskId>(j));
+    }
+    const SapSolution sol = sap_brute_force(inst, subset);
+    ASSERT_TRUE(verify_sap(inst, sol));
+    const SapSolution lowered = apply_gravity(inst, sol);
+    ASSERT_TRUE(verify_sap(inst, lowered)) << verify_sap(inst, lowered).reason;
+    EXPECT_TRUE(is_grounded(inst, lowered));
+    ASSERT_EQ(lowered.size(), sol.size());
+    // Heights never increase (matched by task id).
+    for (const Placement& p : sol.placements) {
+      for (const Placement& q : lowered.placements) {
+        if (p.task == q.task) {
+          EXPECT_LE(q.height, p.height);
+        }
+      }
+    }
+  }
+}
+
+TEST(GravityTest, GroundedDetectsFloatingPlacement) {
+  const PathInstance inst({10}, {Task{0, 0, 2, 1}});
+  EXPECT_FALSE(is_grounded(inst, SapSolution{{{0, 3}}}));
+  EXPECT_TRUE(is_grounded(inst, SapSolution{{{0, 0}}}));
+}
+
+}  // namespace
+}  // namespace sap

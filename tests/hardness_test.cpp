@@ -1,0 +1,63 @@
+// Tests for the PARTITION -> SAP hardness gadget: full schedulability of
+// the gadget must coincide exactly with two-bin packability of the items.
+#include <gtest/gtest.h>
+
+#include "src/exact/profile_dp.hpp"
+#include "src/gen/hardness.hpp"
+#include "src/util/rng.hpp"
+
+namespace sap {
+namespace {
+
+bool gadget_fully_schedulable(const TwoBinGadget& gadget) {
+  const SapExactResult opt = sap_exact_profile_dp(gadget.instance);
+  EXPECT_TRUE(opt.proven_optimal);
+  return opt.weight ==
+         static_cast<Weight>(gadget.instance.num_tasks());
+}
+
+TEST(HardnessGadgetTest, YesInstance) {
+  // {3, 3, 2, 2} into two bins of 5: {3,2} + {3,2}.
+  const std::vector<Value> sizes{3, 3, 2, 2};
+  EXPECT_TRUE(two_bin_packable(sizes, 5));
+  EXPECT_TRUE(gadget_fully_schedulable(two_bin_packing_gadget(sizes, 5)));
+}
+
+TEST(HardnessGadgetTest, NoInstance) {
+  // {4, 4, 3} into two bins of 5: impossible (4+4 > 5, 4+3 > 5).
+  const std::vector<Value> sizes{4, 4, 3};
+  EXPECT_FALSE(two_bin_packable(sizes, 5));
+  EXPECT_FALSE(gadget_fully_schedulable(two_bin_packing_gadget(sizes, 5)));
+}
+
+TEST(HardnessGadgetTest, SeparatorForcedEvenWhenBinsAreLoose) {
+  // Single item of size 1, bins of 3: trivially packable.
+  const std::vector<Value> sizes{1};
+  EXPECT_TRUE(gadget_fully_schedulable(two_bin_packing_gadget(sizes, 3)));
+}
+
+TEST(HardnessGadgetTest, AgreesWithReferenceOnRandomItems) {
+  Rng rng(283);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Value c = rng.uniform_int(3, 7);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 5));
+    std::vector<Value> sizes(n);
+    for (auto& s : sizes) s = rng.uniform_int(1, c);
+    const bool packable = two_bin_packable(sizes, c);
+    const bool schedulable =
+        gadget_fully_schedulable(two_bin_packing_gadget(sizes, c));
+    EXPECT_EQ(packable, schedulable)
+        << "trial " << trial << " C=" << c << " n=" << n;
+  }
+}
+
+TEST(HardnessGadgetTest, RejectsInvalidItems) {
+  const std::vector<Value> oversized{7};
+  EXPECT_THROW(two_bin_packing_gadget(oversized, 5), std::invalid_argument);
+  const std::vector<Value> zero{0};
+  EXPECT_THROW(two_bin_packing_gadget(zero, 5), std::invalid_argument);
+  EXPECT_THROW(two_bin_packing_gadget({}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sap

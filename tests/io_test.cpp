@@ -1,0 +1,91 @@
+// Tests for the plain-text instance/solution (de)serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/gen/generators.hpp"
+#include "src/io/instance_io.hpp"
+#include "src/model/verify.hpp"
+
+namespace sap {
+namespace {
+
+TEST(InstanceIoTest, PathRoundTrip) {
+  Rng rng(271);
+  for (int trial = 0; trial < 10; ++trial) {
+    PathGenOptions opt;
+    opt.num_edges = 8;
+    opt.num_tasks = 12;
+    const PathInstance inst = generate_path_instance(opt, rng);
+    const PathInstance back = path_instance_from_string(to_string(inst));
+    ASSERT_EQ(back.num_edges(), inst.num_edges());
+    ASSERT_EQ(back.num_tasks(), inst.num_tasks());
+    EXPECT_EQ(back.capacities(), inst.capacities());
+    EXPECT_EQ(back.tasks(), inst.tasks());
+  }
+}
+
+TEST(InstanceIoTest, RingRoundTrip) {
+  Rng rng(277);
+  RingGenOptions opt;
+  opt.num_edges = 8;
+  opt.num_tasks = 10;
+  const RingInstance ring = generate_ring_instance(opt, rng);
+  std::stringstream buffer;
+  write_ring_instance(buffer, ring);
+  const RingInstance back = read_ring_instance(buffer);
+  ASSERT_EQ(back.num_edges(), ring.num_edges());
+  ASSERT_EQ(back.num_tasks(), ring.num_tasks());
+  EXPECT_EQ(back.capacities(), ring.capacities());
+  for (std::size_t j = 0; j < ring.num_tasks(); ++j) {
+    EXPECT_EQ(back.task(static_cast<TaskId>(j)).start,
+              ring.task(static_cast<TaskId>(j)).start);
+    EXPECT_EQ(back.task(static_cast<TaskId>(j)).demand,
+              ring.task(static_cast<TaskId>(j)).demand);
+  }
+}
+
+TEST(InstanceIoTest, SolutionRoundTrip) {
+  const SapSolution sol{{{3, 0}, {1, 7}, {0, 2}}};
+  std::stringstream buffer;
+  write_sap_solution(buffer, sol);
+  const SapSolution back = read_sap_solution(buffer);
+  EXPECT_EQ(back.placements, sol.placements);
+}
+
+TEST(InstanceIoTest, CommentsAndWhitespaceTolerated) {
+  const std::string text = R"(# a header comment
+sap-path v1
+edges 2
+# capacities follow
+capacities 4    8
+tasks 1
+0 1 2 5
+)";
+  const PathInstance inst = path_instance_from_string(text);
+  EXPECT_EQ(inst.num_edges(), 2u);
+  EXPECT_EQ(inst.task(0).weight, 5);
+}
+
+TEST(InstanceIoTest, RejectsMalformedInput) {
+  EXPECT_THROW(path_instance_from_string(""), std::invalid_argument);
+  EXPECT_THROW(path_instance_from_string("sap-ring v1"),
+               std::invalid_argument);
+  EXPECT_THROW(path_instance_from_string("sap-path v2"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      path_instance_from_string("sap-path v1\nedges x\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      path_instance_from_string("sap-path v1\nedges 1\ncapacities 4\n"
+                                "tasks 1\n0 0 2\n"),
+      std::invalid_argument);  // truncated task line
+  // Structural validation still applies after parsing.
+  EXPECT_THROW(
+      path_instance_from_string("sap-path v1\nedges 1\ncapacities 4\n"
+                                "tasks 1\n0 0 9 1\n"),
+      std::invalid_argument);  // demand exceeds bottleneck
+}
+
+}  // namespace
+}  // namespace sap

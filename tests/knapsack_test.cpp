@@ -1,0 +1,121 @@
+// Unit tests for the knapsack substrate (exact DPs, FPTAS, greedy).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/knapsack/knapsack.hpp"
+#include "src/util/rng.hpp"
+
+namespace sap {
+namespace {
+
+Weight chosen_profit(std::span<const KnapsackItem> items,
+                     const KnapsackResult& r) {
+  Weight p = 0;
+  for (std::size_t i : r.chosen) p += items[i].profit;
+  return p;
+}
+
+Value chosen_size(std::span<const KnapsackItem> items,
+                  const KnapsackResult& r) {
+  Value s = 0;
+  for (std::size_t i : r.chosen) s += items[i].size;
+  return s;
+}
+
+TEST(KnapsackTest, ExactByCapacityKnownInstance) {
+  const std::vector<KnapsackItem> items{{3, 4}, {4, 5}, {2, 3}};
+  const KnapsackResult r = knapsack_exact_by_capacity(items, 6);
+  EXPECT_EQ(r.profit, 8);  // {4,5}? 3+4=7 <= ... sizes 3+2=5 profits 4+3=7; 4+2=6 profits 5+3=8
+  EXPECT_EQ(chosen_profit(items, r), r.profit);
+  EXPECT_LE(chosen_size(items, r), 6);
+}
+
+TEST(KnapsackTest, ExactMethodsAgreeOnRandomInstances) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    std::vector<KnapsackItem> items(n);
+    for (auto& item : items) {
+      item.size = rng.uniform_int(1, 15);
+      item.profit = rng.uniform_int(0, 20);
+    }
+    const Value cap = rng.uniform_int(0, 40);
+    const KnapsackResult by_cap = knapsack_exact_by_capacity(items, cap);
+    const KnapsackResult by_weight = knapsack_exact_by_weight(items, cap);
+    EXPECT_EQ(by_cap.profit, by_weight.profit) << "trial " << trial;
+    EXPECT_LE(chosen_size(items, by_cap), cap);
+    EXPECT_LE(chosen_size(items, by_weight), cap);
+    EXPECT_EQ(chosen_profit(items, by_cap), by_cap.profit);
+    EXPECT_EQ(chosen_profit(items, by_weight), by_weight.profit);
+  }
+}
+
+TEST(KnapsackTest, FptasWithinEpsilonOfExact) {
+  Rng rng(43);
+  for (double eps : {0.5, 0.2, 0.05}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 14));
+      std::vector<KnapsackItem> items(n);
+      for (auto& item : items) {
+        item.size = rng.uniform_int(1, 30);
+        item.profit = rng.uniform_int(1, 1000);
+      }
+      const Value cap = rng.uniform_int(5, 80);
+      const KnapsackResult exact = knapsack_exact_by_capacity(items, cap);
+      const KnapsackResult approx = knapsack_fptas(items, cap, eps);
+      EXPECT_LE(chosen_size(items, approx), cap);
+      EXPECT_GE(static_cast<double>(approx.profit) + 1e-9,
+                (1.0 - eps) * static_cast<double>(exact.profit))
+          << "eps " << eps << " trial " << trial;
+    }
+  }
+}
+
+TEST(KnapsackTest, GreedyIsHalfApproximate) {
+  Rng rng(47);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    std::vector<KnapsackItem> items(n);
+    for (auto& item : items) {
+      item.size = rng.uniform_int(1, 20);
+      item.profit = rng.uniform_int(1, 50);
+    }
+    const Value cap = rng.uniform_int(1, 60);
+    const KnapsackResult exact = knapsack_exact_by_capacity(items, cap);
+    const KnapsackResult greedy = knapsack_greedy(items, cap);
+    EXPECT_LE(chosen_size(items, greedy), cap);
+    EXPECT_GE(2 * greedy.profit, exact.profit);
+  }
+}
+
+TEST(KnapsackTest, EmptyAndDegenerateInputs) {
+  const std::vector<KnapsackItem> none;
+  EXPECT_EQ(knapsack_exact_by_capacity(none, 10).profit, 0);
+  EXPECT_EQ(knapsack_exact_by_weight(none, 10).profit, 0);
+  EXPECT_EQ(knapsack_greedy(none, 10).profit, 0);
+
+  const std::vector<KnapsackItem> big{{100, 7}};
+  EXPECT_EQ(knapsack_exact_by_capacity(big, 10).profit, 0);
+  EXPECT_TRUE(knapsack_exact_by_capacity(big, 10).chosen.empty());
+}
+
+TEST(KnapsackTest, RejectsInvalidInput) {
+  const std::vector<KnapsackItem> bad{{0, 5}};
+  EXPECT_THROW(knapsack_exact_by_capacity(bad, 10), std::invalid_argument);
+  EXPECT_THROW(knapsack_exact_by_capacity(bad, -1), std::invalid_argument);
+  const std::vector<KnapsackItem> ok{{1, 1}};
+  EXPECT_THROW(knapsack_fptas(ok, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(knapsack_fptas(ok, 10, 1.0), std::invalid_argument);
+}
+
+TEST(KnapsackTest, ZeroProfitItemsAreNeverNeeded) {
+  const std::vector<KnapsackItem> items{{2, 0}, {3, 9}};
+  const KnapsackResult r = knapsack_exact_by_weight(items, 5);
+  EXPECT_EQ(r.profit, 9);
+  ASSERT_EQ(r.chosen.size(), 1u);
+  EXPECT_EQ(r.chosen[0], 1u);
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,191 @@
+// Tests for the large-task pipeline (Theorem 3): rectangle reduction, MWIS,
+// and the degeneracy/coloring structure of Lemmas 16-17.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/large_tasks.hpp"
+#include "src/core/rectangles.hpp"
+#include "src/exact/profile_dp.hpp"
+#include "src/gen/generators.hpp"
+#include "src/model/verify.hpp"
+
+namespace sap {
+namespace {
+
+std::vector<TaskId> all_ids(const PathInstance& inst) {
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  return ids;
+}
+
+PathInstance large_instance(Rng& rng, std::int64_t k,
+                            std::size_t num_tasks = 14) {
+  PathGenOptions opt;
+  opt.num_edges = 10;
+  opt.num_tasks = num_tasks;
+  opt.min_capacity = 6;
+  opt.max_capacity = 24;
+  opt.demand = DemandClass::kLarge;
+  opt.k_large = k;
+  return generate_path_instance(opt, rng);
+}
+
+/// Exhaustive MWIS reference.
+Weight naive_mwis(const std::vector<TaskRect>& rects) {
+  Weight best = 0;
+  const std::size_t n = rects.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    Weight w = 0;
+    bool ok = true;
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      if (!(mask >> i & 1)) continue;
+      for (std::size_t j = i + 1; j < n && ok; ++j) {
+        if ((mask >> j & 1) && rects[i].intersects(rects[j])) ok = false;
+      }
+      w += rects[i].weight;
+    }
+    if (ok) best = std::max(best, w);
+  }
+  return best;
+}
+
+TEST(RectanglesTest, AnchoredAtBottleneck) {
+  const PathInstance inst({8, 4, 8}, {Task{0, 2, 3, 5}});
+  const auto rects = task_rectangles(inst, all_ids(inst));
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0].top, 4);
+  EXPECT_EQ(rects[0].bottom, 1);
+}
+
+TEST(RectanglesTest, IntersectionNeedsBothAxes) {
+  const TaskRect a{0, 0, 2, 0, 4, 1};
+  const TaskRect b{1, 1, 3, 4, 8, 1};  // x overlaps, y touches at 4
+  const TaskRect c{2, 5, 6, 0, 4, 1};  // y overlaps, x disjoint
+  const TaskRect d{3, 2, 4, 3, 5, 1};  // both overlap with a
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.intersects(d));
+  EXPECT_TRUE(d.intersects(a));
+}
+
+TEST(RectangleMwisTest, MatchesNaiveOnRandomInstances) {
+  Rng rng(167);
+  for (int trial = 0; trial < 40; ++trial) {
+    const PathInstance inst = large_instance(rng, 2, 12);
+    const auto rects = task_rectangles(inst, all_ids(inst));
+    const RectMwisResult r = rectangle_mwis(rects);
+    ASSERT_TRUE(r.proven_optimal);
+    // Chosen rectangles are pairwise disjoint.
+    for (std::size_t a = 0; a < r.chosen.size(); ++a) {
+      for (std::size_t b = a + 1; b < r.chosen.size(); ++b) {
+        EXPECT_FALSE(rects[r.chosen[a]].intersects(rects[r.chosen[b]]));
+      }
+    }
+    EXPECT_EQ(r.weight, naive_mwis(rects)) << "trial " << trial;
+  }
+}
+
+TEST(LargeTasksTest, SolutionFeasibleAtResidualHeights) {
+  Rng rng(173);
+  for (int trial = 0; trial < 15; ++trial) {
+    const PathInstance inst = large_instance(rng, 3);
+    SolverParams params;
+    const SapSolution sol = solve_large_tasks(inst, all_ids(inst), params);
+    ASSERT_TRUE(verify_sap(inst, sol)) << verify_sap(inst, sol).reason;
+  }
+}
+
+TEST(LargeTasksTest, WithinTwoKMinusOneOfExact) {
+  Rng rng(179);
+  // k = 1 is vacuous (no task can exceed its own bottleneck), so start at 2.
+  for (std::int64_t k : {2, 3, 4}) {
+    int checked = 0;
+    for (int trial = 0; trial < 10 && checked < 6; ++trial) {
+      const PathInstance inst = large_instance(rng, k, 10);
+      if (inst.num_tasks() < 3) continue;
+      SolverParams params;
+      const SapSolution sol = solve_large_tasks(inst, all_ids(inst), params);
+      const SapExactResult opt = sap_exact_profile_dp(inst);
+      ASSERT_TRUE(opt.proven_optimal);
+      if (opt.weight == 0) continue;
+      ++checked;
+      EXPECT_GE((2 * k - 1) * sol.weight(inst), opt.weight)
+          << "k=" << k << " trial " << trial;
+    }
+    EXPECT_GT(checked, 0) << "k=" << k;
+  }
+}
+
+TEST(ColoringTest, SolutionRectanglesOfHalfLargeAreTwoDegenerate) {
+  // Lemma 17 with k = 2: the rectangles of any feasible 1/2-large SAP
+  // solution have degeneracy <= 2k - 2 = 2, hence <= 3 colors.
+  Rng rng(181);
+  for (int trial = 0; trial < 20; ++trial) {
+    const PathInstance inst = large_instance(rng, 2, 10);
+    const SapExactResult opt = sap_exact_profile_dp(inst);
+    ASSERT_TRUE(opt.proven_optimal);
+    // Residual-anchored rectangles of the selected tasks.
+    std::vector<TaskId> chosen;
+    for (const Placement& p : opt.solution.placements) {
+      chosen.push_back(p.task);
+    }
+    const auto rects = task_rectangles(inst, chosen);
+    const ColoringResult coloring = smallest_last_coloring(rects);
+    EXPECT_LE(coloring.degeneracy, 2) << "trial " << trial;
+    EXPECT_LE(coloring.num_colors, 3) << "trial " << trial;
+  }
+}
+
+TEST(ColoringTest, NoTrianglesAmongFeasibleHalfLargeRectangles) {
+  // Consequence of Lemma 16: three 1/2-large tasks of one feasible solution
+  // can never have pairwise-intersecting anchored rectangles.
+  Rng rng(191);
+  for (int trial = 0; trial < 20; ++trial) {
+    const PathInstance inst = large_instance(rng, 2, 10);
+    const SapExactResult opt = sap_exact_profile_dp(inst);
+    ASSERT_TRUE(opt.proven_optimal);
+    std::vector<TaskId> chosen;
+    for (const Placement& p : opt.solution.placements) {
+      chosen.push_back(p.task);
+    }
+    const auto rects = task_rectangles(inst, chosen);
+    for (std::size_t a = 0; a < rects.size(); ++a) {
+      for (std::size_t b = a + 1; b < rects.size(); ++b) {
+        for (std::size_t c = b + 1; c < rects.size(); ++c) {
+          EXPECT_FALSE(rects[a].intersects(rects[b]) &&
+                       rects[b].intersects(rects[c]) &&
+                       rects[a].intersects(rects[c]));
+        }
+      }
+    }
+  }
+}
+
+TEST(ColoringTest, ValidColoring) {
+  Rng rng(193);
+  const PathInstance inst = large_instance(rng, 3, 16);
+  const auto rects = task_rectangles(inst, all_ids(inst));
+  const ColoringResult coloring = smallest_last_coloring(rects);
+  for (std::size_t a = 0; a < rects.size(); ++a) {
+    for (std::size_t b = a + 1; b < rects.size(); ++b) {
+      if (rects[a].intersects(rects[b])) {
+        EXPECT_NE(coloring.color[a], coloring.color[b]);
+      }
+    }
+  }
+  EXPECT_LE(coloring.num_colors, coloring.degeneracy + 1);
+}
+
+TEST(RectangleMwisTest, NodeBudgetFallsBackToIncumbent) {
+  Rng rng(197);
+  const PathInstance inst = large_instance(rng, 3, 18);
+  const auto rects = task_rectangles(inst, all_ids(inst));
+  const RectMwisResult full = rectangle_mwis(rects);
+  const RectMwisResult capped = rectangle_mwis(rects, {8});
+  EXPECT_FALSE(capped.proven_optimal);
+  EXPECT_LE(capped.weight, full.weight);
+}
+
+}  // namespace
+}  // namespace sap

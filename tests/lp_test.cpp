@@ -1,0 +1,119 @@
+// Unit tests for the simplex solver and the UFPP LP relaxation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/gen/generators.hpp"
+#include "src/lp/simplex.hpp"
+#include "src/lp/ufpp_lp.hpp"
+#include "src/ufpp/branch_and_bound.hpp"
+
+namespace sap {
+namespace {
+
+TEST(SimplexTest, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> opt 36 at (2, 6).
+  LpProblem lp;
+  lp.objective = {3, 5};
+  lp.constraints = {{{1, 0}, LpRelation::kLessEqual, 4},
+                    {{0, 2}, LpRelation::kLessEqual, 12},
+                    {{3, 2}, LpRelation::kLessEqual, 18}};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem lp;
+  lp.objective = {1, 0};
+  lp.constraints = {{{0, 1}, LpRelation::kLessEqual, 5}};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 3.
+  LpProblem lp;
+  lp.objective = {1};
+  lp.constraints = {{{1}, LpRelation::kLessEqual, 1},
+                    {{1}, LpRelation::kGreaterEqual, 3}};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, HandlesEqualityConstraints) {
+  // max x + y s.t. x + y = 3, x <= 2 -> 3 with x in [0,2].
+  LpProblem lp;
+  lp.objective = {1, 1};
+  lp.constraints = {{{1, 1}, LpRelation::kEqual, 3},
+                    {{1, 0}, LpRelation::kLessEqual, 2}};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-7);
+}
+
+TEST(SimplexTest, HandlesNegativeRhs) {
+  // max -x s.t. -x <= -2  (i.e. x >= 2) -> objective -2.
+  LpProblem lp;
+  lp.objective = {-1};
+  lp.constraints = {{{-1}, LpRelation::kLessEqual, -2}};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-7);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpProblem lp;
+  lp.objective = {1, 1};
+  lp.constraints = {{{1, 0}, LpRelation::kLessEqual, 1},
+                    {{0, 1}, LpRelation::kLessEqual, 1},
+                    {{1, 1}, LpRelation::kLessEqual, 2},
+                    {{2, 2}, LpRelation::kLessEqual, 4}};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-7);
+}
+
+TEST(UfppLpTest, RelaxationUpperBoundsKnapsack) {
+  // Single edge of capacity 10: LP = fractional knapsack.
+  const PathInstance inst({10}, {Task{0, 0, 6, 60}, Task{0, 0, 5, 40},
+                                 Task{0, 0, 5, 40}});
+  const double bound = ufpp_lp_upper_bound(inst);
+  // Fractional: take task 0 fully (60) + 4/5 of one 40 = 92.
+  EXPECT_NEAR(bound, 92.0, 1e-6);
+}
+
+TEST(UfppLpTest, IntegralWhenCapacityIsLoose) {
+  const PathInstance inst({100, 100}, {Task{0, 1, 3, 7}, Task{0, 0, 4, 9}});
+  const double bound = ufpp_lp_upper_bound(inst);
+  EXPECT_NEAR(bound, 16.0, 1e-6);
+}
+
+TEST(UfppLpTest, BoundDominatesExactOptimum) {
+  Rng rng(31);
+  for (int trial = 0; trial < 15; ++trial) {
+    PathGenOptions opt;
+    opt.num_edges = 8;
+    opt.num_tasks = 10;
+    opt.min_capacity = 4;
+    opt.max_capacity = 16;
+    const PathInstance inst = generate_path_instance(opt, rng);
+    const UfppExactResult exact = ufpp_exact(inst);
+    ASSERT_TRUE(exact.proven_optimal);
+    const double lp = ufpp_lp_upper_bound(inst);
+    EXPECT_GE(lp + 1e-6, static_cast<double>(exact.weight));
+  }
+}
+
+TEST(UfppLpTest, SubsetRelaxationIndexesBySubsetPosition) {
+  const PathInstance inst({10}, {Task{0, 0, 10, 1}, Task{0, 0, 10, 5}});
+  const std::vector<TaskId> subset{1};
+  const LpSolution sol = solve_ufpp_relaxation(inst, subset);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  ASSERT_EQ(sol.x.size(), 1u);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,118 @@
+// Tests for the AlmostUniform / Elevator medium-task pipeline (Theorem 2).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/medium_tasks.hpp"
+#include "src/exact/profile_dp.hpp"
+#include "src/gen/generators.hpp"
+#include "src/model/verify.hpp"
+
+namespace sap {
+namespace {
+
+std::vector<TaskId> all_ids(const PathInstance& inst) {
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  return ids;
+}
+
+PathInstance medium_instance(Rng& rng, std::size_t num_tasks = 16,
+                             Value max_cap = 32) {
+  PathGenOptions opt;
+  opt.num_edges = 10;
+  opt.num_tasks = num_tasks;
+  opt.min_capacity = 8;
+  opt.max_capacity = max_cap;
+  opt.demand = DemandClass::kMedium;
+  opt.delta = {1, 8};
+  opt.k_large = 2;
+  return generate_path_instance(opt, rng);
+}
+
+TEST(ElevatorTest, SolutionIsElevatedAndFeasible) {
+  Rng rng(139);
+  const PathInstance inst = medium_instance(rng);
+  SolverParams params;  // beta = 1/4
+  // Band k = 3: bottlenecks in [8, 8 * 2^ell).
+  std::vector<TaskId> band;
+  const int ell = params.effective_ell();
+  for (TaskId j : all_ids(inst)) {
+    const Value b = inst.bottleneck(j);
+    if (b >= 8 && b < (Value{8} << ell)) band.push_back(j);
+  }
+  if (band.empty()) GTEST_SKIP() << "no band members drawn";
+  const SapSolution sol = elevator(inst, band, 3, ell, params);
+  EXPECT_TRUE(verify_sap(inst, sol));
+  for (const Placement& p : sol.placements) {
+    EXPECT_GE(p.height, 2);  // ceil(1/4 * 2^3)
+  }
+}
+
+TEST(MediumTasksTest, FeasibleOnRandomInstances) {
+  Rng rng(149);
+  for (int trial = 0; trial < 10; ++trial) {
+    const PathInstance inst = medium_instance(rng);
+    SolverParams params;
+    MediumTasksReport report;
+    const SapSolution sol =
+        solve_medium_tasks(inst, all_ids(inst), params, &report);
+    ASSERT_TRUE(verify_sap(inst, sol)) << verify_sap(inst, sol).reason;
+    EXPECT_GT(report.q, 0);
+    EXPECT_GT(report.ell, 0);
+  }
+}
+
+TEST(MediumTasksTest, NoTaskAppearsTwiceInOneResidue) {
+  Rng rng(151);
+  const PathInstance inst = medium_instance(rng, 20);
+  SolverParams params;
+  const SapSolution sol = solve_medium_tasks(inst, all_ids(inst), params);
+  std::vector<bool> seen(inst.num_tasks(), false);
+  for (const Placement& p : sol.placements) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p.task)]);
+    seen[static_cast<std::size_t>(p.task)] = true;
+  }
+}
+
+TEST(MediumTasksTest, WithinTheoremBoundAgainstExactOptimum) {
+  // Theorem 2: (2 + eps)-approximation. With eps from the default params
+  // the guarantee is (1 + eps) * 2; allow the exact bound.
+  Rng rng(157);
+  int checked = 0;
+  for (int trial = 0; trial < 12 && checked < 8; ++trial) {
+    const PathInstance inst = medium_instance(rng, 10, 16);
+    if (inst.num_tasks() < 4) continue;
+    SolverParams params;
+    params.eps = 1.0;  // ell = q -> guarantee (1+1)*2 = 4
+    const SapSolution sol = solve_medium_tasks(inst, all_ids(inst), params);
+    const SapExactResult opt = sap_exact_profile_dp(inst);
+    ASSERT_TRUE(opt.proven_optimal);
+    if (opt.weight == 0) continue;
+    ++checked;
+    EXPECT_GE(4 * sol.weight(inst), opt.weight) << "trial " << trial;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(MediumTasksTest, HeuristicModeStaysFeasibleOnTallInstances) {
+  Rng rng(163);
+  PathGenOptions opt;
+  opt.num_edges = 10;
+  opt.num_tasks = 30;
+  opt.min_capacity = 512;
+  opt.max_capacity = 4096;
+  opt.demand = DemandClass::kMedium;
+  const PathInstance inst = generate_path_instance(opt, rng);
+  SolverParams params;  // heuristic kicks in above capacity 512
+  MediumTasksReport report;
+  const SapSolution sol =
+      solve_medium_tasks(inst, all_ids(inst), params, &report);
+  EXPECT_TRUE(verify_sap(inst, sol)) << verify_sap(inst, sol).reason;
+  bool any_heuristic = false;
+  for (const BandInfo& b : report.bands) any_heuristic |= !b.exact;
+  EXPECT_TRUE(any_heuristic);
+}
+
+}  // namespace
+}  // namespace sap

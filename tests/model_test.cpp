@@ -1,0 +1,167 @@
+// Unit tests for src/model: instances, solutions, loads, verifiers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/gen/paper_instances.hpp"
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+#include "src/model/verify.hpp"
+
+namespace sap {
+namespace {
+
+PathInstance tiny() {
+  // caps:   4 6 6 4
+  // task 0: [0,1] d=2, task 1: [1,3] d=3, task 2: [2,2] d=6
+  return PathInstance({4, 6, 6, 4},
+                      {Task{0, 1, 2, 10}, Task{1, 3, 3, 20},
+                       Task{2, 2, 6, 5}});
+}
+
+TEST(TaskTest, OverlapAndUses) {
+  const Task a{0, 2, 1, 1};
+  const Task b{2, 4, 1, 1};
+  const Task c{3, 5, 1, 1};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.uses(0));
+  EXPECT_TRUE(a.uses(2));
+  EXPECT_FALSE(a.uses(3));
+  EXPECT_EQ(a.span(), 3);
+}
+
+TEST(RatioTest, ExactComparisons) {
+  const Ratio quarter{1, 4};
+  EXPECT_TRUE(quarter.le_scaled(1, 4));    // 1 <= 4/4
+  EXPECT_FALSE(quarter.le_scaled(2, 7));   // 2 > 7/4
+  EXPECT_TRUE(quarter.lt_scaled(1, 5));    // 1 < 5/4
+  EXPECT_FALSE(quarter.lt_scaled(1, 4));   // 1 == 4/4
+}
+
+TEST(PathInstanceTest, BottlenecksUseRangeMinimum) {
+  const PathInstance inst = tiny();
+  EXPECT_EQ(inst.bottleneck(0), 4);  // min(4,6)
+  EXPECT_EQ(inst.bottleneck(1), 4);  // min(6,6,4)
+  EXPECT_EQ(inst.bottleneck(2), 6);
+  EXPECT_EQ(inst.bottleneck_edge(0), 0);
+  EXPECT_EQ(inst.bottleneck_edge(1), 3);
+  EXPECT_EQ(inst.min_capacity(), 4);
+  EXPECT_EQ(inst.max_capacity(), 6);
+  EXPECT_EQ(inst.total_weight(), 35);
+}
+
+TEST(PathInstanceTest, RejectsInvalidInput) {
+  EXPECT_THROW(PathInstance({}, {}), std::invalid_argument);
+  EXPECT_THROW(PathInstance({0}, {}), std::invalid_argument);
+  EXPECT_THROW(PathInstance({4}, {Task{0, 1, 1, 1}}), std::invalid_argument);
+  EXPECT_THROW(PathInstance({4}, {Task{0, 0, 0, 1}}), std::invalid_argument);
+  EXPECT_THROW(PathInstance({4}, {Task{0, 0, 1, -1}}), std::invalid_argument);
+  // Demand above bottleneck is rejected outright.
+  EXPECT_THROW(PathInstance({4, 2}, {Task{0, 1, 3, 1}}),
+               std::invalid_argument);
+}
+
+TEST(PathInstanceTest, SmallLargeClassification) {
+  const PathInstance inst = tiny();
+  const Ratio half{1, 2};
+  EXPECT_TRUE(inst.is_small(0, half));   // 2 <= 4/2
+  EXPECT_FALSE(inst.is_small(1, half));  // 3 > 4/2
+  EXPECT_TRUE(inst.is_large(2, half));   // 6 > 6/2
+}
+
+TEST(PathInstanceTest, RestrictTasksKeepsMapping) {
+  const PathInstance inst = tiny();
+  const std::vector<TaskId> subset{2, 0};
+  const auto [sub, back] = inst.restrict_tasks(subset);
+  ASSERT_EQ(sub.num_tasks(), 2u);
+  EXPECT_EQ(back[0], 2);
+  EXPECT_EQ(back[1], 0);
+  EXPECT_EQ(sub.task(0).demand, 6);
+  EXPECT_EQ(sub.task(1).demand, 2);
+}
+
+TEST(PathInstanceTest, ClampCapacitiesDropsOversizedTasks) {
+  const PathInstance inst = tiny();
+  std::vector<TaskId> all(inst.num_tasks());
+  std::iota(all.begin(), all.end(), TaskId{0});
+  const auto [sub, back] = inst.clamp_capacities(5, all);
+  EXPECT_EQ(sub.capacity(1), 5);
+  EXPECT_EQ(sub.capacity(0), 4);
+  // Task 2 (d = 6) no longer fits anywhere and is dropped.
+  ASSERT_EQ(sub.num_tasks(), 2u);
+  EXPECT_EQ(back[0], 0);
+  EXPECT_EQ(back[1], 1);
+}
+
+TEST(SolutionTest, LoadsAndMakespans) {
+  const PathInstance inst = tiny();
+  const std::vector<TaskId> all{0, 1, 2};
+  const auto loads = edge_loads(inst, all);
+  EXPECT_EQ(loads, (std::vector<Value>{2, 5, 9, 3}));
+  EXPECT_EQ(max_load(inst, all), 9);
+
+  SapSolution sol{{{0, 0}, {1, 2}}};
+  const auto mk = edge_makespans(inst, sol);
+  EXPECT_EQ(mk, (std::vector<Value>{2, 5, 5, 5}));
+  EXPECT_EQ(max_makespan(inst, sol), 5);
+  EXPECT_EQ(sol.weight(inst), 30);
+  sol.lift(3);
+  EXPECT_EQ(sol.placements[0].height, 3);
+  EXPECT_EQ(max_makespan(inst, sol), 8);
+}
+
+TEST(VerifyUfppTest, AcceptsFeasibleRejectsOverload) {
+  const PathInstance inst = tiny();
+  EXPECT_TRUE(verify_ufpp(inst, {{0, 1}}));
+  // All three tasks overload edge 2: 3 + 6 = 9 > 6.
+  EXPECT_FALSE(verify_ufpp(inst, {{0, 1, 2}}));
+  EXPECT_FALSE(verify_ufpp(inst, {{0, 0}}));   // duplicate
+  EXPECT_FALSE(verify_ufpp(inst, {{7}}));      // out of range
+  EXPECT_TRUE(verify_ufpp_packable(inst, {{0, 1}}, 5));
+  EXPECT_FALSE(verify_ufpp_packable(inst, {{0, 1}}, 4));
+}
+
+TEST(VerifySapTest, DetectsVerticalOverlap) {
+  const PathInstance inst({8, 8}, {Task{0, 1, 2, 1}, Task{0, 1, 3, 1}});
+  // Heights 0 and 2 are vertically disjoint.
+  EXPECT_TRUE(verify_sap(inst, SapSolution{{{0, 0}, {1, 2}}}));
+  // Heights 0 and 1 overlap vertically ([0,2) vs [1,4)).
+  const auto bad = verify_sap(inst, SapSolution{{{0, 0}, {1, 1}}});
+  EXPECT_FALSE(bad);
+  EXPECT_NE(bad.reason.find("overlap"), std::string::npos);
+}
+
+TEST(VerifySapTest, DetectsCapacityViolationAtBottleneck) {
+  const PathInstance inst = tiny();
+  // Task 1 has bottleneck 4 (edge 3): height 2 is fine, height 2+3 > 4 not.
+  EXPECT_TRUE(verify_sap(inst, SapSolution{{{1, 1}}}));
+  EXPECT_FALSE(verify_sap(inst, SapSolution{{{1, 2}}}));
+  EXPECT_FALSE(verify_sap(inst, SapSolution{{{0, -1}}}));
+}
+
+TEST(VerifySapTest, NonOverlappingTasksMayShareHeights) {
+  const PathInstance inst({4, 4, 4},
+                          {Task{0, 0, 3, 1}, Task{2, 2, 3, 1}});
+  EXPECT_TRUE(verify_sap(inst, SapSolution{{{0, 0}, {1, 0}}}));
+}
+
+TEST(VerifySapTest, PackableBoundIgnoresCapacities) {
+  const PathInstance inst = tiny();
+  const SapSolution sol{{{0, 0}, {1, 2}}};
+  EXPECT_TRUE(verify_sap_packable(inst, sol, 5));
+  EXPECT_FALSE(verify_sap_packable(inst, sol, 4));
+}
+
+TEST(Fig2Test, AllTasksAreQuarterSmall) {
+  const Ratio quarter{1, 4};
+  for (const PathInstance& inst : {fig2a_instance(), fig2b_instance()}) {
+    for (std::size_t j = 0; j < inst.num_tasks(); ++j) {
+      EXPECT_TRUE(inst.is_small(static_cast<TaskId>(j), quarter));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,71 @@
+// Tests certifying the paper's hand instances (Figures 1, 2, 8).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/rectangles.hpp"
+#include "src/exact/profile_dp.hpp"
+#include "src/gen/paper_instances.hpp"
+#include "src/model/verify.hpp"
+
+namespace sap {
+namespace {
+
+std::vector<TaskId> all_ids(const PathInstance& inst) {
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  return ids;
+}
+
+TEST(Fig1aTest, UfppFeasibleButSapMustDropATask) {
+  const PathInstance inst = fig1a_instance();
+  // The full set is a feasible UFPP solution...
+  EXPECT_TRUE(verify_ufpp(inst, UfppSolution{all_ids(inst)}));
+  // ...but the SAP optimum keeps only one of the two tasks.
+  const SapExactResult opt = sap_exact_profile_dp(inst);
+  ASSERT_TRUE(opt.proven_optimal);
+  EXPECT_EQ(opt.weight, 1);
+  EXPECT_LT(opt.weight, inst.total_weight());
+}
+
+TEST(Fig1bTest, UniformCapacityGapInstanceExists) {
+  const PathInstance inst = fig1b_instance();
+  // Uniform capacities (the figure's defining constraint).
+  EXPECT_EQ(inst.min_capacity(), inst.max_capacity());
+  EXPECT_TRUE(verify_ufpp(inst, UfppSolution{all_ids(inst)}));
+  const SapExactResult opt = sap_exact_profile_dp(inst);
+  ASSERT_TRUE(opt.proven_optimal);
+  EXPECT_LT(opt.weight, inst.total_weight());
+}
+
+TEST(Fig8Test, OddCycleWitnessCertified) {
+  const OddCycleWitness& witness = fig8_instance();
+  const PathInstance& inst = witness.instance;
+  ASSERT_EQ(inst.num_tasks(), 5u);
+  // Every task is 1/2-large.
+  for (TaskId j : all_ids(inst)) {
+    EXPECT_TRUE(inst.is_large(j, Ratio{1, 2}));
+  }
+  // The stored solution contains all five tasks and is feasible.
+  EXPECT_EQ(witness.solution.size(), 5u);
+  EXPECT_TRUE(verify_sap(inst, witness.solution));
+  // The anchored rectangles need 3 colors: the graph is exactly a 5-cycle
+  // (triangle-free by Lemma 16, non-bipartite by construction).
+  const auto rects = task_rectangles(inst, all_ids(inst));
+  int edges = 0;
+  for (std::size_t a = 0; a < rects.size(); ++a) {
+    int degree = 0;
+    for (std::size_t b = 0; b < rects.size(); ++b) {
+      if (a != b && rects[a].intersects(rects[b])) ++degree;
+    }
+    EXPECT_EQ(degree, 2);
+    edges += degree;
+  }
+  EXPECT_EQ(edges, 10);  // 5 undirected edges
+  const ColoringResult coloring = smallest_last_coloring(rects);
+  EXPECT_EQ(coloring.num_colors, 3);
+  EXPECT_EQ(coloring.degeneracy, 2);
+}
+
+}  // namespace
+}  // namespace sap

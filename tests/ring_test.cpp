@@ -1,0 +1,103 @@
+// Tests for SAP on ring networks (Section 7, Theorem 5).
+#include <gtest/gtest.h>
+
+#include "src/core/ring_solver.hpp"
+#include "src/gen/generators.hpp"
+#include "src/model/ring_instance.hpp"
+
+namespace sap {
+namespace {
+
+TEST(RingInstanceTest, RouteEdges) {
+  const RingInstance ring({4, 4, 4, 4}, {RingTask{0, 2, 1, 1}});
+  EXPECT_EQ(ring.route_edges(0, true), (std::vector<EdgeId>{0, 1}));
+  EXPECT_EQ(ring.route_edges(0, false), (std::vector<EdgeId>{2, 3}));
+}
+
+TEST(RingInstanceTest, RouteBottleneck) {
+  const RingInstance ring({4, 2, 8, 6}, {RingTask{0, 2, 1, 1}});
+  EXPECT_EQ(ring.route_bottleneck(0, true), 2);   // edges 0,1
+  EXPECT_EQ(ring.route_bottleneck(0, false), 6);  // edges 2,3
+  EXPECT_EQ(ring.min_capacity_edge(), 1);
+}
+
+TEST(RingInstanceTest, RejectsInvalidInput) {
+  EXPECT_THROW(RingInstance({4, 4}, {}), std::invalid_argument);
+  EXPECT_THROW(RingInstance({4, 4, 0}, {}), std::invalid_argument);
+  EXPECT_THROW(RingInstance({4, 4, 4}, {RingTask{0, 0, 1, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(RingInstance({4, 4, 4}, {RingTask{0, 1, 0, 1}}),
+               std::invalid_argument);
+}
+
+TEST(VerifyRingTest, CatchesOverlapOnSharedEdge) {
+  const RingInstance ring({4, 4, 4, 4},
+                          {RingTask{0, 2, 3, 1}, RingTask{1, 3, 3, 1}});
+  // Both clockwise: share edge 1; heights 0 and 0 overlap.
+  RingSapSolution bad{{{0, 0, true}, {1, 0, true}}};
+  EXPECT_FALSE(verify_ring_sap(ring, bad));
+  // Opposite heights cannot fit (3 + 3 > 4), but disjoint routes can:
+  // task 1 counter-clockwise uses edges 3, 0 — still shares edge 0 with
+  // task 0? Task 0 cw uses 0,1. So pick heights 0 and 3 -> exceeds cap.
+  RingSapSolution routed{{{0, 0, true}, {1, 0, false}}};
+  EXPECT_FALSE(verify_ring_sap(ring, routed));
+}
+
+TEST(VerifyRingTest, AcceptsDisjointPlacements) {
+  const RingInstance ring({8, 8, 8, 8},
+                          {RingTask{0, 2, 3, 1}, RingTask{1, 3, 3, 1}});
+  RingSapSolution sol{{{0, 0, true}, {1, 3, true}}};
+  EXPECT_TRUE(verify_ring_sap(ring, sol));
+}
+
+TEST(RingSolverTest, FeasibleOnRandomInstances) {
+  Rng rng(229);
+  for (int trial = 0; trial < 10; ++trial) {
+    RingGenOptions opt;
+    opt.num_edges = 10;
+    opt.num_tasks = 18;
+    opt.min_capacity = 6;
+    opt.max_capacity = 24;
+    const RingInstance ring = generate_ring_instance(opt, rng);
+    RingSolveReport report;
+    const RingSapSolution sol = solve_ring_sap(ring, {}, &report);
+    ASSERT_TRUE(verify_ring_sap(ring, sol))
+        << verify_ring_sap(ring, sol).reason;
+    const Weight w = ring.solution_weight(sol);
+    EXPECT_EQ(w, std::max(report.path_weight, report.knapsack_weight));
+  }
+}
+
+TEST(RingSolverTest, AllThroughCutDegeneratesToKnapsack) {
+  // Every task wants the cut edge: the knapsack branch should win.
+  // Ring of 4 edges; capacity dips at edge 0. All tasks span vertices
+  // 3 -> 1 clockwise (edges 3, 0).
+  const RingInstance ring(
+      {4, 16, 16, 16},
+      {RingTask{3, 1, 2, 10}, RingTask{3, 1, 2, 9}, RingTask{3, 1, 2, 1}});
+  RingSolveReport report;
+  const RingSapSolution sol = solve_ring_sap(ring, {}, &report);
+  EXPECT_TRUE(verify_ring_sap(ring, sol));
+  EXPECT_EQ(report.cut_edge, 0);
+  // Cut capacity 4 fits two demand-2 tasks; counter-clockwise (edges 1, 2)
+  // the path branch can also take tasks. Either way weight >= 19.
+  EXPECT_GE(ring.solution_weight(sol), 19);
+}
+
+TEST(RingSolverTest, PathBranchUsedWhenCutIsWorthless) {
+  // Cut edge capacity 1: nothing fits through it; path branch must win.
+  const RingInstance ring(
+      {1, 8, 8, 8},
+      {RingTask{1, 3, 4, 5}, RingTask{2, 0, 4, 3}});
+  RingSolveReport report;
+  const RingSapSolution sol = solve_ring_sap(ring, {}, &report);
+  EXPECT_TRUE(verify_ring_sap(ring, sol));
+  EXPECT_EQ(report.winner, RingBranch::kPath);
+  // OPT packs both tasks (weight 8); the medium pipeline's beta-elevation
+  // reserves headroom and may keep only the heavier one, well inside its
+  // 2-approximation guarantee.
+  EXPECT_GE(ring.solution_weight(sol), 5);
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,103 @@
+// Tests for the Strip-Pack small-task pipeline (Theorem 1).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/small_tasks.hpp"
+#include "src/gen/generators.hpp"
+#include "src/harness/ratio_harness.hpp"
+#include "src/model/verify.hpp"
+
+namespace sap {
+namespace {
+
+std::vector<TaskId> all_ids(const PathInstance& inst) {
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  return ids;
+}
+
+PathInstance small_instance(Rng& rng, CapacityProfile profile,
+                            std::size_t num_tasks = 40) {
+  PathGenOptions opt;
+  opt.num_edges = 12;
+  opt.num_tasks = num_tasks;
+  opt.profile = profile;
+  opt.min_capacity = 16;
+  opt.max_capacity = 64;
+  opt.demand = DemandClass::kSmall;
+  opt.delta = {1, 8};
+  return generate_path_instance(opt, rng);
+}
+
+TEST(SmallTasksTest, AlwaysFeasibleBothBackends) {
+  Rng rng(109);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto profile = static_cast<CapacityProfile>(trial % 5);
+    const PathInstance inst = small_instance(rng, profile);
+    for (SmallTaskBackend backend :
+         {SmallTaskBackend::kLocalRatio, SmallTaskBackend::kLpRounding}) {
+      SolverParams params;
+      params.small_backend = backend;
+      const SapSolution sol =
+          solve_small_tasks(inst, all_ids(inst), params);
+      ASSERT_TRUE(verify_sap(inst, sol)) << verify_sap(inst, sol).reason;
+    }
+  }
+}
+
+TEST(SmallTasksTest, StripsLandInTheirOctaveBand) {
+  Rng rng(113);
+  const PathInstance inst = small_instance(rng, CapacityProfile::kValley);
+  SolverParams params;
+  const SapSolution sol = solve_small_tasks(inst, all_ids(inst), params);
+  for (const Placement& p : sol.placements) {
+    const Value b = inst.bottleneck(p.task);
+    Value big_b = 1;
+    while (big_b * 2 <= b) big_b *= 2;  // 2^t <= b < 2^(t+1)
+    EXPECT_GE(p.height, big_b / 2);
+    EXPECT_LE(p.height + inst.task(p.task).demand, big_b);
+  }
+}
+
+TEST(SmallTasksTest, ReportsPerStripRetention) {
+  Rng rng(127);
+  const PathInstance inst = small_instance(rng, CapacityProfile::kUniform);
+  SolverParams params;
+  SmallTasksReport report;
+  const SapSolution sol =
+      solve_small_tasks(inst, all_ids(inst), params, &report);
+  ASSERT_FALSE(report.strips.empty());
+  Weight total = 0;
+  for (const StripInfo& s : report.strips) {
+    EXPECT_GE(s.retention, 0.0);
+    EXPECT_LE(s.retention, 1.0);
+    total += s.kept_weight;
+  }
+  EXPECT_EQ(total, sol.weight(inst));
+}
+
+TEST(SmallTasksTest, NonTrivialWeightAgainstOptBound) {
+  // Measured ratio sanity: on uniform delta-small instances the pipeline
+  // should land well inside the (4+eps) guarantee of Theorem 1 (we allow
+  // slack for small-n effects; bench_small_tasks sweeps this properly).
+  Rng rng(131);
+  for (int trial = 0; trial < 8; ++trial) {
+    const PathInstance inst = small_instance(rng, CapacityProfile::kUniform);
+    SolverParams params;
+    const SapSolution sol = solve_small_tasks(inst, all_ids(inst), params);
+    const RatioMeasurement m = measure_ratio(inst, sol);
+    EXPECT_LT(m.ratio, 10.0) << "trial " << trial;
+  }
+}
+
+TEST(SmallTasksTest, EmptySubset) {
+  Rng rng(137);
+  const PathInstance inst = small_instance(rng, CapacityProfile::kUniform);
+  SolverParams params;
+  const SapSolution sol = solve_small_tasks(inst, {}, params);
+  EXPECT_TRUE(sol.empty());
+}
+
+}  // namespace
+}  // namespace sap

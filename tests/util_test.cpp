@@ -1,0 +1,148 @@
+// Unit tests for src/util: RMQ, RNG, summary statistics, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/util/rmq.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace sap {
+namespace {
+
+TEST(RangeMinTest, SingleElement) {
+  const std::vector<std::int64_t> v{42};
+  RangeMin rmq(v);
+  EXPECT_EQ(rmq.min(0, 0), 42);
+  EXPECT_EQ(rmq.argmin(0, 0), 0u);
+}
+
+TEST(RangeMinTest, KnownArray) {
+  const std::vector<std::int64_t> v{5, 3, 8, 3, 9, 1, 7};
+  RangeMin rmq(v);
+  EXPECT_EQ(rmq.min(0, 6), 1);
+  EXPECT_EQ(rmq.argmin(0, 6), 5u);
+  EXPECT_EQ(rmq.min(0, 3), 3);
+  EXPECT_EQ(rmq.argmin(0, 3), 1u);  // ties resolve to the left
+  EXPECT_EQ(rmq.min(2, 4), 3);
+  EXPECT_EQ(rmq.argmin(2, 4), 3u);
+  EXPECT_EQ(rmq.min(6, 6), 7);
+}
+
+TEST(RangeMinTest, MatchesNaiveOnRandomArrays) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 64));
+    std::vector<std::int64_t> v(n);
+    for (auto& x : v) x = rng.uniform_int(-100, 100);
+    RangeMin rmq(v);
+    for (std::size_t lo = 0; lo < n; ++lo) {
+      for (std::size_t hi = lo; hi < n; ++hi) {
+        const auto naive =
+            *std::min_element(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                              v.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+        ASSERT_EQ(rmq.min(lo, hi), naive) << "range [" << lo << "," << hi << "]";
+        ASSERT_EQ(v[rmq.argmin(lo, hi)], naive);
+      }
+    }
+  }
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_int(-7, 13);
+    ASSERT_GE(x, -7);
+    ASSERT_LE(x, 13);
+  }
+}
+
+TEST(RngTest, UniformIntCoversSupport) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, Uniform01InHalfOpenInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(3);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1() == child2()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(SummaryTest, MeanAndExtremes) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(SummaryTest, MergeMatchesSequential) {
+  Rng rng(23);
+  Summary all;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10 - 5;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(ThreadPoolTest, RunsEveryIteration) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace sap
