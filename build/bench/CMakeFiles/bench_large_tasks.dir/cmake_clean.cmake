@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_large_tasks.dir/bench_large_tasks.cpp.o"
+  "CMakeFiles/bench_large_tasks.dir/bench_large_tasks.cpp.o.d"
+  "bench_large_tasks"
+  "bench_large_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_large_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

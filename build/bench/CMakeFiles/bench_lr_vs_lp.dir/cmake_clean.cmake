@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lr_vs_lp.dir/bench_lr_vs_lp.cpp.o"
+  "CMakeFiles/bench_lr_vs_lp.dir/bench_lr_vs_lp.cpp.o.d"
+  "bench_lr_vs_lp"
+  "bench_lr_vs_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lr_vs_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_medium_tasks.dir/bench_medium_tasks.cpp.o"
+  "CMakeFiles/bench_medium_tasks.dir/bench_medium_tasks.cpp.o.d"
+  "bench_medium_tasks"
+  "bench_medium_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_medium_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

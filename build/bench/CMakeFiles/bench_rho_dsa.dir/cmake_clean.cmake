@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rho_dsa.dir/bench_rho_dsa.cpp.o"
+  "CMakeFiles/bench_rho_dsa.dir/bench_rho_dsa.cpp.o.d"
+  "bench_rho_dsa"
+  "bench_rho_dsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rho_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

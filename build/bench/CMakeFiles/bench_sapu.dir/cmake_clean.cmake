@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sapu.dir/bench_sapu.cpp.o"
+  "CMakeFiles/bench_sapu.dir/bench_sapu.cpp.o.d"
+  "bench_sapu"
+  "bench_sapu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sapu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

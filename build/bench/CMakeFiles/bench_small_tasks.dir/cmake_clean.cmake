@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_small_tasks.dir/bench_small_tasks.cpp.o"
+  "CMakeFiles/bench_small_tasks.dir/bench_small_tasks.cpp.o.d"
+  "bench_small_tasks"
+  "bench_small_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_small_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

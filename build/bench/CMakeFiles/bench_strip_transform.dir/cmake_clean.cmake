@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strip_transform.dir/bench_strip_transform.cpp.o"
+  "CMakeFiles/bench_strip_transform.dir/bench_strip_transform.cpp.o.d"
+  "bench_strip_transform"
+  "bench_strip_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strip_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banner_ads.dir/banner_ads.cpp.o"
+  "CMakeFiles/banner_ads.dir/banner_ads.cpp.o.d"
+  "banner_ads"
+  "banner_ads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banner_ads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

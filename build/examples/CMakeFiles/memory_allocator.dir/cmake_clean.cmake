@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_allocator.dir/memory_allocator.cpp.o"
+  "CMakeFiles/memory_allocator.dir/memory_allocator.cpp.o.d"
+  "memory_allocator"
+  "memory_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sapkit_cli.dir/sapkit_cli.cpp.o"
+  "CMakeFiles/sapkit_cli.dir/sapkit_cli.cpp.o.d"
+  "sapkit_cli"
+  "sapkit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sapkit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

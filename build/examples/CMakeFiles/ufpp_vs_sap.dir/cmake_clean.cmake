@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ufpp_vs_sap.dir/ufpp_vs_sap.cpp.o"
+  "CMakeFiles/ufpp_vs_sap.dir/ufpp_vs_sap.cpp.o.d"
+  "ufpp_vs_sap"
+  "ufpp_vs_sap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ufpp_vs_sap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ufpp_vs_sap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cpp" "src/CMakeFiles/sapkit.dir/core/classify.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/core/classify.cpp.o.d"
+  "/root/repo/src/core/large_tasks.cpp" "src/CMakeFiles/sapkit.dir/core/large_tasks.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/core/large_tasks.cpp.o.d"
+  "/root/repo/src/core/medium_tasks.cpp" "src/CMakeFiles/sapkit.dir/core/medium_tasks.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/core/medium_tasks.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/sapkit.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/rectangles.cpp" "src/CMakeFiles/sapkit.dir/core/rectangles.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/core/rectangles.cpp.o.d"
+  "/root/repo/src/core/ring_solver.cpp" "src/CMakeFiles/sapkit.dir/core/ring_solver.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/core/ring_solver.cpp.o.d"
+  "/root/repo/src/core/sap_solver.cpp" "src/CMakeFiles/sapkit.dir/core/sap_solver.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/core/sap_solver.cpp.o.d"
+  "/root/repo/src/core/small_tasks.cpp" "src/CMakeFiles/sapkit.dir/core/small_tasks.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/core/small_tasks.cpp.o.d"
+  "/root/repo/src/dsa/dsa.cpp" "src/CMakeFiles/sapkit.dir/dsa/dsa.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/dsa/dsa.cpp.o.d"
+  "/root/repo/src/dsa/first_fit.cpp" "src/CMakeFiles/sapkit.dir/dsa/first_fit.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/dsa/first_fit.cpp.o.d"
+  "/root/repo/src/dsa/rho_packing.cpp" "src/CMakeFiles/sapkit.dir/dsa/rho_packing.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/dsa/rho_packing.cpp.o.d"
+  "/root/repo/src/dsa/rounded.cpp" "src/CMakeFiles/sapkit.dir/dsa/rounded.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/dsa/rounded.cpp.o.d"
+  "/root/repo/src/dsa/skyline.cpp" "src/CMakeFiles/sapkit.dir/dsa/skyline.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/dsa/skyline.cpp.o.d"
+  "/root/repo/src/dsa/strip_transform.cpp" "src/CMakeFiles/sapkit.dir/dsa/strip_transform.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/dsa/strip_transform.cpp.o.d"
+  "/root/repo/src/exact/brute_force.cpp" "src/CMakeFiles/sapkit.dir/exact/brute_force.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/exact/brute_force.cpp.o.d"
+  "/root/repo/src/exact/profile_dp.cpp" "src/CMakeFiles/sapkit.dir/exact/profile_dp.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/exact/profile_dp.cpp.o.d"
+  "/root/repo/src/exact/ufpp_profile_dp.cpp" "src/CMakeFiles/sapkit.dir/exact/ufpp_profile_dp.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/exact/ufpp_profile_dp.cpp.o.d"
+  "/root/repo/src/gen/generators.cpp" "src/CMakeFiles/sapkit.dir/gen/generators.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/gen/generators.cpp.o.d"
+  "/root/repo/src/gen/hardness.cpp" "src/CMakeFiles/sapkit.dir/gen/hardness.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/gen/hardness.cpp.o.d"
+  "/root/repo/src/gen/paper_instances.cpp" "src/CMakeFiles/sapkit.dir/gen/paper_instances.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/gen/paper_instances.cpp.o.d"
+  "/root/repo/src/harness/ratio_harness.cpp" "src/CMakeFiles/sapkit.dir/harness/ratio_harness.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/harness/ratio_harness.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "src/CMakeFiles/sapkit.dir/harness/table.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/harness/table.cpp.o.d"
+  "/root/repo/src/io/instance_io.cpp" "src/CMakeFiles/sapkit.dir/io/instance_io.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/io/instance_io.cpp.o.d"
+  "/root/repo/src/knapsack/knapsack.cpp" "src/CMakeFiles/sapkit.dir/knapsack/knapsack.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/knapsack/knapsack.cpp.o.d"
+  "/root/repo/src/lp/dense_matrix.cpp" "src/CMakeFiles/sapkit.dir/lp/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/lp/dense_matrix.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/CMakeFiles/sapkit.dir/lp/simplex.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/lp/simplex.cpp.o.d"
+  "/root/repo/src/lp/ufpp_lp.cpp" "src/CMakeFiles/sapkit.dir/lp/ufpp_lp.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/lp/ufpp_lp.cpp.o.d"
+  "/root/repo/src/model/gravity.cpp" "src/CMakeFiles/sapkit.dir/model/gravity.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/model/gravity.cpp.o.d"
+  "/root/repo/src/model/path_instance.cpp" "src/CMakeFiles/sapkit.dir/model/path_instance.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/model/path_instance.cpp.o.d"
+  "/root/repo/src/model/ring_instance.cpp" "src/CMakeFiles/sapkit.dir/model/ring_instance.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/model/ring_instance.cpp.o.d"
+  "/root/repo/src/model/solution.cpp" "src/CMakeFiles/sapkit.dir/model/solution.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/model/solution.cpp.o.d"
+  "/root/repo/src/model/task.cpp" "src/CMakeFiles/sapkit.dir/model/task.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/model/task.cpp.o.d"
+  "/root/repo/src/model/verify.cpp" "src/CMakeFiles/sapkit.dir/model/verify.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/model/verify.cpp.o.d"
+  "/root/repo/src/sapu/sapu_solver.cpp" "src/CMakeFiles/sapkit.dir/sapu/sapu_solver.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/sapu/sapu_solver.cpp.o.d"
+  "/root/repo/src/ufpp/branch_and_bound.cpp" "src/CMakeFiles/sapkit.dir/ufpp/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/ufpp/branch_and_bound.cpp.o.d"
+  "/root/repo/src/ufpp/local_ratio.cpp" "src/CMakeFiles/sapkit.dir/ufpp/local_ratio.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/ufpp/local_ratio.cpp.o.d"
+  "/root/repo/src/ufpp/lp_rounding.cpp" "src/CMakeFiles/sapkit.dir/ufpp/lp_rounding.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/ufpp/lp_rounding.cpp.o.d"
+  "/root/repo/src/ufpp/strip_local_ratio.cpp" "src/CMakeFiles/sapkit.dir/ufpp/strip_local_ratio.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/ufpp/strip_local_ratio.cpp.o.d"
+  "/root/repo/src/ufpp/ufpp_solver.cpp" "src/CMakeFiles/sapkit.dir/ufpp/ufpp_solver.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/ufpp/ufpp_solver.cpp.o.d"
+  "/root/repo/src/util/rmq.cpp" "src/CMakeFiles/sapkit.dir/util/rmq.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/util/rmq.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/sapkit.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/sapkit.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/sapkit.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/sapkit.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_property_test.dir/dsa_property_test.cpp.o"
+  "CMakeFiles/dsa_property_test.dir/dsa_property_test.cpp.o.d"
+  "dsa_property_test"
+  "dsa_property_test.pdb"
+  "dsa_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

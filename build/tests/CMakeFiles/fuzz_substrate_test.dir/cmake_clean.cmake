@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_substrate_test.dir/fuzz_substrate_test.cpp.o"
+  "CMakeFiles/fuzz_substrate_test.dir/fuzz_substrate_test.cpp.o.d"
+  "fuzz_substrate_test"
+  "fuzz_substrate_test.pdb"
+  "fuzz_substrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_tasks_test.dir/large_tasks_test.cpp.o"
+  "CMakeFiles/large_tasks_test.dir/large_tasks_test.cpp.o.d"
+  "large_tasks_test"
+  "large_tasks_test.pdb"
+  "large_tasks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

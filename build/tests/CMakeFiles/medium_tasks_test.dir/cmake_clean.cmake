@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medium_tasks_test.dir/medium_tasks_test.cpp.o"
+  "CMakeFiles/medium_tasks_test.dir/medium_tasks_test.cpp.o.d"
+  "medium_tasks_test"
+  "medium_tasks_test.pdb"
+  "medium_tasks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medium_tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

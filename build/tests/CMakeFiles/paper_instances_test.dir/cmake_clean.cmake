@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_instances_test.dir/paper_instances_test.cpp.o"
+  "CMakeFiles/paper_instances_test.dir/paper_instances_test.cpp.o.d"
+  "paper_instances_test"
+  "paper_instances_test.pdb"
+  "paper_instances_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_instances_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_packing_test.dir/rho_packing_test.cpp.o"
+  "CMakeFiles/rho_packing_test.dir/rho_packing_test.cpp.o.d"
+  "rho_packing_test"
+  "rho_packing_test.pdb"
+  "rho_packing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

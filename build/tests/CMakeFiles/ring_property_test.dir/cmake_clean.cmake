@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_property_test.dir/ring_property_test.cpp.o"
+  "CMakeFiles/ring_property_test.dir/ring_property_test.cpp.o.d"
+  "ring_property_test"
+  "ring_property_test.pdb"
+  "ring_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

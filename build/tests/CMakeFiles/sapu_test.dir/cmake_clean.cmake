@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sapu_test.dir/sapu_test.cpp.o"
+  "CMakeFiles/sapu_test.dir/sapu_test.cpp.o.d"
+  "sapu_test"
+  "sapu_test.pdb"
+  "sapu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sapu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_tasks_test.dir/small_tasks_test.cpp.o"
+  "CMakeFiles/small_tasks_test.dir/small_tasks_test.cpp.o.d"
+  "small_tasks_test"
+  "small_tasks_test.pdb"
+  "small_tasks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ufpp_solver_test.dir/ufpp_solver_test.cpp.o"
+  "CMakeFiles/ufpp_solver_test.dir/ufpp_solver_test.cpp.o.d"
+  "ufpp_solver_test"
+  "ufpp_solver_test.pdb"
+  "ufpp_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ufpp_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

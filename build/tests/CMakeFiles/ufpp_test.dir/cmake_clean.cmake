@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ufpp_test.dir/ufpp_test.cpp.o"
+  "CMakeFiles/ufpp_test.dir/ufpp_test.cpp.o.d"
+  "ufpp_test"
+  "ufpp_test.pdb"
+  "ufpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ufpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

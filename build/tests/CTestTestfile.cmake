@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/gravity_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/knapsack_test[1]_include.cmake")
+include("/root/repo/build/tests/dsa_test[1]_include.cmake")
+include("/root/repo/build/tests/ufpp_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_test[1]_include.cmake")
+include("/root/repo/build/tests/small_tasks_test[1]_include.cmake")
+include("/root/repo/build/tests/medium_tasks_test[1]_include.cmake")
+include("/root/repo/build/tests/large_tasks_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_instances_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/hardness_test[1]_include.cmake")
+include("/root/repo/build/tests/sapu_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/dsa_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_property_test[1]_include.cmake")
+include("/root/repo/build/tests/rho_packing_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ufpp_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_substrate_test[1]_include.cmake")
