@@ -1,16 +1,12 @@
 // Experiment E6 (Theorem 4): the full (9+eps) pipeline on mixed workloads.
-// Sweeps n and capacity profile; reports measured ratio against the oracle
-// or LP bound, plus which branch (small/medium/large) wins how often.
+// Each parameter point is one batch_runner sweep; the table reports measured
+// ratio against the oracle or LP bound, which branch (small/medium/large)
+// wins how often (from the merged solver telemetry), and per-stage wall time.
 #include <cstdio>
 #include <iostream>
 
-#include "src/core/sap_solver.hpp"
-#include "src/gen/generators.hpp"
-#include "src/harness/ratio_harness.hpp"
+#include "src/harness/batch_runner.hpp"
 #include "src/harness/table.hpp"
-#include "src/model/verify.hpp"
-#include "src/util/stats.hpp"
-#include "src/util/thread_pool.hpp"
 
 using namespace sap;
 
@@ -18,8 +14,8 @@ int main() {
   std::printf("== E6 / Theorem 4: full SAP pipeline on mixed workloads ==\n");
   std::printf("bound: 9 + eps\n\n");
 
-  TablePrinter table({"profile", "n", "trials", "mean ratio", "max ratio",
-                      "win S/M/L", "exact-opt%"});
+  TablePrinter table({"profile", "n", "trials", "mean ratio", "p95 ratio",
+                      "max ratio", "win S/M/L", "exact-opt%", "solve ms"});
   ThreadPool pool;
 
   const std::pair<CapacityProfile, const char*> profiles[] = {
@@ -30,55 +26,55 @@ int main() {
       {CapacityProfile::kRandomWalk, "walk"},
   };
 
+  TelemetryReport stage_times;
   for (const auto& [profile, profile_name] : profiles) {
     for (const std::size_t n : {12u, 24u, 48u}) {
-      const int trials = 20;
-      std::vector<Summary> ratios(static_cast<std::size_t>(trials));
-      std::vector<int> exact(static_cast<std::size_t>(trials), 0);
-      std::vector<int> wins(static_cast<std::size_t>(trials), -1);
-      pool.parallel_for(
-          static_cast<std::size_t>(trials), [&](std::size_t trial) {
-            Rng rng(5000 + 13 * trial + n);
-            PathGenOptions opt;
-            opt.num_edges = 12;
-            opt.num_tasks = n;
-            opt.profile = profile;
-            opt.min_capacity = 8;
-            opt.max_capacity = 48;
-            opt.demand = DemandClass::kMixed;
-            const PathInstance inst = generate_path_instance(opt, rng);
-            SolverParams params;
-            params.seed = trial;
-            SolveReport report;
-            const SapSolution sol = solve_sap(inst, params, &report);
-            if (!verify_sap(inst, sol)) return;
-            OptBoundOptions bopt;
-            bopt.exact_max_tasks = 26;
-            bopt.exact_max_capacity = 48;
-            const RatioMeasurement m = measure_ratio(inst, sol, bopt);
-            ratios[trial].add(m.ratio);
-            exact[trial] = m.bound_exact ? 1 : 0;
-            wins[trial] = static_cast<int>(report.winner);
-          });
-      Summary ratio;
-      int exact_count = 0;
-      int win_count[3] = {0, 0, 0};
-      for (int t = 0; t < trials; ++t) {
-        ratio.merge(ratios[static_cast<std::size_t>(t)]);
-        exact_count += exact[static_cast<std::size_t>(t)];
-        if (wins[static_cast<std::size_t>(t)] >= 0) {
-          ++win_count[wins[static_cast<std::size_t>(t)]];
-        }
-      }
+      PathBatchConfig config;
+      config.gen.num_edges = 12;
+      config.gen.num_tasks = n;
+      config.gen.profile = profile;
+      config.gen.min_capacity = 8;
+      config.gen.max_capacity = 48;
+      config.gen.demand = DemandClass::kMixed;
+      config.bound.exact_max_tasks = 26;
+      config.bound.exact_max_capacity = 48;
+
+      BatchOptions options;
+      options.num_instances = 20;
+      options.base_seed = 5000 + n;
+      options.keep_cases = false;
+
+      const BatchReport report =
+          run_batch(options, make_path_batch_case(config), pool);
+      stage_times.merge(report.telemetry);
+
+      const TelemetryReport& t = report.telemetry;
+      const double solve_ms =
+          1e3 * t.timer("batch.solve").seconds /
+          static_cast<double>(std::max<std::size_t>(1, report.solved));
       table.add_row(
-          {profile_name, std::to_string(n), std::to_string(ratio.count()),
-           fmt(ratio.mean()), fmt(ratio.max()),
-           std::to_string(win_count[0]) + "/" + std::to_string(win_count[1]) +
-               "/" + std::to_string(win_count[2]),
-           fmt(100.0 * exact_count / trials, 0)});
+          {profile_name, std::to_string(n), std::to_string(report.solved),
+           fmt(report.ratio.mean()), fmt(report.ratio_p95),
+           fmt(report.ratio.max()),
+           std::to_string(t.count("sap.winner.small")) + "/" +
+               std::to_string(t.count("sap.winner.medium")) + "/" +
+               std::to_string(t.count("sap.winner.large")),
+           fmt(100.0 * static_cast<double>(report.bound_exact) /
+                   static_cast<double>(report.num_instances),
+               0),
+           fmt(solve_ms, 2)});
     }
   }
   table.print(std::cout);
+
+  std::printf("\nper-stage wall time over the whole experiment:\n");
+  for (const char* name :
+       {"sap.classify", "sap.stage.small", "sap.stage.medium",
+        "sap.stage.large", "batch.bound"}) {
+    const TimerStat stat = stage_times.timer(name);
+    std::printf("  %-18s %8.1f ms over %lld entries\n", name,
+                1e3 * stat.seconds, static_cast<long long>(stat.count));
+  }
   std::printf(
       "\nexpected shape: every max ratio sits far below 9+eps; the class "
       "that dominates the instance mix wins the best-of-three.\n");

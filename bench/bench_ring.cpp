@@ -1,105 +1,49 @@
-// Experiment E7 (Theorem 5 / Section 7): the ring pipeline. Measured ratio
-// against an LP upper bound that routes fractionally over both directions
-// (a relaxation of ring UFPP, hence of ring SAP). Bound: 10 + eps.
+// Experiment E7 (Theorem 5 / Section 7): the ring pipeline. Each parameter
+// point is one batch_runner sweep; measured ratio against the two-route LP
+// relaxation (ring_lp_upper_bound, a relaxation of ring UFPP, hence of ring
+// SAP). Bound: 10 + eps. Branch wins come from the solver telemetry.
 #include <cstdio>
 #include <iostream>
 
-#include "src/core/ring_solver.hpp"
-#include "src/gen/generators.hpp"
+#include "src/harness/batch_runner.hpp"
 #include "src/harness/table.hpp"
-#include "src/lp/simplex.hpp"
-#include "src/model/ring_instance.hpp"
-#include "src/util/stats.hpp"
-#include "src/util/thread_pool.hpp"
 
 using namespace sap;
-
-namespace {
-
-/// LP bound for ring UFPP: per task, fractional weights on both routes.
-double ring_lp_upper_bound(const RingInstance& inst) {
-  const std::size_t n = inst.num_tasks();
-  LpProblem lp;
-  lp.objective.resize(2 * n);
-  for (std::size_t j = 0; j < n; ++j) {
-    lp.objective[2 * j] = static_cast<double>(inst.task(
-        static_cast<TaskId>(j)).weight);
-    lp.objective[2 * j + 1] = lp.objective[2 * j];
-  }
-  // Edge capacity rows.
-  for (std::size_t e = 0; e < inst.num_edges(); ++e) {
-    LpConstraint row;
-    row.coeffs.assign(2 * n, 0.0);
-    row.rhs = static_cast<double>(inst.capacity(static_cast<EdgeId>(e)));
-    lp.constraints.push_back(std::move(row));
-  }
-  for (std::size_t j = 0; j < n; ++j) {
-    const auto id = static_cast<TaskId>(j);
-    for (int dir = 0; dir < 2; ++dir) {
-      for (EdgeId e : inst.route_edges(id, dir == 0)) {
-        lp.constraints[static_cast<std::size_t>(e)]
-            .coeffs[2 * j + static_cast<std::size_t>(dir)] =
-            static_cast<double>(inst.task(id).demand);
-      }
-    }
-    // x_cw + x_ccw <= 1.
-    LpConstraint box;
-    box.coeffs.assign(2 * n, 0.0);
-    box.coeffs[2 * j] = 1.0;
-    box.coeffs[2 * j + 1] = 1.0;
-    box.rhs = 1.0;
-    lp.constraints.push_back(std::move(box));
-  }
-  const LpSolution sol = solve_lp(lp);
-  return sol.objective;
-}
-
-}  // namespace
 
 int main() {
   std::printf("== E7 / Theorem 5: SAP on rings ==\nbound: 10 + eps\n\n");
 
-  TablePrinter table({"n", "m", "trials", "mean ratio", "max ratio",
-                      "path wins", "cut wins"});
+  TablePrinter table({"n", "m", "trials", "mean ratio", "p95 ratio",
+                      "max ratio", "path wins", "cut wins", "solve ms"});
   ThreadPool pool;
 
   for (const std::size_t n : {12u, 24u, 48u}) {
     for (const std::size_t m : {8u, 16u}) {
-      const int trials = 20;
-      std::vector<Summary> ratios(static_cast<std::size_t>(trials));
-      std::vector<int> path_wins(static_cast<std::size_t>(trials), 0);
-      std::vector<int> cut_wins(static_cast<std::size_t>(trials), 0);
-      pool.parallel_for(
-          static_cast<std::size_t>(trials), [&](std::size_t trial) {
-            Rng rng(3000 + 11 * trial + n + m);
-            RingGenOptions opt;
-            opt.num_edges = m;
-            opt.num_tasks = n;
-            opt.min_capacity = 8;
-            opt.max_capacity = 32;
-            const RingInstance ring = generate_ring_instance(opt, rng);
-            RingSolveReport report;
-            const RingSapSolution sol = solve_ring_sap(ring, {}, &report);
-            if (!verify_ring_sap(ring, sol)) return;
-            const Weight w = ring.solution_weight(sol);
-            if (w == 0) return;
-            const double bound = ring_lp_upper_bound(ring);
-            ratios[trial].add(bound / static_cast<double>(w));
-            (report.winner == RingBranch::kPath ? path_wins
-                                                : cut_wins)[trial] = 1;
-          });
-      Summary ratio;
-      int pw = 0;
-      int cw = 0;
-      for (int t = 0; t < trials; ++t) {
-        ratio.merge(ratios[static_cast<std::size_t>(t)]);
-        pw += path_wins[static_cast<std::size_t>(t)];
-        cw += cut_wins[static_cast<std::size_t>(t)];
-      }
+      RingBatchConfig config;
+      config.gen.num_edges = m;
+      config.gen.num_tasks = n;
+      config.gen.min_capacity = 8;
+      config.gen.max_capacity = 32;
+
+      BatchOptions options;
+      options.num_instances = 20;
+      options.base_seed = 3000 + 31 * n + m;
+      options.keep_cases = false;
+
+      const BatchReport report =
+          run_batch(options, make_ring_batch_case(config), pool);
+
+      const TelemetryReport& t = report.telemetry;
+      const double solve_ms =
+          1e3 * t.timer("batch.solve").seconds /
+          static_cast<double>(std::max<std::size_t>(1, report.solved));
       table.add_row({std::to_string(n), std::to_string(m),
-                     std::to_string(ratio.count()), fmt(ratio.mean()),
-                     fmt(ratio.max()), std::to_string(pw),
-                     std::to_string(cw)});
+                     std::to_string(report.ratio.count()),
+                     fmt(report.ratio.mean()), fmt(report.ratio_p95),
+                     fmt(report.ratio.max()),
+                     std::to_string(t.count("ring.winner.path")),
+                     std::to_string(t.count("ring.winner.cut")),
+                     fmt(solve_ms, 2)});
     }
   }
   table.print(std::cout);

@@ -1,5 +1,6 @@
 // Command-line front end: read an instance (file or stdin), solve it with a
-// chosen algorithm, optionally verify and print the solution.
+// chosen algorithm, optionally verify and print the solution — or run a
+// parallel generator sweep and emit a JSON batch report.
 //
 // Usage:
 //   sapkit_cli solve   [--algo full|uniform|small|medium|large] [--eps X]
@@ -7,8 +8,14 @@
 //   sapkit_cli exact   [file]            # profile-DP oracle
 //   sapkit_cli bound   [file]            # LP upper bound on OPT
 //   sapkit_cli gen     [--edges M] [--tasks N] [--seed S]   # emit instance
+//   sapkit_cli batch   [--count N] [--seed S] [--threads T] [--edges M]
+//                      [--tasks N] [--profile P] [--demand D] [--eps X]
+//                      [--ring] [--no-timings] [--cases] [--out FILE]
 //
 // Instances use the sap-path v1 text format (see src/io/instance_io.hpp).
+// Batch reports use the sapkit-batch-v1 JSON schema (see docs/ALGORITHMS.md);
+// with --no-timings the report is byte-identical for the same --seed
+// regardless of --threads.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -17,6 +24,7 @@
 #include "src/core/sap_solver.hpp"
 #include "src/exact/profile_dp.hpp"
 #include "src/gen/generators.hpp"
+#include "src/harness/batch_runner.hpp"
 #include "src/io/instance_io.hpp"
 #include "src/lp/ufpp_lp.hpp"
 #include "src/model/verify.hpp"
@@ -27,9 +35,14 @@ namespace {
 using namespace sap;
 
 int usage() {
-  std::cerr << "usage: sapkit_cli solve|exact|bound|gen [options] [file]\n"
-               "  solve --algo full|uniform|small|medium|large --eps X\n"
-               "  gen   --edges M --tasks N --seed S\n";
+  std::cerr
+      << "usage: sapkit_cli solve|exact|bound|gen|batch [options] [file]\n"
+         "  solve --algo full|uniform|small|medium|large --eps X\n"
+         "  gen   --edges M --tasks N --seed S\n"
+         "  batch --count N --seed S --threads T --edges M --tasks N\n"
+         "        --profile uniform|valley|mountain|staircase|walk\n"
+         "        --demand small|medium|large|mixed --eps X\n"
+         "        [--ring] [--no-timings] [--cases] [--out FILE]\n";
   return 2;
 }
 
@@ -46,6 +59,23 @@ std::vector<TaskId> all_ids(const PathInstance& inst) {
   return ids;
 }
 
+CapacityProfile parse_profile(const std::string& name) {
+  if (name == "uniform") return CapacityProfile::kUniform;
+  if (name == "valley") return CapacityProfile::kValley;
+  if (name == "mountain") return CapacityProfile::kMountain;
+  if (name == "staircase") return CapacityProfile::kStaircase;
+  if (name == "walk") return CapacityProfile::kRandomWalk;
+  throw std::runtime_error("unknown capacity profile: " + name);
+}
+
+DemandClass parse_demand(const std::string& name) {
+  if (name == "small") return DemandClass::kSmall;
+  if (name == "medium") return DemandClass::kMedium;
+  if (name == "large") return DemandClass::kLarge;
+  if (name == "mixed") return DemandClass::kMixed;
+  throw std::runtime_error("unknown demand class: " + name);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,28 +87,57 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t edges = 16;
   std::size_t tasks = 24;
+  std::size_t count = 100;
+  std::size_t threads = 0;
+  std::string profile = "uniform";
+  std::string demand = "mixed";
+  bool ring = false;
+  bool timings = true;
+  bool cases = false;
+  std::string out_path;
   std::string file;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
-      return argv[++i];
-    };
-    if (arg == "--algo") {
-      algo = next();
-    } else if (arg == "--eps") {
-      eps = std::stod(next());
-    } else if (arg == "--seed") {
-      seed = std::stoull(next());
-    } else if (arg == "--edges") {
-      edges = std::stoull(next());
-    } else if (arg == "--tasks") {
-      tasks = std::stoull(next());
-    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-      return usage();
-    } else {
-      file = arg;
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--algo") {
+        algo = next();
+      } else if (arg == "--eps") {
+        eps = std::stod(next());
+      } else if (arg == "--seed") {
+        seed = std::stoull(next());
+      } else if (arg == "--edges") {
+        edges = std::stoull(next());
+      } else if (arg == "--tasks") {
+        tasks = std::stoull(next());
+      } else if (arg == "--count") {
+        count = std::stoull(next());
+      } else if (arg == "--threads") {
+        threads = std::stoull(next());
+      } else if (arg == "--profile") {
+        profile = next();
+      } else if (arg == "--demand") {
+        demand = next();
+      } else if (arg == "--ring") {
+        ring = true;
+      } else if (arg == "--no-timings") {
+        timings = false;
+      } else if (arg == "--cases") {
+        cases = true;
+      } else if (arg == "--out") {
+        out_path = next();
+      } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+        return usage();
+      } else {
+        file = arg;
+      }
     }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
   }
 
   try {
@@ -88,6 +147,48 @@ int main(int argc, char** argv) {
       opt.num_edges = edges;
       opt.num_tasks = tasks;
       write_path_instance(std::cout, generate_path_instance(opt, rng));
+      return 0;
+    }
+
+    if (command == "batch") {
+      BatchOptions options;
+      options.num_instances = count;
+      options.base_seed = seed;
+      options.keep_cases = cases;
+
+      BatchCaseFn fn;
+      if (ring) {
+        RingBatchConfig config;
+        config.gen.num_edges = edges;
+        config.gen.num_tasks = tasks;
+        config.solver.path.eps = eps;
+        fn = make_ring_batch_case(config);
+      } else {
+        PathBatchConfig config;
+        config.gen.num_edges = edges;
+        config.gen.num_tasks = tasks;
+        config.gen.profile = parse_profile(profile);
+        config.gen.demand = parse_demand(demand);
+        config.solver.eps = eps;
+        fn = make_path_batch_case(config);
+      }
+
+      ThreadPool pool(threads);
+      const BatchReport report = run_batch(options, fn, pool);
+
+      BatchJsonOptions json;
+      json.include_timings = timings;
+      json.include_cases = cases;
+      if (out_path.empty()) {
+        write_batch_json(std::cout, report, json);
+      } else {
+        std::ofstream out(out_path);
+        if (!out) throw std::runtime_error("cannot open " + out_path);
+        write_batch_json(out, report, json);
+      }
+      std::cerr << "batch: " << report.solved << "/" << report.num_instances
+                << " solved on " << report.threads << " threads in "
+                << report.total_seconds << "s\n";
       return 0;
     }
 

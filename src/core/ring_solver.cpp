@@ -5,12 +5,14 @@
 
 #include "src/core/sap_solver.hpp"
 #include "src/knapsack/knapsack.hpp"
+#include "src/util/telemetry.hpp"
 
 namespace sap {
 
 RingSapSolution solve_ring_sap(const RingInstance& inst,
                                const RingSolverParams& params,
                                RingSolveReport* report) {
+  ScopedTimer solve_timer("ring.solve");
   const EdgeId cut = inst.min_capacity_edge();
   const auto m = static_cast<int>(inst.num_edges());
   // Ring edge r maps to path edge (r - cut - 1) mod m in the cut-open path
@@ -51,6 +53,7 @@ RingSapSolution solve_ring_sap(const RingInstance& inst,
   RingSapSolution path_branch;
   Weight path_weight = 0;
   if (!path_tasks.empty()) {
+    ScopedTimer timer("ring.stage.path");
     const PathInstance path(path_caps, path_tasks);
     const SapSolution sol = solve_sap(path, params.path);
     for (const Placement& p : sol.placements) {
@@ -79,17 +82,22 @@ RingSapSolution solve_ring_sap(const RingInstance& inst,
       break;
     }
   }
-  const KnapsackResult picked =
-      knapsack_fptas(items, inst.capacity(cut), params.knapsack_eps);
   RingSapSolution cut_branch;
-  Value stack = 0;
-  for (std::size_t idx : picked.chosen) {
-    cut_branch.placements.push_back(
-        {item_back[idx], stack, item_clockwise[idx]});
-    stack += items[idx].size;
+  {
+    ScopedTimer timer("ring.stage.cut");
+    const KnapsackResult picked =
+        knapsack_fptas(items, inst.capacity(cut), params.knapsack_eps);
+    Value stack = 0;
+    for (std::size_t idx : picked.chosen) {
+      cut_branch.placements.push_back(
+          {item_back[idx], stack, item_clockwise[idx]});
+      stack += items[idx].size;
+    }
   }
   const Weight cut_weight = inst.solution_weight(cut_branch);
 
+  telemetry::count(path_weight >= cut_weight ? "ring.winner.path"
+                                             : "ring.winner.cut");
   if (report != nullptr) {
     report->cut_edge = cut;
     report->path_weight = path_weight;

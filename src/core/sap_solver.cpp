@@ -1,21 +1,45 @@
 #include "src/core/sap_solver.hpp"
 
+#include "src/util/telemetry.hpp"
+
 namespace sap {
 
 SapSolution solve_sap(const PathInstance& inst, const SolverParams& params,
                       SolveReport* report) {
   params.validate();
-  const TaskClasses classes = classify_tasks(inst, params);
+  ScopedTimer solve_timer("sap.solve");
+
+  TaskClasses classes;
+  {
+    ScopedTimer timer("sap.classify");
+    classes = classify_tasks(inst, params);
+  }
+  telemetry::count("sap.tasks.small",
+                   static_cast<std::int64_t>(classes.small.size()));
+  telemetry::count("sap.tasks.medium",
+                   static_cast<std::int64_t>(classes.medium.size()));
+  telemetry::count("sap.tasks.large",
+                   static_cast<std::int64_t>(classes.large.size()));
 
   SmallTasksReport small_report;
   MediumTasksReport medium_report;
   LargeTasksReport large_report;
-  SapSolution small_sol =
-      solve_small_tasks(inst, classes.small, params, &small_report);
-  SapSolution medium_sol =
-      solve_medium_tasks(inst, classes.medium, params, &medium_report);
-  SapSolution large_sol =
-      solve_large_tasks(inst, classes.large, params, &large_report);
+  SapSolution small_sol;
+  SapSolution medium_sol;
+  SapSolution large_sol;
+  {
+    ScopedTimer timer("sap.stage.small");
+    small_sol = solve_small_tasks(inst, classes.small, params, &small_report);
+  }
+  {
+    ScopedTimer timer("sap.stage.medium");
+    medium_sol =
+        solve_medium_tasks(inst, classes.medium, params, &medium_report);
+  }
+  {
+    ScopedTimer timer("sap.stage.large");
+    large_sol = solve_large_tasks(inst, classes.large, params, &large_report);
+  }
 
   const Weight ws = small_sol.weight(inst);
   const Weight wm = medium_sol.weight(inst);
@@ -24,6 +48,17 @@ SapSolution solve_sap(const PathInstance& inst, const SolverParams& params,
   SolverBranch winner = SolverBranch::kSmall;
   if (wm > ws || (wm == ws && wm > 0)) winner = SolverBranch::kMedium;
   if (wl > std::max(ws, wm)) winner = SolverBranch::kLarge;
+  switch (winner) {
+    case SolverBranch::kSmall:
+      telemetry::count("sap.winner.small");
+      break;
+    case SolverBranch::kMedium:
+      telemetry::count("sap.winner.medium");
+      break;
+    case SolverBranch::kLarge:
+      telemetry::count("sap.winner.large");
+      break;
+  }
 
   if (report != nullptr) {
     report->num_small = classes.small.size();

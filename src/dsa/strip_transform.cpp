@@ -6,6 +6,7 @@
 
 #include "src/dsa/skyline.hpp"
 #include "src/model/gravity.hpp"
+#include "src/util/telemetry.hpp"
 
 namespace sap {
 namespace {
@@ -47,6 +48,8 @@ StripTransformResult strip_transform(const PathInstance& inst,
                                      const StripTransformOptions& options) {
   StripTransformResult out;
   if (ufpp.empty()) return out;
+  ScopedTimer timer("dsa.strip_transform");
+  telemetry::count("dsa.strip_transform.calls");
 
   const DsaResult packed = options.use_portfolio
                                ? dsa_pack_portfolio(inst, ufpp.tasks)
@@ -74,6 +77,10 @@ StripTransformResult strip_transform(const PathInstance& inst,
       out.solution = std::move(kept);
       out.kept_weight = out.solution.weight(inst);
       for (TaskId j : dropped) out.dropped_weight += inst.task(j).weight;
+      telemetry::count("dsa.strip_transform.kept",
+                       static_cast<std::int64_t>(out.solution.size()));
+      telemetry::count("dsa.strip_transform.dropped",
+                       static_cast<std::int64_t>(dropped.size()));
       return out;
     }
     std::ranges::sort(dropped, [&](TaskId a, TaskId b) {
@@ -101,6 +108,12 @@ StripTransformResult strip_transform(const PathInstance& inst,
   out.solution = std::move(kept);
   out.kept_weight = out.solution.weight(inst);
   for (TaskId j : dropped) out.dropped_weight += inst.task(j).weight;
+  telemetry::count("dsa.strip_transform.kept",
+                   static_cast<std::int64_t>(out.solution.size()));
+  telemetry::count("dsa.strip_transform.dropped",
+                   static_cast<std::int64_t>(dropped.size()));
+  telemetry::count("dsa.strip_transform.reinserted",
+                   static_cast<std::int64_t>(out.reinserted));
   return out;
 }
 

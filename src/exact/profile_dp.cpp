@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/util/telemetry.hpp"
+
 namespace sap {
 namespace {
 
@@ -144,6 +146,7 @@ struct StarterEnumerator {
 SapExactResult sap_exact_profile_dp(const PathInstance& inst,
                                     std::span<const TaskId> subset,
                                     const SapExactOptions& options) {
+  ScopedTimer timer("dp.solve");
   const auto m = static_cast<EdgeId>(inst.num_edges());
   std::vector<std::vector<TaskId>> starters_at(inst.num_edges());
   for (TaskId j : subset) {
@@ -246,6 +249,13 @@ SapExactResult sap_exact_profile_dp(const PathInstance& inst,
     out.peak_states = std::max(out.peak_states, next.size());
     frontier = std::move(next);
   }
+
+  telemetry::count("dp.runs");
+  telemetry::count("dp.states.peak",
+                   static_cast<std::int64_t>(out.peak_states));
+  telemetry::count("dp.states.expanded",
+                   static_cast<std::int64_t>(arena.size()));
+  if (!out.proven_optimal) telemetry::count("dp.truncated");
 
   std::int32_t best = -1;
   for (std::int32_t sid : frontier) {

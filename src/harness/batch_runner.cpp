@@ -1,0 +1,229 @@
+#include "src/harness/batch_runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "src/core/sap_solver.hpp"
+#include "src/model/verify.hpp"
+
+namespace sap {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// JSON number with non-finite values mapped to null (JSON has no NaN/inf).
+void write_number(std::ostream& os, double value) {
+  if (std::isfinite(value)) {
+    os << value;
+  } else {
+    os << "null";
+  }
+}
+
+/// {"count": c, "mean": m, "p50": ..., "p95": ..., "min": ..., "max": ...}
+/// computed over the finite-ratio sample; nulls when the sample is empty.
+void write_ratio_stats(std::ostream& os, const BatchReport& report) {
+  os << "{\"count\": " << report.ratio.count() << ", \"mean\": ";
+  write_number(os, report.ratio.count() == 0
+                       ? std::numeric_limits<double>::quiet_NaN()
+                       : report.ratio.mean());
+  os << ", \"p50\": ";
+  write_number(os, report.ratio_p50);
+  os << ", \"p95\": ";
+  write_number(os, report.ratio_p95);
+  os << ", \"min\": ";
+  write_number(os, report.ratio.count() == 0
+                       ? std::numeric_limits<double>::quiet_NaN()
+                       : report.ratio.min());
+  os << ", \"max\": ";
+  write_number(os, report.ratio.count() == 0
+                       ? std::numeric_limits<double>::quiet_NaN()
+                       : report.ratio.max());
+  os << ", \"infinite\": " << report.ratio_infinite << "}";
+}
+
+}  // namespace
+
+BatchReport run_batch(const BatchOptions& options, const BatchCaseFn& fn,
+                      ThreadPool& pool) {
+  BatchReport out;
+  out.num_instances = options.num_instances;
+  out.base_seed = options.base_seed;
+  out.threads = pool.thread_count();
+
+  std::vector<BatchCase> cases(options.num_instances);
+  const auto sweep_start = Clock::now();
+  pool.parallel_for(options.num_instances, [&](std::size_t i) {
+    const std::uint64_t seed = batch_case_seed(options.base_seed, i);
+    TelemetryReport collected;
+    const auto case_start = Clock::now();
+    BatchCase c;
+    if (options.collect_telemetry) {
+      TelemetrySession session(&collected);
+      c = fn(i, seed);
+    } else {
+      c = fn(i, seed);
+    }
+    c.seconds = seconds_since(case_start);
+    c.telemetry.merge(collected);
+    cases[i] = std::move(c);
+  });
+  out.total_seconds = seconds_since(sweep_start);
+
+  // Sequential aggregation in instance order: identical across thread counts.
+  std::vector<double> finite_ratios;
+  finite_ratios.reserve(cases.size());
+  for (const BatchCase& c : cases) {
+    out.case_seconds.add(c.seconds);
+    out.telemetry.merge(c.telemetry);
+    if (!c.feasible) continue;
+    ++out.solved;
+    if (c.bound_exact) ++out.bound_exact;
+    if (std::isfinite(c.ratio)) {
+      out.ratio.add(c.ratio);
+      finite_ratios.push_back(c.ratio);
+    } else {
+      ++out.ratio_infinite;
+    }
+  }
+  out.ratio_p50 = percentile(finite_ratios, 50.0);
+  out.ratio_p95 = percentile(finite_ratios, 95.0);
+  if (options.keep_cases) out.cases = std::move(cases);
+  return out;
+}
+
+void write_batch_json(std::ostream& os, const BatchReport& report,
+                      const BatchJsonOptions& options) {
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os.precision(12);
+
+  os << "{\n  \"schema\": \"sapkit-batch-v1\",\n";
+  os << "  \"sweep\": {\n";
+  os << "    \"instances\": " << report.num_instances << ",\n";
+  os << "    \"base_seed\": " << report.base_seed << ",\n";
+  os << "    \"solved\": " << report.solved << ",\n";
+  os << "    \"bound_exact\": " << report.bound_exact << ",\n";
+  os << "    \"ratio\": ";
+  write_ratio_stats(os, report);
+  os << ",\n";
+  os << "    \"telemetry\": ";
+  report.telemetry.write_json(os, /*include_timers=*/false, /*indent=*/4);
+  os << "\n  }";
+
+  if (options.include_timings) {
+    os << ",\n  \"run\": {\n";
+    os << "    \"threads\": " << report.threads << ",\n";
+    os << "    \"total_seconds\": ";
+    write_number(os, report.total_seconds);
+    os << ",\n    \"case_seconds\": {\"mean\": ";
+    write_number(os, report.case_seconds.count() == 0
+                         ? std::numeric_limits<double>::quiet_NaN()
+                         : report.case_seconds.mean());
+    os << ", \"max\": ";
+    write_number(os, report.case_seconds.count() == 0
+                         ? std::numeric_limits<double>::quiet_NaN()
+                         : report.case_seconds.max());
+    os << "},\n";
+    os << "    \"timers\": {";
+    bool first = true;
+    for (const auto& [name, stat] : report.telemetry.timers()) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "      \"" << name << "\": {\"count\": " << stat.count
+         << ", \"seconds\": ";
+      write_number(os, stat.seconds);
+      os << "}";
+    }
+    if (!first) os << "\n    ";
+    os << "}\n  }";
+  }
+
+  if (options.include_cases) {
+    os << ",\n  \"cases\": [";
+    for (std::size_t i = 0; i < report.cases.size(); ++i) {
+      const BatchCase& c = report.cases[i];
+      os << (i == 0 ? "\n" : ",\n");
+      os << "    {\"index\": " << i << ", \"seed\": "
+         << batch_case_seed(report.base_seed, i)
+         << ", \"feasible\": " << (c.feasible ? "true" : "false")
+         << ", \"weight\": " << c.algo_weight << ", \"bound\": ";
+      write_number(os, c.bound);
+      os << ", \"bound_exact\": " << (c.bound_exact ? "true" : "false")
+         << ", \"ratio\": ";
+      write_number(os, c.ratio);
+      if (options.include_timings) {
+        os << ", \"seconds\": ";
+        write_number(os, c.seconds);
+      }
+      os << "}";
+    }
+    if (!report.cases.empty()) os << "\n  ";
+    os << "]";
+  }
+
+  os << "\n}\n";
+  os.flags(flags);
+  os.precision(precision);
+}
+
+BatchCaseFn make_path_batch_case(const PathBatchConfig& config) {
+  return [config](std::size_t /*index*/, std::uint64_t seed) {
+    Rng rng(seed);
+    const PathInstance inst = generate_path_instance(config.gen, rng);
+    SolverParams params = config.solver;
+    params.seed = seed;
+    BatchCase out;
+    SapSolution sol;
+    {
+      ScopedTimer timer("batch.solve");
+      sol = solve_sap(inst, params);
+    }
+    if (!verify_sap(inst, sol)) return out;
+    out.feasible = true;
+    ScopedTimer timer("batch.bound");
+    const RatioMeasurement m = measure_ratio(inst, sol, config.bound);
+    out.algo_weight = m.algo_weight;
+    out.bound = m.bound;
+    out.bound_exact = m.bound_exact;
+    out.ratio = m.ratio;
+    return out;
+  };
+}
+
+BatchCaseFn make_ring_batch_case(const RingBatchConfig& config) {
+  return [config](std::size_t /*index*/, std::uint64_t seed) {
+    Rng rng(seed);
+    const RingInstance ring = generate_ring_instance(config.gen, rng);
+    RingSolverParams params = config.solver;
+    params.path.seed = seed;
+    BatchCase out;
+    RingSapSolution sol;
+    {
+      ScopedTimer timer("batch.solve");
+      sol = solve_ring_sap(ring, params);
+    }
+    if (!verify_ring_sap(ring, sol)) return out;
+    out.feasible = true;
+    if (config.compute_bound) {
+      ScopedTimer timer("batch.bound");
+      const RatioMeasurement m = measure_ring_ratio(ring, sol);
+      out.algo_weight = m.algo_weight;
+      out.bound = m.bound;
+      out.bound_exact = m.bound_exact;
+      out.ratio = m.ratio;
+    } else {
+      out.algo_weight = ring.solution_weight(sol);
+      out.ratio = std::numeric_limits<double>::quiet_NaN();
+    }
+    return out;
+  };
+}
+
+}  // namespace sap

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "src/lp/simplex.hpp"
 #include "src/lp/ufpp_lp.hpp"
 
 namespace sap {
@@ -29,6 +30,58 @@ RatioMeasurement measure_ratio(const PathInstance& inst,
   if (out.algo_weight > 0) {
     out.ratio = bound.value / static_cast<double>(out.algo_weight);
   } else if (bound.value <= 1e-9) {
+    out.ratio = 1.0;
+  } else {
+    out.ratio = std::numeric_limits<double>::infinity();
+  }
+  return out;
+}
+
+double ring_lp_upper_bound(const RingInstance& inst) {
+  const std::size_t n = inst.num_tasks();
+  LpProblem lp;
+  lp.objective.resize(2 * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    lp.objective[2 * j] =
+        static_cast<double>(inst.task(static_cast<TaskId>(j)).weight);
+    lp.objective[2 * j + 1] = lp.objective[2 * j];
+  }
+  // Edge capacity rows.
+  for (std::size_t e = 0; e < inst.num_edges(); ++e) {
+    LpConstraint row;
+    row.coeffs.assign(2 * n, 0.0);
+    row.rhs = static_cast<double>(inst.capacity(static_cast<EdgeId>(e)));
+    lp.constraints.push_back(std::move(row));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto id = static_cast<TaskId>(j);
+    for (int dir = 0; dir < 2; ++dir) {
+      for (EdgeId e : inst.route_edges(id, dir == 0)) {
+        lp.constraints[static_cast<std::size_t>(e)]
+            .coeffs[2 * j + static_cast<std::size_t>(dir)] =
+            static_cast<double>(inst.task(id).demand);
+      }
+    }
+    // x_cw + x_ccw <= 1.
+    LpConstraint box;
+    box.coeffs.assign(2 * n, 0.0);
+    box.coeffs[2 * j] = 1.0;
+    box.coeffs[2 * j + 1] = 1.0;
+    box.rhs = 1.0;
+    lp.constraints.push_back(std::move(box));
+  }
+  return solve_lp(lp).objective;
+}
+
+RatioMeasurement measure_ring_ratio(const RingInstance& inst,
+                                    const RingSapSolution& sol) {
+  RatioMeasurement out;
+  out.algo_weight = inst.solution_weight(sol);
+  out.bound = ring_lp_upper_bound(inst);
+  out.bound_exact = false;
+  if (out.algo_weight > 0) {
+    out.ratio = out.bound / static_cast<double>(out.algo_weight);
+  } else if (out.bound <= 1e-9) {
     out.ratio = 1.0;
   } else {
     out.ratio = std::numeric_limits<double>::infinity();

@@ -5,6 +5,7 @@
 
 #include "src/exact/profile_dp.hpp"
 #include "src/model/path_instance.hpp"
+#include "src/model/ring_instance.hpp"
 #include "src/model/solution.hpp"
 
 namespace sap {
@@ -42,5 +43,14 @@ struct RatioMeasurement {
 [[nodiscard]] RatioMeasurement measure_ratio(
     const PathInstance& inst, const SapSolution& sol,
     const OptBoundOptions& options = {});
+
+/// LP upper bound for ring UFPP (hence ring SAP): per task, fractional
+/// weights on both orientations, edge capacity rows, x_cw + x_ccw <= 1.
+/// Measured ring ratios therefore include the LP integrality gap on top of
+/// the algorithm's loss.
+[[nodiscard]] double ring_lp_upper_bound(const RingInstance& inst);
+
+[[nodiscard]] RatioMeasurement measure_ring_ratio(const RingInstance& inst,
+                                                  const RingSapSolution& sol);
 
 }  // namespace sap

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/util/telemetry.hpp"
+
 namespace sap {
 namespace {
 
@@ -16,6 +18,7 @@ struct Tableau {
   std::vector<double> cost;    // reduced-cost row (minimization)
   double cost_rhs = 0.0;       // negated objective value so far
   std::vector<std::size_t> basis;  // m entries, column of basic var per row
+  std::size_t iterations = 0;      // pivots taken across both phases
 
   void pivot(std::size_t row, std::size_t col) {
     const double pivot_value = a(row, col);
@@ -76,14 +79,27 @@ struct Tableau {
       }
       if (leave == a.rows()) return LpStatus::kUnbounded;
       pivot(leave, enter);
+      ++iterations;
     }
     return LpStatus::kIterationLimit;
+  }
+};
+
+/// Reports pivot counts on every exit path of solve_lp (including error
+/// returns), so "lp.iterations" matches the work actually done.
+struct PivotTelemetry {
+  const Tableau& tableau;
+  ~PivotTelemetry() {
+    telemetry::count("lp.solves");
+    telemetry::count("lp.iterations",
+                     static_cast<std::int64_t>(tableau.iterations));
   }
 };
 
 }  // namespace
 
 LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
+  ScopedTimer timer("lp.solve");
   const std::size_t n = problem.num_vars();
   const std::size_t m = problem.constraints.size();
   if (max_iterations == 0) max_iterations = 200 * (n + m + 16);
@@ -111,6 +127,7 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
 
   const std::size_t total = n + m + num_artificial;
   Tableau t;
+  const PivotTelemetry pivot_telemetry{t};
   t.a = DenseMatrix(m, total);
   t.rhs.assign(m, 0.0);
   t.basis.assign(m, 0);

@@ -10,6 +10,7 @@
 #include "src/ufpp/lp_rounding.hpp"
 #include "src/ufpp/strip_local_ratio.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/telemetry.hpp"
 
 namespace sap {
 namespace {
@@ -136,16 +137,34 @@ UfppSolution solve_ufpp_approx(const PathInstance& inst,
                                const SolverParams& params,
                                UfppSolveReport* report) {
   params.validate();
+  ScopedTimer solve_timer("ufpp.solve");
   const TaskClasses classes = classify_tasks(inst, params);
+  telemetry::count("ufpp.tasks.small",
+                   static_cast<std::int64_t>(classes.small.size()));
+  telemetry::count("ufpp.tasks.medium",
+                   static_cast<std::int64_t>(classes.medium.size()));
+  telemetry::count("ufpp.tasks.large",
+                   static_cast<std::int64_t>(classes.large.size()));
 
-  const UfppSolution small = solve_small_ufpp(inst, classes.small, params);
-  const UfppSolution medium =
-      solve_medium_ufpp(inst, classes.medium, params);
-  const std::vector<TaskRect> rects = task_rectangles(inst, classes.large);
-  const RectMwisResult mwis = rectangle_mwis(rects, {params.large_max_nodes});
+  UfppSolution small;
+  UfppSolution medium;
   UfppSolution large;
-  for (std::size_t idx : mwis.chosen) {
-    large.tasks.push_back(rects[idx].task);
+  {
+    ScopedTimer timer("ufpp.stage.small");
+    small = solve_small_ufpp(inst, classes.small, params);
+  }
+  {
+    ScopedTimer timer("ufpp.stage.medium");
+    medium = solve_medium_ufpp(inst, classes.medium, params);
+  }
+  {
+    ScopedTimer timer("ufpp.stage.large");
+    const std::vector<TaskRect> rects = task_rectangles(inst, classes.large);
+    const RectMwisResult mwis =
+        rectangle_mwis(rects, {params.large_max_nodes});
+    for (std::size_t idx : mwis.chosen) {
+      large.tasks.push_back(rects[idx].task);
+    }
   }
 
   const Weight ws = small.weight(inst);

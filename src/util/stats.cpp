@@ -37,4 +37,15 @@ void Summary::merge(const Summary& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::ranges::sort(values);
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
 }  // namespace sap

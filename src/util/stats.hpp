@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstddef>
 #include <limits>
+#include <vector>
 
 namespace sap {
 
@@ -29,5 +30,10 @@ class Summary {
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
+
+/// p-th percentile of `values` (p in [0, 100]) by linear interpolation
+/// between order statistics; NaN on an empty sample. Sorts a copy, so the
+/// caller's order (e.g. the batch harness's instance order) is untouched.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
 
 }  // namespace sap

@@ -1,0 +1,186 @@
+// Unit tests for src/util/telemetry: per-solve scoping, nesting, isolation
+// of concurrent collection, the disabled fast path, and JSON output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/core/sap_solver.hpp"
+#include "src/gen/generators.hpp"
+#include "src/util/telemetry.hpp"
+
+namespace sap {
+namespace {
+
+TEST(TelemetryReportTest, CountersAccumulate) {
+  TelemetryReport report;
+  report.add_count("a", 2);
+  report.add_count("a", 3);
+  report.add_count("b", 1);
+  EXPECT_EQ(report.count("a"), 5);
+  EXPECT_EQ(report.count("b"), 1);
+  EXPECT_EQ(report.count("never"), 0);
+}
+
+TEST(TelemetryReportTest, TimersAccumulate) {
+  TelemetryReport report;
+  report.add_time("t", 1, 0.5);
+  report.add_time("t", 2, 0.25);
+  EXPECT_EQ(report.timer("t").count, 3);
+  EXPECT_DOUBLE_EQ(report.timer("t").seconds, 0.75);
+  EXPECT_EQ(report.timer("never").count, 0);
+}
+
+TEST(TelemetryReportTest, MergeAddsEverything) {
+  TelemetryReport a;
+  a.add_count("x", 1);
+  a.add_time("t", 1, 1.0);
+  TelemetryReport b;
+  b.add_count("x", 2);
+  b.add_count("y", 7);
+  b.add_time("t", 1, 0.5);
+  a.merge(b);
+  EXPECT_EQ(a.count("x"), 3);
+  EXPECT_EQ(a.count("y"), 7);
+  EXPECT_EQ(a.timer("t").count, 2);
+  EXPECT_DOUBLE_EQ(a.timer("t").seconds, 1.5);
+}
+
+TEST(TelemetryReportTest, JsonCountersOnlyModeOmitsTimers) {
+  TelemetryReport report;
+  report.add_count("n", 4);
+  report.add_time("t", 1, 0.5);
+  std::ostringstream with_timers;
+  report.write_json(with_timers, /*include_timers=*/true);
+  std::ostringstream counters_only;
+  report.write_json(counters_only, /*include_timers=*/false);
+  EXPECT_NE(with_timers.str().find("\"timers\""), std::string::npos);
+  EXPECT_EQ(counters_only.str().find("\"timers\""), std::string::npos);
+  EXPECT_NE(counters_only.str().find("\"n\": 4"), std::string::npos);
+}
+
+TEST(TelemetrySessionTest, DisabledPathRecordsNothing) {
+  ASSERT_FALSE(telemetry::enabled());
+  telemetry::count("ghost", 42);
+  { ScopedTimer timer("ghost.timer"); }
+  // Installing a session afterwards must start from a clean slate: nothing
+  // recorded above leaks into it.
+  TelemetryReport report;
+  {
+    TelemetrySession session(&report);
+    EXPECT_TRUE(telemetry::enabled());
+  }
+  EXPECT_TRUE(report.empty());
+  EXPECT_FALSE(telemetry::enabled());
+}
+
+TEST(TelemetrySessionTest, CountsScopedToActiveSession) {
+  TelemetryReport first;
+  TelemetryReport second;
+  {
+    TelemetrySession session(&first);
+    telemetry::count("hits");
+  }
+  {
+    TelemetrySession session(&second);
+    telemetry::count("hits", 2);
+  }
+  telemetry::count("hits", 100);  // no session: dropped
+  EXPECT_EQ(first.count("hits"), 1);
+  EXPECT_EQ(second.count("hits"), 2);
+}
+
+TEST(TelemetrySessionTest, NestedSessionsShadowAndRestore) {
+  TelemetryReport outer;
+  TelemetryReport inner;
+  TelemetrySession outer_session(&outer);
+  telemetry::count("n");
+  {
+    TelemetrySession inner_session(&inner);
+    telemetry::count("n", 10);
+  }
+  telemetry::count("n");
+  EXPECT_EQ(outer.count("n"), 2);
+  EXPECT_EQ(inner.count("n"), 10);
+}
+
+TEST(TelemetrySessionTest, ScopedTimerChargesCapturedSink) {
+  TelemetryReport report;
+  {
+    TelemetrySession session(&report);
+    for (int i = 0; i < 3; ++i) {
+      ScopedTimer timer("loop");
+    }
+  }
+  EXPECT_EQ(report.timer("loop").count, 3);
+  EXPECT_GE(report.timer("loop").seconds, 0.0);
+}
+
+TEST(TelemetrySolveTest, PerSolveReportsAreDisjoint) {
+  PathGenOptions opt;
+  opt.num_edges = 6;
+  opt.num_tasks = 8;
+  opt.max_capacity = 12;
+  Rng rng(19);
+  const PathInstance a = generate_path_instance(opt, rng);
+  const PathInstance b = generate_path_instance(opt, rng);
+
+  TelemetryReport ra;
+  TelemetryReport rb;
+  {
+    TelemetrySession session(&ra);
+    (void)solve_sap(a);
+  }
+  {
+    TelemetrySession session(&rb);
+    (void)solve_sap(b);
+  }
+  for (const TelemetryReport* r : {&ra, &rb}) {
+    EXPECT_EQ(r->timer("sap.solve").count, 1);
+    EXPECT_EQ(r->count("sap.winner.small") + r->count("sap.winner.medium") +
+                  r->count("sap.winner.large"),
+              1);
+  }
+  EXPECT_EQ(ra.count("sap.tasks.small") + ra.count("sap.tasks.medium") +
+                ra.count("sap.tasks.large"),
+            static_cast<std::int64_t>(a.num_tasks()));
+}
+
+TEST(TelemetrySolveTest, ConcurrentSolvesDoNotBleed) {
+  // Each thread installs its own session and solves its own instance; every
+  // report must describe exactly one solve of the right size.
+  constexpr int kThreads = 4;
+  std::vector<TelemetryReport> reports(kThreads);
+  std::vector<PathInstance> instances;
+  for (int i = 0; i < kThreads; ++i) {
+    PathGenOptions opt;
+    opt.num_edges = 6;
+    opt.num_tasks = static_cast<std::size_t>(6 + 2 * i);
+    opt.max_capacity = 12;
+    Rng rng(100 + static_cast<std::uint64_t>(i));
+    instances.push_back(generate_path_instance(opt, rng));
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        TelemetrySession session(&reports[static_cast<std::size_t>(i)]);
+        (void)solve_sap(instances[static_cast<std::size_t>(i)]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    const TelemetryReport& r = reports[static_cast<std::size_t>(i)];
+    EXPECT_EQ(r.timer("sap.solve").count, 3) << "thread " << i;
+    EXPECT_EQ(r.count("sap.tasks.small") + r.count("sap.tasks.medium") +
+                  r.count("sap.tasks.large"),
+              static_cast<std::int64_t>(
+                  3 * instances[static_cast<std::size_t>(i)].num_tasks()))
+        << "thread " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sap

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/util/rmq.hpp"
@@ -142,6 +143,66 @@ TEST(ThreadPoolTest, PropagatesExceptions) {
 TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsWhenManyThrow) {
+  // Many iterations throw concurrently; exactly one of their exceptions must
+  // propagate intact (first to be recorded wins, later ones are dropped),
+  // and every iteration still runs — no early abort leaves work undone.
+  ThreadPool pool(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::atomic<int> ran{0};
+    try {
+      pool.parallel_for(64, [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i % 9 == 3) throw std::runtime_error("boom@" + std::to_string(i));
+      });
+      FAIL() << "parallel_for did not throw";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      ASSERT_EQ(what.rfind("boom@", 0), 0u) << what;
+      const std::size_t i = std::stoul(what.substr(5));
+      EXPECT_EQ(i % 9, 3u) << what;
+    }
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAfterThrow) {
+  // A throwing sweep must leave the pool in a clean state: subsequent
+  // parallel_for calls run every iteration exactly once, repeatedly.
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(pool.parallel_for(32,
+                                   [](std::size_t i) {
+                                     if (i == 5) throw std::logic_error("x");
+                                   }),
+                 std::logic_error);
+    std::vector<std::atomic<int>> hits(200);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, StressManySmallSweeps) {
+  // Back-to-back sweeps of varying size exercise the wake/sleep handshake;
+  // a lost wakeup or double-claimed index shows up as a wrong sum.
+  ThreadPool pool(8);
+  for (std::size_t n = 1; n <= 128; ++n) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(n, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    ASSERT_EQ(sum.load(), n * (n + 1) / 2) << "sweep of size " << n;
+  }
+}
+
+TEST(PercentileTest, MatchesLinearInterpolation) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 95.0), 7.5);
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
 }
 
 }  // namespace
