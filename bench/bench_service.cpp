@@ -1,0 +1,218 @@
+// Service-level load benchmark: an in-process sapd server driven closed-loop
+// by N concurrent clients over loopback TCP, reporting achieved QPS and
+// client-observed latency percentiles.
+//
+// The instance pool uses the same generator configuration as
+// bench_full_solver's E6 sweep (12 edges, capacities 8..48, mixed demand,
+// all five capacity profiles, n in {12, 24, 48}), so service-level numbers
+// are directly comparable with the in-process batch harness: the delta is
+// the cost of framing + admission + scheduling, not different workloads.
+//
+// Usage: bench_service [--clients C] [--requests N] [--threads T]
+//                      [--out FILE.json]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/gen/generators.hpp"
+#include "src/harness/batch_runner.hpp"
+#include "src/harness/table.hpp"
+#include "src/io/instance_io.hpp"
+#include "src/service/client.hpp"
+#include "src/service/server.hpp"
+#include "src/util/stats.hpp"
+
+using namespace sap;
+
+namespace {
+
+struct PooledInstance {
+  std::string name;
+  std::string text;
+  std::uint64_t seed;
+};
+
+/// The E6 generator grid of bench_full_solver, 2 instances per cell.
+std::vector<PooledInstance> build_instance_pool() {
+  const std::pair<CapacityProfile, const char*> profiles[] = {
+      {CapacityProfile::kUniform, "uniform"},
+      {CapacityProfile::kValley, "valley"},
+      {CapacityProfile::kMountain, "mountain"},
+      {CapacityProfile::kStaircase, "staircase"},
+      {CapacityProfile::kRandomWalk, "walk"},
+  };
+  std::vector<PooledInstance> pool;
+  for (const auto& [profile, profile_name] : profiles) {
+    for (const std::size_t n : {12u, 24u, 48u}) {
+      for (std::size_t i = 0; i < 2; ++i) {
+        const std::uint64_t seed = batch_case_seed(5000 + n, i);
+        Rng rng(seed);
+        PathGenOptions gen;
+        gen.num_edges = 12;
+        gen.num_tasks = n;
+        gen.profile = profile;
+        gen.min_capacity = 8;
+        gen.max_capacity = 48;
+        gen.demand = DemandClass::kMixed;
+        PooledInstance entry;
+        entry.name = std::string(profile_name) + "/n" + std::to_string(n);
+        entry.text = to_string(generate_path_instance(gen, rng));
+        entry.seed = seed;
+        pool.push_back(std::move(entry));
+      }
+    }
+  }
+  return pool;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t clients = 8;
+  std::size_t requests_per_client = 40;
+  std::size_t threads = 0;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--clients") {
+      clients = std::stoull(next());
+    } else if (arg == "--requests") {
+      requests_per_client = std::stoull(next());
+    } else if (arg == "--threads") {
+      threads = std::stoull(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--clients C] [--requests N] "
+                   "[--threads T] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  std::printf("== sapd service load benchmark (closed loop) ==\n");
+  const std::vector<PooledInstance> pool = build_instance_pool();
+  std::printf("instance pool: %zu instances (E6 grid), %zu clients x %zu "
+              "requests\n\n",
+              pool.size(), clients, requests_per_client);
+
+  service::ServerOptions options;
+  options.solver_threads = threads;
+  options.max_queue = 256;
+  service::Server server(std::move(options));
+  server.start();
+
+  std::vector<std::vector<double>> per_client_ms(clients);
+  std::vector<std::size_t> per_client_errors(clients, 0);
+  const auto bench_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        service::Client client;
+        client.connect("127.0.0.1", server.port());
+        per_client_ms[c].reserve(requests_per_client);
+        for (std::size_t r = 0; r < requests_per_client; ++r) {
+          const PooledInstance& inst =
+              pool[(c * requests_per_client + r) % pool.size()];
+          service::SolveRequest request;
+          request.eps = 0.5;
+          request.seed = inst.seed;
+          request.instance_text = inst.text;
+          const auto t0 = std::chrono::steady_clock::now();
+          const service::Client::SolveOutcome outcome =
+              client.solve(request);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (outcome.ok) {
+            per_client_ms[c].push_back(
+                1e3 * std::chrono::duration<double>(t1 - t0).count());
+          } else {
+            ++per_client_errors[c];
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+
+  std::vector<double> all_ms;
+  std::size_t errors = 0;
+  Summary latency;
+  for (std::size_t c = 0; c < clients; ++c) {
+    for (const double ms : per_client_ms[c]) {
+      all_ms.push_back(ms);
+      latency.add(ms);
+    }
+    errors += per_client_errors[c];
+  }
+  const std::size_t total = clients * requests_per_client;
+  const double qps =
+      static_cast<double>(total - errors) / std::max(wall_seconds, 1e-9);
+  const double p50 = percentile(all_ms, 50.0);
+  const double p95 = percentile(all_ms, 95.0);
+  const double p99 = percentile(all_ms, 99.0);
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"requests ok", std::to_string(total - errors)});
+  table.add_row({"requests failed", std::to_string(errors)});
+  table.add_row({"wall seconds", fmt(wall_seconds, 2)});
+  table.add_row({"achieved QPS", fmt(qps, 1)});
+  table.add_row({"latency p50 ms", fmt(p50, 2)});
+  table.add_row({"latency p95 ms", fmt(p95, 2)});
+  table.add_row({"latency p99 ms", fmt(p99, 2)});
+  table.add_row({"latency max ms", fmt(latency.max(), 2)});
+  table.print(std::cout);
+
+  const service::ServerStats stats = server.stats_snapshot();
+  std::printf("\nserver side: ok=%llu bad=%llu overloaded=%llu "
+              "connections=%llu\n",
+              static_cast<unsigned long long>(stats.requests_ok),
+              static_cast<unsigned long long>(stats.requests_bad),
+              static_cast<unsigned long long>(stats.requests_overloaded),
+              static_cast<unsigned long long>(stats.connections_accepted));
+  server.stop();
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\n";
+    out << "  \"schema\": \"sapkit-bench-service-v1\",\n";
+    out << "  \"config\": {\n";
+    out << "    \"clients\": " << clients << ",\n";
+    out << "    \"requests_per_client\": " << requests_per_client << ",\n";
+    out << "    \"instance_pool\": " << pool.size() << ",\n";
+    out << "    \"generator\": \"bench_full_solver E6 grid (12 edges, caps "
+           "8..48, mixed demand, 5 profiles, n in {12,24,48})\"\n";
+    out << "  },\n";
+    out << "  \"results\": {\n";
+    out << "    \"requests_ok\": " << (total - errors) << ",\n";
+    out << "    \"requests_failed\": " << errors << ",\n";
+    out << "    \"wall_seconds\": " << wall_seconds << ",\n";
+    out << "    \"qps\": " << qps << ",\n";
+    out << "    \"latency_ms\": {\"p50\": " << p50 << ", \"p95\": " << p95
+        << ", \"p99\": " << p99 << ", \"max\": " << latency.max() << "}\n";
+    out << "  }\n";
+    out << "}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return errors == 0 ? 0 : 1;
+}

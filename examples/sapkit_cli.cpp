@@ -1,6 +1,7 @@
 // Command-line front end: read an instance (file or stdin), solve it with a
-// chosen algorithm, optionally verify and print the solution — or run a
-// parallel generator sweep and emit a JSON batch report.
+// chosen algorithm, optionally verify and print the solution — run a
+// parallel generator sweep and emit a JSON batch report — or run / talk to
+// the sapd solver service.
 //
 // Usage:
 //   sapkit_cli solve   [--algo full|uniform|small|medium|large] [--eps X]
@@ -11,15 +12,23 @@
 //   sapkit_cli batch   [--count N] [--seed S] [--threads T] [--edges M]
 //                      [--tasks N] [--profile P] [--demand D] [--eps X]
 //                      [--ring] [--no-timings] [--cases] [--out FILE]
+//   sapkit_cli serve   [--host H] [--port P] [--threads T] [--queue Q]
+//   sapkit_cli request [--host H] [--port P] [--stats] [--ring]
+//                      [--algo A] [--eps X] [--seed N] [file]
+//
+// Exit codes: 0 success, 1 runtime failure (unreadable file, infeasible
+// output, connection refused, typed server rejection), 2 usage error
+// (unknown subcommand, unknown flag, missing or malformed flag value).
 //
 // Instances use the sap-path v1 text format (see src/io/instance_io.hpp).
-// Batch reports use the sapkit-batch-v1 JSON schema (see docs/ALGORITHMS.md);
-// with --no-timings the report is byte-identical for the same --seed
-// regardless of --threads.
+// Batch reports use the sapkit-batch-v1 JSON schema (see docs/ALGORITHMS.md).
+// The service protocol is specified in docs/SERVICE.md.
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <numeric>
+#include <sstream>
 
 #include "src/core/sap_solver.hpp"
 #include "src/exact/profile_dp.hpp"
@@ -29,20 +38,36 @@
 #include "src/lp/ufpp_lp.hpp"
 #include "src/model/verify.hpp"
 #include "src/sapu/sapu_solver.hpp"
+#include "src/service/client.hpp"
+#include "src/service/server.hpp"
 
 namespace {
 
 using namespace sap;
 
-int usage() {
-  std::cerr
-      << "usage: sapkit_cli solve|exact|bound|gen|batch [options] [file]\n"
-         "  solve --algo full|uniform|small|medium|large --eps X\n"
-         "  gen   --edges M --tasks N --seed S\n"
-         "  batch --count N --seed S --threads T --edges M --tasks N\n"
-         "        --profile uniform|valley|mountain|staircase|walk\n"
-         "        --demand small|medium|large|mixed --eps X\n"
-         "        [--ring] [--no-timings] [--cases] [--out FILE]\n";
+/// Flag/subcommand problems: print usage, exit 2 (vs. 1 for runtime
+/// failures like unreadable files or refused connections).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: sapkit_cli "
+        "solve|exact|bound|gen|batch|serve|request [options] [file]\n"
+        "  solve   --algo full|uniform|small|medium|large --eps X --seed N\n"
+        "  gen     --edges M --tasks N --seed S\n"
+        "  batch   --count N --seed S --threads T --edges M --tasks N\n"
+        "          --profile uniform|valley|mountain|staircase|walk\n"
+        "          --demand small|medium|large|mixed --eps X\n"
+        "          [--ring] [--no-timings] [--cases] [--out FILE]\n"
+        "  serve   --host H --port P --threads T --queue Q\n"
+        "  request --host H --port P [--stats] [--ring] --algo A --eps X\n"
+        "          --seed N [file]\n";
+}
+
+int usage_error(const std::string& message) {
+  if (!message.empty()) std::cerr << "error: " << message << "\n";
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -51,6 +76,20 @@ PathInstance load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   return read_path_instance(in);
+}
+
+/// Raw text of an instance file; `request` ships it to the server without
+/// parsing so the service-side hardening is what validates it.
+std::string load_text(const std::string& path) {
+  std::ostringstream buffer;
+  if (path.empty() || path == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    buffer << in.rdbuf();
+  }
+  return buffer.str();
 }
 
 std::vector<TaskId> all_ids(const PathInstance& inst) {
@@ -65,7 +104,7 @@ CapacityProfile parse_profile(const std::string& name) {
   if (name == "mountain") return CapacityProfile::kMountain;
   if (name == "staircase") return CapacityProfile::kStaircase;
   if (name == "walk") return CapacityProfile::kRandomWalk;
-  throw std::runtime_error("unknown capacity profile: " + name);
+  throw UsageError("unknown capacity profile: " + name);
 }
 
 DemandClass parse_demand(const std::string& name) {
@@ -73,15 +112,12 @@ DemandClass parse_demand(const std::string& name) {
   if (name == "medium") return DemandClass::kMedium;
   if (name == "large") return DemandClass::kLarge;
   if (name == "mixed") return DemandClass::kMixed;
-  throw std::runtime_error("unknown demand class: " + name);
+  throw UsageError("unknown demand class: " + name);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-
+/// Every flag any subcommand accepts; per-subcommand validation happens at
+/// dispatch (an unknown flag is always a usage error).
+struct Options {
   std::string algo = "full";
   double eps = 0.5;
   std::uint64_t seed = 1;
@@ -89,151 +125,266 @@ int main(int argc, char** argv) {
   std::size_t tasks = 24;
   std::size_t count = 100;
   std::size_t threads = 0;
+  std::size_t queue = 64;
   std::string profile = "uniform";
   std::string demand = "mixed";
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7464;  // "SAP" on a phone keypad, sort of
   bool ring = false;
   bool timings = true;
   bool cases = false;
+  bool stats = false;
   std::string out_path;
   std::string file;
-  try {
-    for (int i = 2; i < argc; ++i) {
-      const std::string arg = argv[i];
-      auto next = [&]() -> std::string {
-        if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
-        return argv[++i];
-      };
-      if (arg == "--algo") {
-        algo = next();
-      } else if (arg == "--eps") {
-        eps = std::stod(next());
-      } else if (arg == "--seed") {
-        seed = std::stoull(next());
-      } else if (arg == "--edges") {
-        edges = std::stoull(next());
-      } else if (arg == "--tasks") {
-        tasks = std::stoull(next());
-      } else if (arg == "--count") {
-        count = std::stoull(next());
-      } else if (arg == "--threads") {
-        threads = std::stoull(next());
-      } else if (arg == "--profile") {
-        profile = next();
-      } else if (arg == "--demand") {
-        demand = next();
-      } else if (arg == "--ring") {
-        ring = true;
-      } else if (arg == "--no-timings") {
-        timings = false;
-      } else if (arg == "--cases") {
-        cases = true;
-      } else if (arg == "--out") {
-        out_path = next();
-      } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-        return usage();
-      } else {
-        file = arg;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
+      return argv[++i];
+    };
+    auto next_u64 = [&]() -> std::uint64_t {
+      const std::string value = next();
+      try {
+        std::size_t used = 0;
+        const std::uint64_t parsed = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+      } catch (const std::exception&) {
+        throw UsageError("bad value '" + value + "' for " + arg);
       }
+    };
+    auto next_f64 = [&]() -> double {
+      const std::string value = next();
+      try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+      } catch (const std::exception&) {
+        throw UsageError("bad value '" + value + "' for " + arg);
+      }
+    };
+    if (arg == "--algo") {
+      opt.algo = next();
+    } else if (arg == "--eps") {
+      opt.eps = next_f64();
+    } else if (arg == "--seed") {
+      opt.seed = next_u64();
+    } else if (arg == "--edges") {
+      opt.edges = next_u64();
+    } else if (arg == "--tasks") {
+      opt.tasks = next_u64();
+    } else if (arg == "--count") {
+      opt.count = next_u64();
+    } else if (arg == "--threads") {
+      opt.threads = next_u64();
+    } else if (arg == "--queue") {
+      opt.queue = next_u64();
+    } else if (arg == "--profile") {
+      opt.profile = next();
+    } else if (arg == "--demand") {
+      opt.demand = next();
+    } else if (arg == "--host") {
+      opt.host = next();
+    } else if (arg == "--port") {
+      const std::uint64_t port = next_u64();
+      if (port > 65535) throw UsageError("port out of range: " + arg);
+      opt.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--ring") {
+      opt.ring = true;
+    } else if (arg == "--no-timings") {
+      opt.timings = false;
+    } else if (arg == "--cases") {
+      opt.cases = true;
+    } else if (arg == "--stats") {
+      opt.stats = true;
+    } else if (arg == "--out") {
+      opt.out_path = next();
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      throw UsageError("unknown flag: " + arg);
+    } else {
+      opt.file = arg;
     }
-  } catch (const std::exception& error) {
-    std::cerr << "error: " << error.what() << "\n";
-    return 1;
+  }
+  return opt;
+}
+
+int run_serve(const Options& opt) {
+  // Block the shutdown signals before spawning any server thread so every
+  // thread inherits the mask and sigwait below is the only consumer.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  service::ServerOptions options;
+  options.bind_address = opt.host;
+  options.port = opt.port;
+  options.solver_threads = opt.threads;
+  options.max_queue = opt.queue;
+  service::Server server(std::move(options));
+  server.start();
+  std::cout << "sapd listening on " << opt.host << ":" << server.port()
+            << std::endl;  // flushed: callers parse this line
+
+  int signal_number = 0;
+  sigwait(&set, &signal_number);
+  std::cerr << "sapd: received "
+            << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+            << ", draining\n";
+  server.stop();
+
+  const service::ServerStats stats = server.stats_snapshot();
+  std::cerr << "sapd: served " << stats.requests_ok << " solves ("
+            << stats.requests_bad << " bad, " << stats.requests_overloaded
+            << " overloaded) over " << stats.connections_accepted
+            << " connections in " << stats.uptime_seconds << "s\n";
+  return 0;
+}
+
+int run_request(const Options& opt) {
+  service::Client client;
+  client.connect(opt.host, opt.port);
+
+  if (opt.stats) {
+    std::cout << client.stats_json();
+    return 0;
   }
 
-  try {
-    if (command == "gen") {
-      Rng rng(seed);
-      PathGenOptions opt;
-      opt.num_edges = edges;
-      opt.num_tasks = tasks;
-      write_path_instance(std::cout, generate_path_instance(opt, rng));
-      return 0;
-    }
+  service::SolveRequest request;
+  request.kind = opt.ring ? service::SolveRequest::Kind::kRing
+                          : service::SolveRequest::Kind::kPath;
+  request.algo = opt.algo;
+  request.eps = opt.eps;
+  request.seed = opt.seed;
+  request.instance_text = load_text(opt.file);
 
-    if (command == "batch") {
-      BatchOptions options;
-      options.num_instances = count;
-      options.base_seed = seed;
-      options.keep_cases = cases;
+  const service::Client::SolveOutcome outcome = client.solve(request);
+  if (!outcome.ok) {
+    std::cerr << "error: " << service::error_code_name(outcome.error_code)
+              << ": " << outcome.error_message << "\n";
+    return 1;
+  }
+  std::cerr << "weight " << outcome.response.weight << " ("
+            << outcome.response.placed << "/" << outcome.response.total_tasks
+            << " tasks) in " << outcome.response.wall_micros
+            << "us server wall time\n";
+  std::cout << outcome.response.solution_text;
+  return 0;
+}
 
-      BatchCaseFn fn;
-      if (ring) {
-        RingBatchConfig config;
-        config.gen.num_edges = edges;
-        config.gen.num_tasks = tasks;
-        config.solver.path.eps = eps;
-        fn = make_ring_batch_case(config);
-      } else {
-        PathBatchConfig config;
-        config.gen.num_edges = edges;
-        config.gen.num_tasks = tasks;
-        config.gen.profile = parse_profile(profile);
-        config.gen.demand = parse_demand(demand);
-        config.solver.eps = eps;
-        fn = make_path_batch_case(config);
-      }
-
-      ThreadPool pool(threads);
-      const BatchReport report = run_batch(options, fn, pool);
-
-      BatchJsonOptions json;
-      json.include_timings = timings;
-      json.include_cases = cases;
-      if (out_path.empty()) {
-        write_batch_json(std::cout, report, json);
-      } else {
-        std::ofstream out(out_path);
-        if (!out) throw std::runtime_error("cannot open " + out_path);
-        write_batch_json(out, report, json);
-      }
-      std::cerr << "batch: " << report.solved << "/" << report.num_instances
-                << " solved on " << report.threads << " threads in "
-                << report.total_seconds << "s\n";
-      return 0;
-    }
-
-    const PathInstance inst = load(file);
-    if (command == "exact") {
-      const SapExactResult opt = sap_exact_profile_dp(inst);
-      std::cerr << "optimum " << opt.weight
-                << (opt.proven_optimal ? "" : " (lower bound: beam cap hit)")
-                << "\n";
-      write_sap_solution(std::cout, opt.solution);
-      return 0;
-    }
-    if (command == "bound") {
-      std::cout << ufpp_lp_upper_bound(inst) << "\n";
-      return 0;
-    }
-    if (command != "solve") return usage();
-
-    SolverParams params;
-    params.eps = eps;
-    params.seed = seed;
-    SapSolution sol;
-    if (algo == "full") {
-      sol = solve_sap(inst, params);
-    } else if (algo == "uniform") {
-      sol = solve_sap_uniform(inst);
-    } else if (algo == "small") {
-      sol = solve_small_tasks(inst, all_ids(inst), params);
-    } else if (algo == "medium") {
-      sol = solve_medium_tasks(inst, all_ids(inst), params);
-    } else if (algo == "large") {
-      sol = solve_large_tasks(inst, all_ids(inst), params);
-    } else {
-      return usage();
-    }
-    const VerifyResult check = verify_sap(inst, sol);
-    if (!check) {
-      std::cerr << "INTERNAL ERROR: infeasible solution: " << check.reason
-                << "\n";
-      return 1;
-    }
-    std::cerr << "weight " << sol.weight(inst) << " (" << sol.size() << "/"
-              << inst.num_tasks() << " tasks)\n";
-    write_sap_solution(std::cout, sol);
+int dispatch(const std::string& command, const Options& opt) {
+  if (command == "gen") {
+    Rng rng(opt.seed);
+    PathGenOptions gen;
+    gen.num_edges = opt.edges;
+    gen.num_tasks = opt.tasks;
+    write_path_instance(std::cout, generate_path_instance(gen, rng));
     return 0;
+  }
+
+  if (command == "serve") return run_serve(opt);
+  if (command == "request") return run_request(opt);
+
+  if (command == "batch") {
+    BatchOptions options;
+    options.num_instances = opt.count;
+    options.base_seed = opt.seed;
+    options.keep_cases = opt.cases;
+
+    BatchCaseFn fn;
+    if (opt.ring) {
+      RingBatchConfig config;
+      config.gen.num_edges = opt.edges;
+      config.gen.num_tasks = opt.tasks;
+      config.solver.path.eps = opt.eps;
+      fn = make_ring_batch_case(config);
+    } else {
+      PathBatchConfig config;
+      config.gen.num_edges = opt.edges;
+      config.gen.num_tasks = opt.tasks;
+      config.gen.profile = parse_profile(opt.profile);
+      config.gen.demand = parse_demand(opt.demand);
+      config.solver.eps = opt.eps;
+      fn = make_path_batch_case(config);
+    }
+
+    ThreadPool pool(opt.threads);
+    const BatchReport report = run_batch(options, fn, pool);
+
+    BatchJsonOptions json;
+    json.include_timings = opt.timings;
+    json.include_cases = opt.cases;
+    if (opt.out_path.empty()) {
+      write_batch_json(std::cout, report, json);
+    } else {
+      std::ofstream out(opt.out_path);
+      if (!out) throw std::runtime_error("cannot open " + opt.out_path);
+      write_batch_json(out, report, json);
+    }
+    std::cerr << "batch: " << report.solved << "/" << report.num_instances
+              << " solved on " << report.threads << " threads in "
+              << report.total_seconds << "s\n";
+    return 0;
+  }
+
+  const PathInstance inst = load(opt.file);
+  if (command == "exact") {
+    const SapExactResult exact = sap_exact_profile_dp(inst);
+    std::cerr << "optimum " << exact.weight
+              << (exact.proven_optimal ? "" : " (lower bound: beam cap hit)")
+              << "\n";
+    write_sap_solution(std::cout, exact.solution);
+    return 0;
+  }
+  if (command == "bound") {
+    std::cout << ufpp_lp_upper_bound(inst) << "\n";
+    return 0;
+  }
+  if (command != "solve") throw UsageError("unknown subcommand: " + command);
+
+  SolverParams params;
+  params.eps = opt.eps;
+  params.seed = opt.seed;
+  SapSolution sol;
+  if (opt.algo == "full") {
+    sol = solve_sap(inst, params);
+  } else if (opt.algo == "uniform") {
+    sol = solve_sap_uniform(inst);
+  } else if (opt.algo == "small") {
+    sol = solve_small_tasks(inst, all_ids(inst), params);
+  } else if (opt.algo == "medium") {
+    sol = solve_medium_tasks(inst, all_ids(inst), params);
+  } else if (opt.algo == "large") {
+    sol = solve_large_tasks(inst, all_ids(inst), params);
+  } else {
+    throw UsageError("unknown algorithm: " + opt.algo);
+  }
+  const VerifyResult check = verify_sap(inst, sol);
+  if (!check) {
+    std::cerr << "INTERNAL ERROR: infeasible solution: " << check.reason
+              << "\n";
+    return 1;
+  }
+  std::cerr << "weight " << sol.weight(inst) << " (" << sol.size() << "/"
+            << inst.num_tasks() << " tasks)\n";
+  write_sap_solution(std::cout, sol);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage_error("");
+  try {
+    return dispatch(argv[1], parse_options(argc, argv));
+  } catch (const UsageError& error) {
+    return usage_error(error.what());
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

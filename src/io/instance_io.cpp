@@ -1,6 +1,9 @@
 #include "src/io/instance_io.hpp"
 
+#include <cctype>
+#include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -8,59 +11,111 @@
 namespace sap {
 namespace {
 
-/// Token reader that skips '#' comments and tracks line numbers for errors.
+/// Token reader that skips '#' comments and tracks 1-based line numbers so
+/// every parse error can say where it happened. Reads character-wise (the
+/// formatted `>>` extractor cannot count newlines).
 class TokenReader {
  public:
   explicit TokenReader(std::istream& is) : is_(is) {}
 
+  [[nodiscard]] int line() const noexcept { return line_; }
+
   std::string next(const char* what) {
+    skip_space_and_comments();
     std::string token;
     for (;;) {
-      if (!(is_ >> token)) {
-        throw std::invalid_argument(std::string("instance_io: expected ") +
-                                    what + ", got end of input");
+      const int c = is_.peek();
+      if (c == std::char_traits<char>::eof() ||
+          std::isspace(static_cast<unsigned char>(c))) {
+        break;
       }
-      if (token.front() == '#') {
-        std::string rest;
-        std::getline(is_, rest);
-        continue;
-      }
-      return token;
+      token.push_back(static_cast<char>(get()));
     }
+    if (token.empty()) {
+      fail(std::string("expected ") + what + ", got end of input");
+    }
+    return token;
   }
 
-  std::int64_t next_int(const char* what) {
+  /// Parses the next token as an integer in [lo, hi]; overflowing tokens
+  /// are rejected (std::stoll throws std::out_of_range) rather than
+  /// wrapped, so a count can never alias a small value.
+  std::int64_t next_int(
+      const char* what,
+      std::int64_t lo = std::numeric_limits<std::int64_t>::min(),
+      std::int64_t hi = std::numeric_limits<std::int64_t>::max()) {
     const std::string token = next(what);
+    std::int64_t value = 0;
     try {
       std::size_t used = 0;
-      const std::int64_t value = std::stoll(token, &used);
+      value = std::stoll(token, &used);
       if (used != token.size()) throw std::invalid_argument(token);
-      return value;
     } catch (const std::exception&) {
-      throw std::invalid_argument(std::string("instance_io: expected ") +
-                                  what + ", got '" + token + "'");
+      fail(std::string("expected ") + what + ", got '" + token + "'");
     }
+    if (value < lo || value > hi) {
+      fail(std::string(what) + " " + token + " out of range [" +
+           std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+    return value;
   }
 
   void expect(const std::string& literal) {
     const std::string token = next(literal.c_str());
     if (token != literal) {
-      throw std::invalid_argument("instance_io: expected '" + literal +
-                                  "', got '" + token + "'");
+      fail("expected '" + literal + "', got '" + token + "'");
     }
   }
 
+  /// Count of a collection, checked against `cap` before the caller
+  /// allocates anything proportional to it.
+  std::size_t count(const char* what, std::size_t cap) {
+    const std::int64_t n =
+        next_int(what, 0, std::numeric_limits<std::int64_t>::max());
+    if (static_cast<std::uint64_t>(n) > cap) {
+      fail(std::string(what) + " " + std::to_string(n) + " exceeds limit " +
+           std::to_string(cap));
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("instance_io: line " + std::to_string(line_) +
+                                ": " + why);
+  }
+
  private:
+  int get() {
+    const int c = is_.get();
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      const int c = is_.peek();
+      if (c == std::char_traits<char>::eof()) return;
+      if (c == '#') {
+        while (is_.peek() != std::char_traits<char>::eof() && get() != '\n') {
+        }
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        get();
+        continue;
+      }
+      return;
+    }
+  }
+
   std::istream& is_;
+  int line_ = 1;
 };
 
-std::size_t checked_count(std::int64_t n, const char* what) {
-  if (n < 0 || n > 10'000'000) {
-    throw std::invalid_argument(std::string("instance_io: implausible ") +
-                                what + " count");
-  }
-  return static_cast<std::size_t>(n);
-}
+constexpr std::int64_t kEdgeIdMin = std::numeric_limits<EdgeId>::min();
+constexpr std::int64_t kEdgeIdMax = std::numeric_limits<EdgeId>::max();
+constexpr std::int64_t kTaskIdMin = std::numeric_limits<TaskId>::min();
+constexpr std::int64_t kTaskIdMax = std::numeric_limits<TaskId>::max();
 
 std::vector<Value> read_capacities(TokenReader& reader, std::size_t m) {
   reader.expect("capacities");
@@ -84,19 +139,21 @@ void write_path_instance(std::ostream& os, const PathInstance& inst) {
   }
 }
 
-PathInstance read_path_instance(std::istream& is) {
+PathInstance read_path_instance(std::istream& is, const ReadLimits& limits) {
   TokenReader reader(is);
   reader.expect("sap-path");
   reader.expect("v1");
   reader.expect("edges");
-  const std::size_t m = checked_count(reader.next_int("edge count"), "edge");
+  const std::size_t m = reader.count("edge count", limits.max_edges);
   auto caps = read_capacities(reader, m);
   reader.expect("tasks");
-  const std::size_t n = checked_count(reader.next_int("task count"), "task");
+  const std::size_t n = reader.count("task count", limits.max_tasks);
   std::vector<Task> tasks(n);
   for (Task& t : tasks) {
-    t.first = static_cast<EdgeId>(reader.next_int("task first edge"));
-    t.last = static_cast<EdgeId>(reader.next_int("task last edge"));
+    t.first = static_cast<EdgeId>(
+        reader.next_int("task first edge", kEdgeIdMin, kEdgeIdMax));
+    t.last = static_cast<EdgeId>(
+        reader.next_int("task last edge", kEdgeIdMin, kEdgeIdMax));
     t.demand = reader.next_int("task demand");
     t.weight = reader.next_int("task weight");
   }
@@ -116,19 +173,21 @@ void write_ring_instance(std::ostream& os, const RingInstance& inst) {
   }
 }
 
-RingInstance read_ring_instance(std::istream& is) {
+RingInstance read_ring_instance(std::istream& is, const ReadLimits& limits) {
   TokenReader reader(is);
   reader.expect("sap-ring");
   reader.expect("v1");
   reader.expect("edges");
-  const std::size_t m = checked_count(reader.next_int("edge count"), "edge");
+  const std::size_t m = reader.count("edge count", limits.max_edges);
   auto caps = read_capacities(reader, m);
   reader.expect("tasks");
-  const std::size_t n = checked_count(reader.next_int("task count"), "task");
+  const std::size_t n = reader.count("task count", limits.max_tasks);
   std::vector<RingTask> tasks(n);
   for (RingTask& t : tasks) {
-    t.start = static_cast<int>(reader.next_int("task start vertex"));
-    t.end = static_cast<int>(reader.next_int("task end vertex"));
+    t.start = static_cast<int>(
+        reader.next_int("task start vertex", kEdgeIdMin, kEdgeIdMax));
+    t.end = static_cast<int>(
+        reader.next_int("task end vertex", kEdgeIdMin, kEdgeIdMax));
     t.demand = reader.next_int("task demand");
     t.weight = reader.next_int("task weight");
   }
@@ -143,18 +202,46 @@ void write_sap_solution(std::ostream& os, const SapSolution& sol) {
   }
 }
 
-SapSolution read_sap_solution(std::istream& is) {
+SapSolution read_sap_solution(std::istream& is, const ReadLimits& limits) {
   TokenReader reader(is);
   reader.expect("sap-solution");
   reader.expect("v1");
   reader.expect("placements");
   const std::size_t k =
-      checked_count(reader.next_int("placement count"), "placement");
+      reader.count("placement count", limits.max_placements);
   SapSolution sol;
   sol.placements.resize(k);
   for (Placement& p : sol.placements) {
-    p.task = static_cast<TaskId>(reader.next_int("placement task"));
+    p.task = static_cast<TaskId>(
+        reader.next_int("placement task", kTaskIdMin, kTaskIdMax));
     p.height = reader.next_int("placement height");
+  }
+  return sol;
+}
+
+void write_ring_solution(std::ostream& os, const RingSapSolution& sol) {
+  os << "sap-ring-solution v1\n";
+  os << "placements " << sol.placements.size() << "\n";
+  for (const RingPlacement& p : sol.placements) {
+    os << p.task << ' ' << p.height << ' ' << (p.clockwise ? 1 : 0) << "\n";
+  }
+}
+
+RingSapSolution read_ring_solution(std::istream& is,
+                                   const ReadLimits& limits) {
+  TokenReader reader(is);
+  reader.expect("sap-ring-solution");
+  reader.expect("v1");
+  reader.expect("placements");
+  const std::size_t k =
+      reader.count("placement count", limits.max_placements);
+  RingSapSolution sol;
+  sol.placements.resize(k);
+  for (RingPlacement& p : sol.placements) {
+    p.task = static_cast<TaskId>(
+        reader.next_int("placement task", kTaskIdMin, kTaskIdMax));
+    p.height = reader.next_int("placement height");
+    p.clockwise = reader.next_int("placement route", 0, 1) != 0;
   }
   return sol;
 }

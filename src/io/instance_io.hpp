@@ -17,8 +17,19 @@
 //   sap-solution v1
 //   placements <k>
 //   <task> <height>                      (k lines)
+//
+//   sap-ring-solution v1
+//   placements <k>
+//   <task> <height> <clockwise 0|1>      (k lines)
+//
+// The readers are safe on untrusted input (the sapd service feeds them
+// network-supplied payloads): counts are parsed overflow-safely and checked
+// against ReadLimits *before* any allocation, edge/vertex indices are range
+// checked before narrowing, and every error carries the 1-based line number
+// where parsing stopped.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -28,18 +39,34 @@
 
 namespace sap {
 
+/// Upper bounds enforced by the readers before allocating. The defaults
+/// admit anything a local workflow plausibly produces; servers parsing
+/// untrusted payloads should pass much tighter caps.
+struct ReadLimits {
+  std::size_t max_edges = 10'000'000;
+  std::size_t max_tasks = 10'000'000;
+  std::size_t max_placements = 10'000'000;
+};
+
 /// Serializes a path instance. Throws std::ios_base::failure on bad stream.
 void write_path_instance(std::ostream& os, const PathInstance& inst);
 
 /// Parses a path instance; throws std::invalid_argument with a line-
-/// numbered message on malformed input.
-[[nodiscard]] PathInstance read_path_instance(std::istream& is);
+/// numbered message on malformed input or a count exceeding `limits`.
+[[nodiscard]] PathInstance read_path_instance(std::istream& is,
+                                              const ReadLimits& limits = {});
 
 void write_ring_instance(std::ostream& os, const RingInstance& inst);
-[[nodiscard]] RingInstance read_ring_instance(std::istream& is);
+[[nodiscard]] RingInstance read_ring_instance(std::istream& is,
+                                              const ReadLimits& limits = {});
 
 void write_sap_solution(std::ostream& os, const SapSolution& sol);
-[[nodiscard]] SapSolution read_sap_solution(std::istream& is);
+[[nodiscard]] SapSolution read_sap_solution(std::istream& is,
+                                            const ReadLimits& limits = {});
+
+void write_ring_solution(std::ostream& os, const RingSapSolution& sol);
+[[nodiscard]] RingSapSolution read_ring_solution(std::istream& is,
+                                                 const ReadLimits& limits = {});
 
 /// Convenience round-trips through std::string (used by tests and the CLI).
 [[nodiscard]] std::string to_string(const PathInstance& inst);

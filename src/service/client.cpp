@@ -1,0 +1,136 @@
+#include "src/service/client.hpp"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "src/service/frame.hpp"
+
+namespace sap::service {
+
+struct Client::Reply {
+  bool is_error = false;
+  std::string payload;        ///< expected-type payload when !is_error
+  ErrorResponse error;        ///< valid when is_error
+};
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  std::signal(SIGPIPE, SIG_IGN);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_text.c_str(), &hints,
+                               &results);
+  if (rc != 0) {
+    throw std::runtime_error("sapd client: cannot resolve " + host + ": " +
+                             ::gai_strerror(rc));
+  }
+
+  int last_errno = 0;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd_ = fd;
+      break;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  if (fd_ < 0) {
+    throw std::runtime_error("sapd client: cannot connect to " + host + ":" +
+                             port_text + ": " +
+                             std::string(std::strerror(last_errno)));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Client::Reply Client::round_trip(FrameType type, const std::string& payload,
+                                 FrameType expected) {
+  if (fd_ < 0) throw std::runtime_error("sapd client: not connected");
+  if (!write_frame(fd_, type, payload)) {
+    close();
+    throw std::runtime_error("sapd client: send failed (connection lost)");
+  }
+  Frame frame;
+  const ReadStatus status = read_frame(fd_, &frame);
+  if (status != ReadStatus::kOk) {
+    close();
+    throw std::runtime_error(std::string("sapd client: receive failed (") +
+                             read_status_name(status) + ")");
+  }
+  Reply reply;
+  if (static_cast<FrameType>(frame.type) == FrameType::kErrorResponse) {
+    reply.is_error = true;
+    reply.error = parse_error_response(frame.payload);
+    return reply;
+  }
+  if (static_cast<FrameType>(frame.type) != expected) {
+    close();
+    throw std::runtime_error("sapd client: unexpected response frame type " +
+                             std::to_string(frame.type));
+  }
+  reply.payload = std::move(frame.payload);
+  return reply;
+}
+
+Client::SolveOutcome Client::solve(const SolveRequest& request) {
+  Reply reply = round_trip(FrameType::kSolveRequest,
+                           encode_solve_request(request),
+                           FrameType::kSolveResponse);
+  SolveOutcome outcome;
+  if (reply.is_error) {
+    outcome.ok = false;
+    outcome.error_code = reply.error.code;
+    outcome.error_message = std::move(reply.error.message);
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.response = parse_solve_response(reply.payload);
+  return outcome;
+}
+
+std::string Client::stats_json() {
+  Reply reply =
+      round_trip(FrameType::kStatsRequest, "", FrameType::kStatsResponse);
+  if (reply.is_error) {
+    throw std::runtime_error(
+        std::string("sapd client: stats rejected: ") +
+        error_code_name(reply.error.code) + ": " + reply.error.message);
+  }
+  return reply.payload;
+}
+
+}  // namespace sap::service

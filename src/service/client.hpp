@@ -1,0 +1,55 @@
+// Blocking sapd client: one TCP connection, one outstanding request at a
+// time. Transport failures throw std::runtime_error; typed server
+// rejections (OVERLOADED, BAD_REQUEST, ...) are returned as values so
+// callers can implement backoff without exception control flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/service/protocol.hpp"
+
+namespace sap::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Resolves `host` (numeric or named) and connects. Throws
+  /// std::runtime_error on failure. Reconnecting an open client closes the
+  /// previous connection first.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Outcome of one round trip that reached the server.
+  struct SolveOutcome {
+    bool ok = false;
+    SolveResponse response;  ///< valid when ok
+    ErrorCode error_code = ErrorCode::kInternal;  ///< valid when !ok
+    std::string error_message;
+  };
+
+  /// Sends a solve request and blocks for the matching response. Throws
+  /// std::runtime_error on transport errors (closed connection, protocol
+  /// violations); server-side rejections come back in the outcome.
+  [[nodiscard]] SolveOutcome solve(const SolveRequest& request);
+
+  /// Fetches the server's stats JSON (see docs/SERVICE.md).
+  [[nodiscard]] std::string stats_json();
+
+ private:
+  struct Reply;
+  Reply round_trip(FrameType type, const std::string& payload,
+                   FrameType expected);
+
+  int fd_ = -1;
+};
+
+}  // namespace sap::service

@@ -1,0 +1,117 @@
+#include "src/service/frame.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sap::service {
+namespace {
+
+enum class IoResult { kDone, kEof, kError };
+
+/// Reads exactly `len` bytes, looping over partial reads and EINTR. kEof is
+/// only reported when the peer closes before the *first* byte; a close in
+/// the middle is the caller's kTruncated.
+IoResult read_exact(int fd, void* buffer, std::size_t len, bool* midway) {
+  auto* out = static_cast<unsigned char*>(buffer);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, out + got, len - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      *midway = got > 0;
+      return IoResult::kEof;
+    }
+    if (errno == EINTR) continue;
+    return IoResult::kError;
+  }
+  return IoResult::kDone;
+}
+
+bool write_exact(int fd, const void* buffer, std::size_t len) {
+  const auto* in = static_cast<const unsigned char*>(buffer);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::write(fd, in + sent, len - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* read_status_name(ReadStatus status) noexcept {
+  switch (status) {
+    case ReadStatus::kOk:
+      return "OK";
+    case ReadStatus::kEof:
+      return "EOF";
+    case ReadStatus::kBadMagic:
+      return "BAD_MAGIC";
+    case ReadStatus::kTooLarge:
+      return "TOO_LARGE";
+    case ReadStatus::kTruncated:
+      return "TRUNCATED";
+    case ReadStatus::kIoError:
+      return "IO_ERROR";
+  }
+  return "IO_ERROR";
+}
+
+ReadStatus read_frame(int fd, Frame* frame, std::size_t max_payload) {
+  unsigned char header_bytes[kFrameHeaderBytes];
+  bool midway = false;
+  switch (read_exact(fd, header_bytes, sizeof(header_bytes), &midway)) {
+    case IoResult::kDone:
+      break;
+    case IoResult::kEof:
+      return midway ? ReadStatus::kTruncated : ReadStatus::kEof;
+    case IoResult::kError:
+      return ReadStatus::kIoError;
+  }
+
+  FrameHeader header;
+  if (!decode_frame_header(header_bytes, &header)) {
+    return ReadStatus::kBadMagic;
+  }
+  if (header.length > max_payload) {
+    return ReadStatus::kTooLarge;
+  }
+
+  frame->type = header.type;
+  frame->payload.resize(header.length);
+  if (header.length > 0) {
+    switch (read_exact(fd, frame->payload.data(), header.length, &midway)) {
+      case IoResult::kDone:
+        break;
+      case IoResult::kEof:
+        return ReadStatus::kTruncated;
+      case IoResult::kError:
+        return ReadStatus::kIoError;
+    }
+  }
+  return ReadStatus::kOk;
+}
+
+bool write_frame(int fd, FrameType type, std::string_view payload) {
+  unsigned char header_bytes[kFrameHeaderBytes];
+  encode_frame_header(header_bytes, type,
+                      static_cast<std::uint32_t>(payload.size()));
+  if (!write_exact(fd, header_bytes, sizeof(header_bytes))) return false;
+  if (!payload.empty() &&
+      !write_exact(fd, payload.data(), payload.size())) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sap::service

@@ -1,0 +1,45 @@
+// Length-prefixed frame I/O over POSIX file descriptors (sockets in the
+// server/client, pipes in the unit tests). Blocking, EINTR-safe, and
+// hardened against untrusted peers: the payload length is validated against
+// a caller-supplied ceiling *before* any allocation, and a bad magic or a
+// truncated frame is reported as a typed status rather than garbage data.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "src/service/protocol.hpp"
+
+namespace sap::service {
+
+enum class ReadStatus {
+  kOk,
+  kEof,       ///< clean close at a frame boundary
+  kBadMagic,  ///< first 4 bytes are not the protocol magic
+  kTooLarge,  ///< declared payload exceeds the receiver's ceiling
+  kTruncated, ///< peer closed mid-frame
+  kIoError,   ///< errno-level read failure
+};
+
+[[nodiscard]] const char* read_status_name(ReadStatus status) noexcept;
+
+struct Frame {
+  std::uint32_t type = 0;  ///< raw wire value; may not name a FrameType
+  std::string payload;
+};
+
+/// Reads one complete frame into `frame`. On any status other than kOk the
+/// frame contents are unspecified and the stream position may be inside a
+/// partial frame — the caller must treat the connection as poisoned and
+/// close it (optionally after sending a typed error).
+[[nodiscard]] ReadStatus read_frame(
+    int fd, Frame* frame,
+    std::size_t max_payload = kDefaultMaxFramePayload);
+
+/// Writes header + payload, retrying on EINTR / partial writes. Returns
+/// false on any unrecoverable write error (e.g. peer reset).
+[[nodiscard]] bool write_frame(int fd, FrameType type,
+                               std::string_view payload);
+
+}  // namespace sap::service

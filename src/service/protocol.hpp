@@ -1,0 +1,103 @@
+// sapd wire protocol: typed frames whose payloads are line-oriented text
+// envelopes carrying the instance_io formats (docs/SERVICE.md is the spec).
+//
+// Everything here is pure encode/parse on in-memory buffers — the socket
+// layer lives in frame.{hpp,cpp} (fd framing) and server/client (endpoints),
+// so the protocol can be unit tested without a network.
+//
+// Frame layout (all fields little-endian uint32):
+//   magic   0x53415044 ("SAPD" read as big-endian bytes 'S','A','P','D')
+//   type    FrameType
+//   length  payload byte count (bounded by the receiver's max payload)
+// followed by `length` payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/model/task.hpp"
+
+namespace sap::service {
+
+inline constexpr std::uint32_t kFrameMagic = 0x44504153u;  // 'S','A','P','D'
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// Hard ceiling on a frame payload; receivers reject larger lengths before
+/// allocating (an attacker-supplied length can never OOM an endpoint).
+inline constexpr std::size_t kDefaultMaxFramePayload = 16u << 20;  // 16 MiB
+
+enum class FrameType : std::uint32_t {
+  kSolveRequest = 1,
+  kStatsRequest = 2,
+  kSolveResponse = 17,
+  kStatsResponse = 18,
+  kErrorResponse = 19,
+};
+
+/// Typed rejection codes carried by kErrorResponse frames.
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,    ///< unparseable frame/envelope/instance
+  kOverloaded = 2,    ///< admission queue full — retry later
+  kShuttingDown = 3,  ///< server draining; no new work accepted
+  kInternal = 4,      ///< solver threw; request was well-formed
+};
+
+[[nodiscard]] const char* error_code_name(ErrorCode code) noexcept;
+/// Inverse of error_code_name; throws std::invalid_argument on unknown.
+[[nodiscard]] ErrorCode parse_error_code(std::string_view name);
+
+struct FrameHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t type = 0;  ///< raw on the wire; may be an unknown value
+  std::uint32_t length = 0;
+};
+
+/// Serializes a header into exactly kFrameHeaderBytes at `out`.
+void encode_frame_header(unsigned char* out, FrameType type,
+                         std::uint32_t payload_length) noexcept;
+/// Decodes kFrameHeaderBytes from `in`; returns false on a magic mismatch.
+[[nodiscard]] bool decode_frame_header(const unsigned char* in,
+                                       FrameHeader* out) noexcept;
+
+/// A solve request: solver selection (mirroring `sapkit_cli solve`) plus
+/// the instance text in sap-path v1 / sap-ring v1 format.
+struct SolveRequest {
+  enum class Kind { kPath, kRing };
+  Kind kind = Kind::kPath;
+  /// Path pipelines: full|uniform|small|medium|large. Ignored for rings.
+  std::string algo = "full";
+  double eps = 0.5;
+  std::uint64_t seed = 1;
+  std::string instance_text;
+};
+
+[[nodiscard]] std::string encode_solve_request(const SolveRequest& request);
+/// Throws std::invalid_argument on a malformed envelope. The instance text
+/// is carried opaquely; the server parses it separately (instance_io).
+[[nodiscard]] SolveRequest parse_solve_request(std::string_view payload);
+
+/// A successful solve: the solution exactly as write_sap_solution /
+/// write_ring_solution emits it (byte-identical to an in-process solve with
+/// the same parameters), plus per-request observability.
+struct SolveResponse {
+  Weight weight = 0;
+  std::uint64_t placed = 0;
+  std::uint64_t total_tasks = 0;
+  std::int64_t wall_micros = 0;
+  std::string telemetry_json;  ///< single-line counters object ("{}" if none)
+  std::string solution_text;
+};
+
+[[nodiscard]] std::string encode_solve_response(const SolveResponse& response);
+[[nodiscard]] SolveResponse parse_solve_response(std::string_view payload);
+
+struct ErrorResponse {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+[[nodiscard]] std::string encode_error_response(const ErrorResponse& error);
+[[nodiscard]] ErrorResponse parse_error_response(std::string_view payload);
+
+}  // namespace sap::service

@@ -1,0 +1,499 @@
+#include "src/service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/core/ring_solver.hpp"
+#include "src/core/sap_solver.hpp"
+#include "src/sapu/sapu_solver.hpp"
+#include "src/service/frame.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/telemetry.hpp"
+
+namespace sap::service {
+namespace {
+
+constexpr std::size_t kLatencyRingCapacity = 4096;
+
+/// One-line {"name": value, ...} over the (deterministic) counters only;
+/// timer seconds are scheduling noise a service client rarely wants.
+std::string compact_counters_json(const TelemetryReport& report) {
+  std::string json = "{";
+  bool first = true;
+  for (const auto& [name, value] : report.counters()) {
+    if (!first) json += ", ";
+    first = false;
+    json += '"';
+    json += name;  // counter names are plain identifiers
+    json += "\": ";
+    json += std::to_string(value);
+  }
+  json += '}';
+  return json;
+}
+
+std::vector<TaskId> all_task_ids(const PathInstance& inst) {
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  return ids;
+}
+
+void set_send_timeout(int fd) {
+  timeval tv{};
+  tv.tv_sec = 30;  // a worker must never block forever on a dead peer
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+/// Shared between the reader thread and solver workers; the fd closes when
+/// the last holder lets go, so a response can always be flushed.
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd;
+  std::mutex write_mutex;
+  std::atomic<bool> reader_done{false};
+
+  // Solves admitted from this connection whose responses are not yet
+  // written. The reader waits for zero before shutting the socket down, so
+  // an exiting connection never swallows a response in flight.
+  std::mutex inflight_mutex;
+  std::condition_variable inflight_done;
+  int inflight = 0;
+
+  void job_admitted() {
+    std::lock_guard lock(inflight_mutex);
+    ++inflight;
+  }
+  void job_responded() {
+    std::lock_guard lock(inflight_mutex);
+    --inflight;
+    if (inflight == 0) inflight_done.notify_all();
+  }
+  void wait_for_inflight() {
+    std::unique_lock lock(inflight_mutex);
+    inflight_done.wait(lock, [this] { return inflight == 0; });
+  }
+};
+
+std::string stats_to_json(const ServerStats& stats) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"uptime_seconds\": " << stats.uptime_seconds << ",\n";
+  os << "  \"connections_accepted\": " << stats.connections_accepted
+     << ",\n";
+  os << "  \"requests\": {\n";
+  os << "    \"ok\": " << stats.requests_ok << ",\n";
+  os << "    \"bad_request\": " << stats.requests_bad << ",\n";
+  os << "    \"overloaded\": " << stats.requests_overloaded << ",\n";
+  os << "    \"shutting_down\": " << stats.requests_shutting_down << ",\n";
+  os << "    \"internal\": " << stats.requests_internal_error << ",\n";
+  os << "    \"stats\": " << stats.stats_requests << "\n";
+  os << "  },\n";
+  os << "  \"queue_depth\": " << stats.queue_depth << ",\n";
+  os << "  \"active_solves\": " << stats.active_solves << ",\n";
+  os << "  \"latency_ms\": {\n";
+  os << "    \"samples\": " << stats.latency_samples << ",\n";
+  os << "    \"p50\": " << stats.latency_p50_ms << ",\n";
+  os << "    \"p95\": " << stats.latency_p95_ms << ",\n";
+  os << "    \"p99\": " << stats.latency_p99_ms << ",\n";
+  os << "    \"max\": " << stats.latency_max_ms << "\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_) throw std::logic_error("sapd: server already started");
+
+  // A peer resetting mid-write must surface as EPIPE, not kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("sapd: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("sapd: bad bind address '" +
+                             options_.bind_address + "' (want IPv4 dotted)");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("sapd: cannot listen on " +
+                             options_.bind_address + ":" +
+                             std::to_string(options_.port) + ": " + why);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.solver_threads);
+  started_at_ = std::chrono::steady_clock::now();
+  stopping_ = false;
+  running_ = true;
+  listener_ = std::thread([this] { listener_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+
+  {
+    // stopping_ flips inside the admission lock: after this block no new
+    // solve can enter the queue, so the drain below terminates.
+    std::lock_guard lock(jobs_mutex_);
+    stopping_ = true;
+  }
+
+  // 1. Stop accepting: wake the listener out of accept() and join it.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (listener_.joinable()) listener_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Drain: every admitted solve finishes and flushes its response.
+  {
+    std::unique_lock lock(jobs_mutex_);
+    jobs_done_.wait(lock, [this] { return queued_ + active_ == 0; });
+  }
+
+  // 3. Unblock and join connection readers.
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (auto& [thread, conn] : conns_) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (;;) {
+    std::pair<std::thread, std::shared_ptr<Connection>> entry;
+    {
+      std::lock_guard lock(conn_mutex_);
+      if (conns_.empty()) break;
+      entry = std::move(conns_.back());
+      conns_.pop_back();
+    }
+    if (entry.first.joinable()) entry.first.join();
+  }
+
+  // 4. The pool has no pending work left; joining it is immediate.
+  pool_.reset();
+}
+
+void Server::listener_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener shut down (stop()) or unrecoverable
+    }
+    if (stopping_) {
+      ::close(fd);
+      continue;
+    }
+    set_send_timeout(fd);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>(fd);
+    std::thread reader([this, conn] { connection_loop(conn); });
+    {
+      std::lock_guard lock(conn_mutex_);
+      conns_.emplace_back(std::move(reader), conn);
+    }
+    reap_finished_connections();
+  }
+}
+
+void Server::reap_finished_connections() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (it->second->reader_done.load()) {
+        finished.push_back(std::move(it->first));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& thread : finished) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    Frame frame;
+    const ReadStatus status =
+        read_frame(conn->fd, &frame, options_.max_frame_payload);
+    if (status == ReadStatus::kEof) break;
+    if (status == ReadStatus::kBadMagic || status == ReadStatus::kTooLarge) {
+      requests_bad_.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, ErrorCode::kBadRequest,
+                 status == ReadStatus::kTooLarge
+                     ? "frame payload exceeds server limit of " +
+                           std::to_string(options_.max_frame_payload) +
+                           " bytes"
+                     : "bad frame magic");
+      break;  // the stream is poisoned mid-frame; close it
+    }
+    if (status != ReadStatus::kOk) break;  // truncated / io error
+
+    switch (static_cast<FrameType>(frame.type)) {
+      case FrameType::kSolveRequest:
+        handle_solve_frame(conn, std::move(frame.payload));
+        break;
+      case FrameType::kStatsRequest: {
+        stats_requests_.fetch_add(1, std::memory_order_relaxed);
+        const std::string json = stats_to_json(stats_snapshot());
+        std::lock_guard lock(conn->write_mutex);
+        if (!write_frame(conn->fd, FrameType::kStatsResponse, json)) {
+          conn->reader_done = true;
+          return;
+        }
+        break;
+      }
+      default:
+        requests_bad_.fetch_add(1, std::memory_order_relaxed);
+        send_error(conn, ErrorCode::kBadRequest,
+                   "unknown frame type " + std::to_string(frame.type));
+        break;  // frame boundary intact; keep the connection
+    }
+  }
+  // Flush every admitted solve's response, then FIN the peer; the fd itself
+  // closes when the last shared_ptr (possibly a worker's) lets go.
+  conn->wait_for_inflight();
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->reader_done = true;
+}
+
+void Server::handle_solve_frame(const std::shared_ptr<Connection>& conn,
+                                std::string payload) {
+  enum class Rejection { kNone, kShuttingDown, kOverloaded };
+  Rejection rejection = Rejection::kNone;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    if (stopping_) {
+      requests_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+      rejection = Rejection::kShuttingDown;
+    } else if (queued_ >= options_.max_queue) {
+      requests_overloaded_.fetch_add(1, std::memory_order_relaxed);
+      rejection = Rejection::kOverloaded;
+    } else {
+      ++queued_;
+      conn->job_admitted();
+      const auto admitted_at = std::chrono::steady_clock::now();
+      pool_->submit([this, conn, admitted_at,
+                     payload = std::move(payload)]() mutable {
+        {
+          std::lock_guard job_lock(jobs_mutex_);
+          --queued_;
+          ++active_;
+        }
+        if (options_.test_pre_solve_hook) options_.test_pre_solve_hook();
+        const bool served = run_solve_job(conn, payload);
+        conn->job_responded();
+        if (served) {
+          record_latency(
+              1e3 * std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - admitted_at)
+                        .count());
+        }
+        {
+          std::lock_guard job_lock(jobs_mutex_);
+          --active_;
+          if (queued_ + active_ == 0) jobs_done_.notify_all();
+        }
+      });
+      return;
+    }
+  }
+  // Rejected: say so immediately — backpressure must be visible, not a hang.
+  if (rejection == Rejection::kShuttingDown) {
+    send_error(conn, ErrorCode::kShuttingDown, "server is draining");
+  } else {
+    send_error(conn, ErrorCode::kOverloaded,
+               "admission queue full (" +
+                   std::to_string(options_.max_queue) + " pending)");
+  }
+}
+
+bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
+                           const std::string& payload) {
+  SolveResponse response;
+  ErrorResponse rejection;
+  bool ok = false;
+  try {
+    const SolveRequest request = parse_solve_request(payload);
+    TelemetryReport telemetry;
+    std::ostringstream solution_os;
+    const auto solve_start = std::chrono::steady_clock::now();
+    if (request.kind == SolveRequest::Kind::kPath) {
+      std::istringstream is(request.instance_text);
+      const PathInstance inst = read_path_instance(is, options_.read_limits);
+      SolverParams params;
+      params.eps = request.eps;
+      params.seed = request.seed;
+      SapSolution sol;
+      {
+        TelemetrySession session(&telemetry);
+        if (request.algo == "full") {
+          sol = solve_sap(inst, params);
+        } else if (request.algo == "uniform") {
+          sol = solve_sap_uniform(inst);
+        } else if (request.algo == "small") {
+          sol = solve_small_tasks(inst, all_task_ids(inst), params);
+        } else if (request.algo == "medium") {
+          sol = solve_medium_tasks(inst, all_task_ids(inst), params);
+        } else if (request.algo == "large") {
+          sol = solve_large_tasks(inst, all_task_ids(inst), params);
+        } else {
+          throw std::invalid_argument("unknown algo '" + request.algo +
+                                      "' (want full|uniform|small|medium|"
+                                      "large)");
+        }
+      }
+      response.weight = sol.weight(inst);
+      response.placed = sol.size();
+      response.total_tasks = inst.num_tasks();
+      write_sap_solution(solution_os, sol);
+    } else {
+      std::istringstream is(request.instance_text);
+      const RingInstance inst = read_ring_instance(is, options_.read_limits);
+      RingSolverParams params;
+      params.path.eps = request.eps;
+      params.path.seed = request.seed;
+      RingSapSolution sol;
+      {
+        TelemetrySession session(&telemetry);
+        sol = solve_ring_sap(inst, params);
+      }
+      response.weight = inst.solution_weight(sol);
+      response.placed = sol.size();
+      response.total_tasks = inst.num_tasks();
+      write_ring_solution(solution_os, sol);
+    }
+    response.wall_micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - solve_start)
+            .count();
+    response.telemetry_json = compact_counters_json(telemetry);
+    response.solution_text = solution_os.str();
+    ok = true;
+  } catch (const std::invalid_argument& error) {
+    rejection = {ErrorCode::kBadRequest, error.what()};
+  } catch (const std::exception& error) {
+    rejection = {ErrorCode::kInternal, error.what()};
+  } catch (...) {
+    rejection = {ErrorCode::kInternal, "unknown solver failure"};
+  }
+
+  if (ok) {
+    requests_ok_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(conn->write_mutex);
+    (void)write_frame(conn->fd, FrameType::kSolveResponse,
+                      encode_solve_response(response));
+  } else {
+    if (rejection.code == ErrorCode::kBadRequest) {
+      requests_bad_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      requests_internal_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+    send_error(conn, rejection.code, rejection.message);
+  }
+  return ok;
+}
+
+void Server::send_error(const std::shared_ptr<Connection>& conn,
+                        ErrorCode code, const std::string& message) {
+  std::lock_guard lock(conn->write_mutex);
+  (void)write_frame(conn->fd, FrameType::kErrorResponse,
+                    encode_error_response({code, message}));
+}
+
+void Server::record_latency(double ms) {
+  std::lock_guard lock(latency_mutex_);
+  if (latency_ring_.size() < kLatencyRingCapacity) {
+    latency_ring_.push_back(ms);
+  } else {
+    latency_ring_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyRingCapacity;
+  }
+  ++latency_total_;
+  if (ms > latency_max_) latency_max_ = ms;
+}
+
+ServerStats Server::stats_snapshot() const {
+  ServerStats stats;
+  stats.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.requests_ok = requests_ok_.load(std::memory_order_relaxed);
+  stats.requests_bad = requests_bad_.load(std::memory_order_relaxed);
+  stats.requests_overloaded =
+      requests_overloaded_.load(std::memory_order_relaxed);
+  stats.requests_shutting_down =
+      requests_shutting_down_.load(std::memory_order_relaxed);
+  stats.requests_internal_error =
+      requests_internal_error_.load(std::memory_order_relaxed);
+  stats.stats_requests = stats_requests_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(jobs_mutex_);
+    stats.queue_depth = queued_;
+    stats.active_solves = active_;
+  }
+  std::vector<double> sample;
+  {
+    std::lock_guard lock(latency_mutex_);
+    sample = latency_ring_;
+    stats.latency_samples = latency_total_;
+    stats.latency_max_ms = latency_max_;
+  }
+  if (!sample.empty()) {
+    stats.latency_p50_ms = percentile(sample, 50.0);
+    stats.latency_p95_ms = percentile(sample, 95.0);
+    stats.latency_p99_ms = percentile(sample, 99.0);
+  }
+  return stats;
+}
+
+}  // namespace sap::service

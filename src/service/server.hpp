@@ -1,0 +1,150 @@
+// sapd: a long-running SAP solver service over loopback/LAN TCP.
+//
+// Threading model (a miniature inference server):
+//   - one listener thread accepts connections;
+//   - one reader thread per connection parses frames and either answers
+//     inline (stats, rejections) or admits the solve into a *bounded*
+//     admission queue — when the queue is full the request is rejected
+//     immediately with a typed OVERLOADED error (backpressure, never
+//     unbounded buffering, never a silent drop);
+//   - admitted solves run on a shared ThreadPool; the worker writes the
+//     response back on the request's connection under a per-connection
+//     write lock (a connection may have responses from stats and solves
+//     interleaving).
+//
+// Shutdown contract (SIGTERM-friendly, exercised under ASan): stop() closes
+// the listener first, lets every admitted solve finish and flush its
+// response, unblocks connection readers, then joins all threads. New work
+// arriving while draining gets a SHUTTING_DOWN error.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/io/instance_io.hpp"
+#include "src/service/protocol.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace sap::service {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; query Server::port() after start
+  std::size_t solver_threads = 0;  ///< 0 = hardware_concurrency
+  /// Solves admitted but not yet started. Beyond this, OVERLOADED.
+  std::size_t max_queue = 64;
+  /// Frame payload ceiling enforced before allocation.
+  std::size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Caps applied when parsing network-supplied instance text.
+  ReadLimits read_limits{.max_edges = 1'000'000,
+                         .max_tasks = 1'000'000,
+                         .max_placements = 1'000'000};
+  /// Test seam: runs on the worker thread after dequeue, before solving.
+  /// Production configs leave it empty.
+  std::function<void()> test_pre_solve_hook;
+};
+
+/// Monotonic counters + gauges reported by the `stats` request.
+struct ServerStats {
+  double uptime_seconds = 0.0;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_bad = 0;
+  std::uint64_t requests_overloaded = 0;
+  std::uint64_t requests_shutting_down = 0;
+  std::uint64_t requests_internal_error = 0;
+  std::uint64_t stats_requests = 0;
+  std::size_t queue_depth = 0;    ///< admitted, not yet started
+  std::size_t active_solves = 0;  ///< running on the pool right now
+  std::size_t latency_samples = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+};
+
+/// Formats a snapshot as the stats-response JSON object (docs/SERVICE.md).
+[[nodiscard]] std::string stats_to_json(const ServerStats& stats);
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  ///< stops if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the listener + solver pool. Throws
+  /// std::runtime_error when the address cannot be bound.
+  void start();
+
+  /// Bound port (after start()); useful with an ephemeral `port = 0`.
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Graceful shutdown: refuse new work, drain in-flight solves (their
+  /// responses are flushed), join every thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] ServerStats stats_snapshot() const;
+
+ private:
+  struct Connection;
+
+  void listener_loop();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void handle_solve_frame(const std::shared_ptr<Connection>& conn,
+                          std::string payload);
+  /// Returns true when a solution was served (latency samples cover only
+  /// successful solves).
+  bool run_solve_job(const std::shared_ptr<Connection>& conn,
+                     const std::string& payload);
+  void send_error(const std::shared_ptr<Connection>& conn, ErrorCode code,
+                  const std::string& message);
+  void record_latency(double ms);
+  void reap_finished_connections();
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::chrono::steady_clock::time_point started_at_;
+
+  mutable std::mutex conn_mutex_;
+  std::vector<std::pair<std::thread, std::shared_ptr<Connection>>> conns_;
+
+  // Admission accounting: queued_ + active_ is the in-flight total that
+  // stop() drains to zero.
+  mutable std::mutex jobs_mutex_;
+  std::condition_variable jobs_done_;
+  std::size_t queued_ = 0;
+  std::size_t active_ = 0;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_ok_{0};
+  std::atomic<std::uint64_t> requests_bad_{0};
+  std::atomic<std::uint64_t> requests_overloaded_{0};
+  std::atomic<std::uint64_t> requests_shutting_down_{0};
+  std::atomic<std::uint64_t> requests_internal_error_{0};
+  std::atomic<std::uint64_t> stats_requests_{0};
+
+  // Bounded reservoir of recent solve latencies for the percentiles.
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latency_ring_;
+  std::size_t latency_next_ = 0;
+  std::size_t latency_total_ = 0;
+  double latency_max_ = 0.0;
+};
+
+}  // namespace sap::service

@@ -67,6 +67,72 @@ tasks 1
   EXPECT_EQ(inst.task(0).weight, 5);
 }
 
+TEST(InstanceIoTest, RingSolutionRoundTrip) {
+  const RingSapSolution sol{{{2, 0, true}, {0, 5, false}, {1, 3, true}}};
+  std::stringstream buffer;
+  write_ring_solution(buffer, sol);
+  const RingSapSolution back = read_ring_solution(buffer);
+  ASSERT_EQ(back.placements.size(), sol.placements.size());
+  for (std::size_t i = 0; i < sol.placements.size(); ++i) {
+    EXPECT_EQ(back.placements[i].task, sol.placements[i].task);
+    EXPECT_EQ(back.placements[i].height, sol.placements[i].height);
+    EXPECT_EQ(back.placements[i].clockwise, sol.placements[i].clockwise);
+  }
+}
+
+TEST(InstanceIoTest, ErrorsCarryLineNumbers) {
+  try {
+    path_instance_from_string(
+        "sap-path v1\nedges 2\ncapacities 4 8\ntasks 1\n0 1 oops 5\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 5"), std::string::npos)
+        << error.what();
+  }
+  try {
+    path_instance_from_string("sap-path v1\nedges x\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(InstanceIoTest, CountsCheckedAgainstLimitsBeforeAllocation) {
+  ReadLimits limits;
+  limits.max_tasks = 2;
+  const std::string text =
+      "sap-path v1\nedges 1\ncapacities 9\ntasks 3\n"
+      "0 0 1 1\n0 0 1 1\n0 0 1 1\n";
+  std::istringstream over(text);
+  try {
+    (void)read_path_instance(over, limits);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("exceeds limit"),
+              std::string::npos)
+        << error.what();
+  }
+  std::istringstream under(text);
+  limits.max_tasks = 3;
+  EXPECT_EQ(read_path_instance(under, limits).num_tasks(), 3u);
+}
+
+TEST(InstanceIoTest, OverflowingAndNegativeCountsRejected) {
+  // A count that overflows int64 must be rejected, not wrapped.
+  EXPECT_THROW(path_instance_from_string(
+                   "sap-path v1\nedges 99999999999999999999999999\n"),
+               std::invalid_argument);
+  EXPECT_THROW(path_instance_from_string("sap-path v1\nedges -1\n"),
+               std::invalid_argument);
+  // An edge index outside EdgeId's 32-bit range must be rejected, not
+  // silently narrowed.
+  EXPECT_THROW(
+      path_instance_from_string("sap-path v1\nedges 1\ncapacities 9\n"
+                                "tasks 1\n0 4294967296 1 1\n"),
+      std::invalid_argument);
+}
+
 TEST(InstanceIoTest, RejectsMalformedInput) {
   EXPECT_THROW(path_instance_from_string(""), std::invalid_argument);
   EXPECT_THROW(path_instance_from_string("sap-ring v1"),

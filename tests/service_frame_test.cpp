@@ -1,0 +1,221 @@
+// Unit tests for the sapd wire protocol: header codec, fd-level framing
+// (over pipes — no network needed), and the text envelopes.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "src/service/frame.hpp"
+#include "src/service/protocol.hpp"
+
+namespace sap::service {
+namespace {
+
+/// RAII pipe pair for framing tests.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  void close_read() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    fds[0] = -1;
+  }
+  void close_write() {
+    if (fds[1] >= 0) ::close(fds[1]);
+    fds[1] = -1;
+  }
+  [[nodiscard]] int r() const { return fds[0]; }
+  [[nodiscard]] int w() const { return fds[1]; }
+};
+
+TEST(FrameHeaderTest, EncodeDecodeRoundTrip) {
+  unsigned char bytes[kFrameHeaderBytes];
+  encode_frame_header(bytes, FrameType::kSolveRequest, 0xDEADBEEF);
+  FrameHeader header;
+  ASSERT_TRUE(decode_frame_header(bytes, &header));
+  EXPECT_EQ(header.magic, kFrameMagic);
+  EXPECT_EQ(header.type,
+            static_cast<std::uint32_t>(FrameType::kSolveRequest));
+  EXPECT_EQ(header.length, 0xDEADBEEFu);
+}
+
+TEST(FrameHeaderTest, WireLayoutIsLittleEndianWithSapdMagic) {
+  unsigned char bytes[kFrameHeaderBytes];
+  encode_frame_header(bytes, FrameType::kStatsRequest, 0x0102);
+  // Magic reads "SAPD" as raw bytes.
+  EXPECT_EQ(bytes[0], 'S');
+  EXPECT_EQ(bytes[1], 'A');
+  EXPECT_EQ(bytes[2], 'P');
+  EXPECT_EQ(bytes[3], 'D');
+  EXPECT_EQ(bytes[4], 2);  // type LE
+  EXPECT_EQ(bytes[8], 0x02);  // length LE
+  EXPECT_EQ(bytes[9], 0x01);
+}
+
+TEST(FrameHeaderTest, RejectsBadMagic) {
+  unsigned char bytes[kFrameHeaderBytes] = {'n', 'o', 'p', 'e'};
+  FrameHeader header;
+  EXPECT_FALSE(decode_frame_header(bytes, &header));
+}
+
+TEST(FrameIoTest, RoundTripOverPipe) {
+  Pipe pipe;
+  const std::string payload = "sapd-solve v1\nhello";
+  ASSERT_TRUE(write_frame(pipe.w(), FrameType::kSolveRequest, payload));
+  Frame frame;
+  ASSERT_EQ(read_frame(pipe.r(), &frame), ReadStatus::kOk);
+  EXPECT_EQ(frame.type, static_cast<std::uint32_t>(FrameType::kSolveRequest));
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(FrameIoTest, EmptyPayloadFrame) {
+  Pipe pipe;
+  ASSERT_TRUE(write_frame(pipe.w(), FrameType::kStatsRequest, ""));
+  Frame frame;
+  ASSERT_EQ(read_frame(pipe.r(), &frame), ReadStatus::kOk);
+  EXPECT_EQ(frame.type, static_cast<std::uint32_t>(FrameType::kStatsRequest));
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameIoTest, CleanCloseIsEof) {
+  Pipe pipe;
+  pipe.close_write();
+  Frame frame;
+  EXPECT_EQ(read_frame(pipe.r(), &frame), ReadStatus::kEof);
+}
+
+TEST(FrameIoTest, CloseInsideHeaderIsTruncated) {
+  Pipe pipe;
+  const unsigned char partial[3] = {'S', 'A', 'P'};
+  ASSERT_EQ(::write(pipe.w(), partial, sizeof(partial)), 3);
+  pipe.close_write();
+  Frame frame;
+  EXPECT_EQ(read_frame(pipe.r(), &frame), ReadStatus::kTruncated);
+}
+
+TEST(FrameIoTest, CloseInsidePayloadIsTruncated) {
+  Pipe pipe;
+  unsigned char header[kFrameHeaderBytes];
+  encode_frame_header(header, FrameType::kSolveRequest, 100);
+  ASSERT_EQ(::write(pipe.w(), header, sizeof(header)),
+            static_cast<ssize_t>(sizeof(header)));
+  ASSERT_EQ(::write(pipe.w(), "abc", 3), 3);
+  pipe.close_write();
+  Frame frame;
+  EXPECT_EQ(read_frame(pipe.r(), &frame), ReadStatus::kTruncated);
+}
+
+TEST(FrameIoTest, GarbageMagicRejected) {
+  Pipe pipe;
+  const unsigned char garbage[kFrameHeaderBytes] = {0xff, 0xfe, 0xfd, 0xfc};
+  ASSERT_EQ(::write(pipe.w(), garbage, sizeof(garbage)),
+            static_cast<ssize_t>(sizeof(garbage)));
+  Frame frame;
+  EXPECT_EQ(read_frame(pipe.r(), &frame), ReadStatus::kBadMagic);
+}
+
+TEST(FrameIoTest, OversizedDeclaredLengthRejectedBeforeRead) {
+  Pipe pipe;
+  unsigned char header[kFrameHeaderBytes];
+  encode_frame_header(header, FrameType::kSolveRequest, 1 << 20);
+  ASSERT_EQ(::write(pipe.w(), header, sizeof(header)),
+            static_cast<ssize_t>(sizeof(header)));
+  Frame frame;
+  // Ceiling below the declared length: rejected without reading a payload
+  // byte (nothing was even written into the pipe).
+  EXPECT_EQ(read_frame(pipe.r(), &frame, /*max_payload=*/1024),
+            ReadStatus::kTooLarge);
+}
+
+TEST(FrameIoTest, LargePayloadCrossesPipeBufferBoundary) {
+  Pipe pipe;
+  // Larger than the default 64 KiB pipe buffer: forces partial reads and
+  // writes, so a writer thread is required.
+  const std::string payload(1 << 20, 'x');
+  std::thread writer([&] {
+    EXPECT_TRUE(write_frame(pipe.w(), FrameType::kSolveResponse, payload));
+  });
+  Frame frame;
+  EXPECT_EQ(read_frame(pipe.r(), &frame, payload.size()), ReadStatus::kOk);
+  writer.join();
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(ProtocolTest, SolveRequestRoundTrip) {
+  SolveRequest request;
+  request.kind = SolveRequest::Kind::kRing;
+  request.algo = "full";
+  request.eps = 0.1;  // not exactly representable — hexfloat must round-trip
+  request.seed = 0xDEADBEEFCAFEull;
+  request.instance_text = "sap-ring v1\nedges 3\n# comment\n";
+  const SolveRequest back = parse_solve_request(encode_solve_request(request));
+  EXPECT_EQ(back.kind, SolveRequest::Kind::kRing);
+  EXPECT_EQ(back.algo, request.algo);
+  EXPECT_EQ(back.eps, request.eps);  // bit-exact
+  EXPECT_EQ(back.seed, request.seed);
+  EXPECT_EQ(back.instance_text, request.instance_text);
+}
+
+TEST(ProtocolTest, SolveResponseRoundTrip) {
+  SolveResponse response;
+  response.weight = -7;
+  response.placed = 3;
+  response.total_tasks = 9;
+  response.wall_micros = 123456;
+  response.telemetry_json = "{\"sap.winner.small\": 1}";
+  response.solution_text = "sap-solution v1\nplacements 1\n0 4\n";
+  const SolveResponse back =
+      parse_solve_response(encode_solve_response(response));
+  EXPECT_EQ(back.weight, response.weight);
+  EXPECT_EQ(back.placed, response.placed);
+  EXPECT_EQ(back.total_tasks, response.total_tasks);
+  EXPECT_EQ(back.wall_micros, response.wall_micros);
+  EXPECT_EQ(back.telemetry_json, response.telemetry_json);
+  EXPECT_EQ(back.solution_text, response.solution_text);
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTripIncludingMultilineMessage) {
+  const ErrorResponse error{ErrorCode::kBadRequest,
+                            "instance_io: line 3: expected capacity\nmore"};
+  const ErrorResponse back =
+      parse_error_response(encode_error_response(error));
+  EXPECT_EQ(back.code, ErrorCode::kBadRequest);
+  EXPECT_EQ(back.message, error.message);
+}
+
+TEST(ProtocolTest, ErrorCodeNamesRoundTrip) {
+  for (const ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kOverloaded,
+        ErrorCode::kShuttingDown, ErrorCode::kInternal}) {
+    EXPECT_EQ(parse_error_code(error_code_name(code)), code);
+  }
+  EXPECT_THROW(parse_error_code("NOT_A_CODE"), std::invalid_argument);
+}
+
+TEST(ProtocolTest, MalformedEnvelopesRejected) {
+  EXPECT_THROW(parse_solve_request(""), std::invalid_argument);
+  EXPECT_THROW(parse_solve_request("sapd-solve v2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_solve_request("sapd-solve v1\nkind tree\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_solve_request("sapd-solve v1\nkind path\nalgo full\neps nan!\n"),
+      std::invalid_argument);
+  EXPECT_THROW(parse_solve_request("sapd-solve v1\nkind path\nalgo full\n"
+                                   "eps 0.5\nseed -1x\ninstance\n"),
+               std::invalid_argument);
+  // Missing the "instance" separator line.
+  EXPECT_THROW(parse_solve_request("sapd-solve v1\nkind path\nalgo full\n"
+                                   "eps 0.5\nseed 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_solve_response("sapd-result v1\nweight banana\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_error_response("sapd-error v1\ncode NOPE\nmessage x"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sap::service

@@ -1,0 +1,448 @@
+// Loopback integration tests for the sapd service: concurrent clients get
+// byte-identical answers to in-process solves, hostile bytes are rejected
+// with typed errors, a full admission queue backpressures with OVERLOADED,
+// and shutdown drains in-flight work. Every server binds port 0 (ephemeral),
+// so the suite is parallel-safe.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <functional>
+#include <numeric>
+#include <semaphore>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/core/ring_solver.hpp"
+#include "src/core/sap_solver.hpp"
+#include "src/gen/generators.hpp"
+#include "src/io/instance_io.hpp"
+#include "src/model/verify.hpp"
+#include "src/service/client.hpp"
+#include "src/service/frame.hpp"
+#include "src/service/server.hpp"
+
+namespace sap::service {
+namespace {
+
+std::string ring_to_string(const RingInstance& inst) {
+  std::ostringstream os;
+  write_ring_instance(os, inst);
+  return os.str();
+}
+
+/// In-process reference for a path request, matching the server exactly.
+std::string reference_path_solution(const std::string& instance_text,
+                                    double eps, std::uint64_t seed) {
+  std::istringstream is(instance_text);
+  const PathInstance inst = read_path_instance(is);
+  SolverParams params;
+  params.eps = eps;
+  params.seed = seed;
+  std::ostringstream os;
+  write_sap_solution(os, solve_sap(inst, params));
+  return os.str();
+}
+
+std::string reference_ring_solution(const std::string& instance_text,
+                                    double eps, std::uint64_t seed) {
+  std::istringstream is(instance_text);
+  const RingInstance inst = read_ring_instance(is);
+  RingSolverParams params;
+  params.path.eps = eps;
+  params.path.seed = seed;
+  std::ostringstream os;
+  write_ring_solution(os, solve_ring_sap(inst, params));
+  return os.str();
+}
+
+/// Raw TCP connection for sending hostile bytes below the Client layer.
+int connect_raw(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+void spin_until(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 10'000 && !predicate(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(predicate());
+}
+
+TEST(ServiceTest, ConcurrentClientsGetByteIdenticalVerifiedAnswers) {
+  Server server(ServerOptions{});
+  server.start();
+
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kRequestsPerClient = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, port = server.port(), &failures] {
+      Client client;
+      client.connect("127.0.0.1", port);
+      for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
+        const std::uint64_t seed = 1000 * c + r;
+        const bool ring = (c + r) % 3 == 0;
+        Rng rng(seed);
+        SolveRequest request;
+        request.eps = 0.5;
+        request.seed = seed;
+        if (ring) {
+          RingGenOptions gen;
+          gen.num_edges = 8;
+          gen.num_tasks = 10;
+          request.kind = SolveRequest::Kind::kRing;
+          request.instance_text =
+              ring_to_string(generate_ring_instance(gen, rng));
+        } else {
+          PathGenOptions gen;
+          gen.num_edges = 10;
+          gen.num_tasks = 14;
+          request.kind = SolveRequest::Kind::kPath;
+          request.instance_text = to_string(generate_path_instance(gen, rng));
+        }
+
+        const Client::SolveOutcome outcome = client.solve(request);
+        if (!outcome.ok) {
+          ++failures;
+          ADD_FAILURE() << "solve rejected: " << outcome.error_message;
+          continue;
+        }
+
+        // Byte-identical to the same solve run in this process.
+        const std::string expected =
+            ring ? reference_ring_solution(request.instance_text, request.eps,
+                                           request.seed)
+                 : reference_path_solution(request.instance_text, request.eps,
+                                           request.seed);
+        if (outcome.response.solution_text != expected) {
+          ++failures;
+          ADD_FAILURE() << "served solution differs from in-process solve "
+                           "(client "
+                        << c << ", request " << r << ")";
+        }
+
+        // Independently verified feasible.
+        std::istringstream solution_is(outcome.response.solution_text);
+        if (ring) {
+          std::istringstream instance_is(request.instance_text);
+          const RingInstance inst = read_ring_instance(instance_is);
+          const RingSapSolution sol = read_ring_solution(solution_is);
+          const VerifyResult check = verify_ring_sap(inst, sol);
+          if (!check) {
+            ++failures;
+            ADD_FAILURE() << "infeasible ring solution: " << check.reason;
+          }
+          if (outcome.response.weight != inst.solution_weight(sol)) ++failures;
+        } else {
+          std::istringstream instance_is(request.instance_text);
+          const PathInstance inst = read_path_instance(instance_is);
+          const SapSolution sol = read_sap_solution(solution_is);
+          const VerifyResult check = verify_sap(inst, sol);
+          if (!check) {
+            ++failures;
+            ADD_FAILURE() << "infeasible path solution: " << check.reason;
+          }
+          if (outcome.response.weight != sol.weight(inst)) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_ok, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.requests_bad, 0u);
+  EXPECT_EQ(stats.connections_accepted, kClients);
+  EXPECT_EQ(stats.latency_samples, kClients * kRequestsPerClient);
+  server.stop();
+}
+
+TEST(ServiceTest, SolverSelectionMatchesInProcessBackends) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  Rng rng(99);
+  PathGenOptions gen;
+  gen.num_edges = 8;
+  gen.num_tasks = 12;
+  const PathInstance inst = generate_path_instance(gen, rng);
+  SolverParams params;
+  params.eps = 0.5;
+  params.seed = 7;
+
+  std::vector<TaskId> ids(inst.num_tasks());
+  std::iota(ids.begin(), ids.end(), TaskId{0});
+  const std::pair<const char*, SapSolution> expectations[] = {
+      {"full", solve_sap(inst, params)},
+      {"small", solve_small_tasks(inst, ids, params)},
+      {"medium", solve_medium_tasks(inst, ids, params)},
+      {"large", solve_large_tasks(inst, ids, params)},
+  };
+  for (const auto& [algo, expected_sol] : expectations) {
+    SolveRequest request;
+    request.algo = algo;
+    request.eps = 0.5;
+    request.seed = 7;
+    request.instance_text = to_string(inst);
+    const Client::SolveOutcome outcome = client.solve(request);
+    ASSERT_TRUE(outcome.ok) << algo << ": " << outcome.error_message;
+    std::ostringstream expected_os;
+    write_sap_solution(expected_os, expected_sol);
+    EXPECT_EQ(outcome.response.solution_text, expected_os.str()) << algo;
+  }
+  server.stop();
+}
+
+TEST(ServiceTest, MalformedEnvelopeAndInstanceRejectedTyped) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  // Unparseable instance text: typed BAD_REQUEST with the reader's
+  // line-numbered diagnostic, and the connection survives.
+  SolveRequest request;
+  request.instance_text = "sap-path v1\nedges 2\ncapacities 4 nope\n";
+  Client::SolveOutcome outcome = client.solve(request);
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error_code, ErrorCode::kBadRequest);
+  EXPECT_NE(outcome.error_message.find("line 3"), std::string::npos)
+      << outcome.error_message;
+
+  // Unknown algo: BAD_REQUEST, connection still usable afterwards.
+  request.instance_text = "sap-path v1\nedges 1\ncapacities 4\ntasks 0\n";
+  request.algo = "quantum";
+  outcome = client.solve(request);
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error_code, ErrorCode::kBadRequest);
+
+  request.algo = "full";
+  outcome = client.solve(request);
+  EXPECT_TRUE(outcome.ok);
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_bad, 2u);
+  EXPECT_EQ(stats.requests_ok, 1u);
+  server.stop();
+}
+
+TEST(ServiceTest, InstanceOverServerReadLimitsRejected) {
+  ServerOptions options;
+  options.read_limits.max_tasks = 4;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest request;
+  request.instance_text =
+      "sap-path v1\nedges 1\ncapacities 9\ntasks 5\n"
+      "0 0 1 1\n0 0 1 1\n0 0 1 1\n0 0 1 1\n0 0 1 1\n";
+  const Client::SolveOutcome outcome = client.solve(request);
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error_code, ErrorCode::kBadRequest);
+  EXPECT_NE(outcome.error_message.find("exceeds limit"), std::string::npos)
+      << outcome.error_message;
+  server.stop();
+}
+
+TEST(ServiceTest, GarbageMagicGetsErrorThenClose) {
+  Server server(ServerOptions{});
+  server.start();
+
+  const int fd = connect_raw(server.port());
+  // Exactly one header's worth of garbage: nothing is left unread when the
+  // server closes, so the client sees a clean FIN, not an RST.
+  const unsigned char garbage[kFrameHeaderBytes] = {'n', 'o', 'p', 'e', 1, 2,
+                                                    3,   4,   5,   6,   7, 8};
+  ASSERT_EQ(::write(fd, garbage, sizeof(garbage)),
+            static_cast<ssize_t>(sizeof(garbage)));
+  Frame frame;
+  ASSERT_EQ(read_frame(fd, &frame), ReadStatus::kOk);
+  EXPECT_EQ(frame.type, static_cast<std::uint32_t>(FrameType::kErrorResponse));
+  const ErrorResponse error = parse_error_response(frame.payload);
+  EXPECT_EQ(error.code, ErrorCode::kBadRequest);
+  // Server closes the poisoned stream after the error frame.
+  EXPECT_EQ(read_frame(fd, &frame), ReadStatus::kEof);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceTest, OversizedFrameGetsErrorThenClose) {
+  ServerOptions options;
+  options.max_frame_payload = 1024;
+  Server server(options);
+  server.start();
+
+  const int fd = connect_raw(server.port());
+  unsigned char header[kFrameHeaderBytes];
+  encode_frame_header(header, FrameType::kSolveRequest, 1 << 30);  // 1 GiB
+  ASSERT_EQ(::write(fd, header, sizeof(header)),
+            static_cast<ssize_t>(sizeof(header)));
+  Frame frame;
+  ASSERT_EQ(read_frame(fd, &frame), ReadStatus::kOk);
+  EXPECT_EQ(frame.type, static_cast<std::uint32_t>(FrameType::kErrorResponse));
+  const ErrorResponse error = parse_error_response(frame.payload);
+  EXPECT_EQ(error.code, ErrorCode::kBadRequest);
+  EXPECT_NE(error.message.find("exceeds server limit"), std::string::npos);
+  EXPECT_EQ(read_frame(fd, &frame), ReadStatus::kEof);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceTest, UnknownFrameTypeKeepsConnectionUsable) {
+  Server server(ServerOptions{});
+  server.start();
+
+  const int fd = connect_raw(server.port());
+  ASSERT_TRUE(write_frame(fd, static_cast<FrameType>(999), "???"));
+  Frame frame;
+  ASSERT_EQ(read_frame(fd, &frame), ReadStatus::kOk);
+  EXPECT_EQ(frame.type, static_cast<std::uint32_t>(FrameType::kErrorResponse));
+  // Frame boundary intact: a stats request on the same connection works.
+  ASSERT_TRUE(write_frame(fd, FrameType::kStatsRequest, ""));
+  ASSERT_EQ(read_frame(fd, &frame), ReadStatus::kOk);
+  EXPECT_EQ(frame.type, static_cast<std::uint32_t>(FrameType::kStatsResponse));
+  EXPECT_NE(frame.payload.find("\"queue_depth\""), std::string::npos);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceTest, FullAdmissionQueueRejectsWithOverloadedImmediately) {
+  std::counting_semaphore<64> gate(0);
+  ServerOptions options;
+  options.solver_threads = 1;
+  options.max_queue = 1;
+  options.test_pre_solve_hook = [&gate] { gate.acquire(); };
+  Server server(options);
+  server.start();
+
+  SolveRequest request;
+  request.instance_text = "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n"
+                          "0 0 2 5\n";
+
+  // A occupies the single worker (blocked in the hook), B fills the queue.
+  Client::SolveOutcome outcome_a, outcome_b;
+  std::thread a([&] {
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    outcome_a = client.solve(request);
+  });
+  spin_until([&] { return server.stats_snapshot().active_solves == 1; });
+  std::thread b([&] {
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    outcome_b = client.solve(request);
+  });
+  spin_until([&] { return server.stats_snapshot().queue_depth == 1; });
+
+  // C must be rejected immediately — typed OVERLOADED, not a hang or drop.
+  Client overflow_client;
+  overflow_client.connect("127.0.0.1", server.port());
+  const Client::SolveOutcome outcome_c = overflow_client.solve(request);
+  ASSERT_FALSE(outcome_c.ok);
+  EXPECT_EQ(outcome_c.error_code, ErrorCode::kOverloaded);
+
+  // Releasing the worker drains A then B normally.
+  gate.release(2);
+  a.join();
+  b.join();
+  EXPECT_TRUE(outcome_a.ok) << outcome_a.error_message;
+  EXPECT_TRUE(outcome_b.ok) << outcome_b.error_message;
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_ok, 2u);
+  EXPECT_EQ(stats.requests_overloaded, 1u);
+  server.stop();
+}
+
+TEST(ServiceTest, StopDrainsInFlightSolvesBeforeReturning) {
+  std::counting_semaphore<64> gate(0);
+  ServerOptions options;
+  options.solver_threads = 1;
+  options.test_pre_solve_hook = [&gate] { gate.acquire(); };
+  Server server(options);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  SolveRequest request;
+  request.instance_text = "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n"
+                          "0 0 2 5\n";
+  Client::SolveOutcome outcome;
+  std::thread in_flight([&] {
+    Client client;
+    client.connect("127.0.0.1", port);
+    outcome = client.solve(request);
+  });
+  spin_until([&] { return server.stats_snapshot().active_solves == 1; });
+
+  std::atomic<bool> stopped{false};
+  std::thread stopper([&] {
+    server.stop();
+    stopped = true;
+  });
+  // stop() must wait for the admitted solve, which is still gated.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(stopped.load());
+
+  gate.release(1);
+  stopper.join();
+  in_flight.join();
+  EXPECT_TRUE(stopped.load());
+  // The drained solve flushed its (successful) response before shutdown.
+  EXPECT_TRUE(outcome.ok) << outcome.error_message;
+
+  // The listener is really gone.
+  Client late;
+  EXPECT_THROW(late.connect("127.0.0.1", port), std::runtime_error);
+}
+
+TEST(ServiceTest, StatsReportsOutcomeCountsAndPercentiles) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest request;
+  request.instance_text = "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n"
+                          "0 0 2 5\n";
+  ASSERT_TRUE(client.solve(request).ok);
+  request.instance_text = "not an instance";
+  ASSERT_FALSE(client.solve(request).ok);
+
+  const std::string json = client.stats_json();
+  EXPECT_NE(json.find("\"ok\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bad_request\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  // The snapshot API agrees with the wire report.
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_ok, 1u);
+  EXPECT_EQ(stats.requests_bad, 1u);
+  EXPECT_EQ(stats.stats_requests, 1u);
+  EXPECT_EQ(stats.latency_samples, 1u);
+  EXPECT_GT(stats.latency_p50_ms, 0.0);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace sap::service
