@@ -1,7 +1,8 @@
 // Experiment E7 (Theorem 5 / Section 7): the ring pipeline. Each parameter
-// point is one batch_runner sweep; measured ratio against the two-route LP
-// relaxation (ring_lp_upper_bound, a relaxation of ring UFPP, hence of ring
-// SAP). Bound: 10 + eps. Branch wins come from the solver telemetry.
+// point is one batch_runner sweep; measured ratio against the ring ladder's
+// certified dual of the two-route LP relaxation (a relaxation of ring UFPP,
+// hence of ring SAP). Bound: 10 + eps. Branch wins come from the solver
+// telemetry.
 #include <cstdio>
 #include <iostream>
 

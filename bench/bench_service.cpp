@@ -8,8 +8,12 @@
 // are directly comparable with the in-process batch harness: the delta is
 // the cost of framing + admission + scheduling, not different workloads.
 //
+// With --certify the same closed loop runs a second time with every request
+// asking for a certificate ("certify 1"), so the report isolates the
+// end-to-end latency cost of per-solve certification on identical traffic.
+//
 // Usage: bench_service [--clients C] [--requests N] [--threads T]
-//                      [--out FILE.json]
+//                      [--certify] [--out FILE.json]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -69,12 +73,104 @@ std::vector<PooledInstance> build_instance_pool() {
   return pool;
 }
 
+/// One closed-loop pass over the pool: every client issues its requests
+/// back-to-back; client-observed latencies are collected per client and
+/// merged afterwards.
+struct PassResult {
+  std::vector<double> all_ms;
+  Summary latency;
+  std::size_t errors = 0;
+  std::size_t certificates = 0;  ///< responses carrying a certificate
+  double wall_seconds = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double qps = 0.0;
+};
+
+PassResult run_pass(service::Server& server,
+                    const std::vector<PooledInstance>& pool,
+                    std::size_t clients, std::size_t requests_per_client,
+                    bool certify) {
+  std::vector<std::vector<double>> per_client_ms(clients);
+  std::vector<std::size_t> per_client_errors(clients, 0);
+  std::vector<std::size_t> per_client_certs(clients, 0);
+  const auto bench_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        service::Client client;
+        client.connect("127.0.0.1", server.port());
+        per_client_ms[c].reserve(requests_per_client);
+        for (std::size_t r = 0; r < requests_per_client; ++r) {
+          const PooledInstance& inst =
+              pool[(c * requests_per_client + r) % pool.size()];
+          service::SolveRequest request;
+          request.eps = 0.5;
+          request.seed = inst.seed;
+          request.want_certificate = certify;
+          request.instance_text = inst.text;
+          const auto t0 = std::chrono::steady_clock::now();
+          const service::Client::SolveOutcome outcome =
+              client.solve(request);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (outcome.ok) {
+            per_client_ms[c].push_back(
+                1e3 * std::chrono::duration<double>(t1 - t0).count());
+            if (!outcome.response.certificate_text.empty()) {
+              ++per_client_certs[c];
+            }
+          } else {
+            ++per_client_errors[c];
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  PassResult out;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  for (std::size_t c = 0; c < clients; ++c) {
+    for (const double ms : per_client_ms[c]) {
+      out.all_ms.push_back(ms);
+      out.latency.add(ms);
+    }
+    out.errors += per_client_errors[c];
+    out.certificates += per_client_certs[c];
+  }
+  const std::size_t total = clients * requests_per_client;
+  out.qps = static_cast<double>(total - out.errors) /
+            std::max(out.wall_seconds, 1e-9);
+  out.p50 = percentile(out.all_ms, 50.0);
+  out.p95 = percentile(out.all_ms, 95.0);
+  out.p99 = percentile(out.all_ms, 99.0);
+  return out;
+}
+
+void write_pass_json(std::ostream& out, const PassResult& pass,
+                     std::size_t total) {
+  out << "{\n";
+  out << "      \"requests_ok\": " << (total - pass.errors) << ",\n";
+  out << "      \"requests_failed\": " << pass.errors << ",\n";
+  out << "      \"certificates_returned\": " << pass.certificates << ",\n";
+  out << "      \"wall_seconds\": " << pass.wall_seconds << ",\n";
+  out << "      \"qps\": " << pass.qps << ",\n";
+  out << "      \"latency_ms\": {\"p50\": " << pass.p50
+      << ", \"p95\": " << pass.p95 << ", \"p99\": " << pass.p99
+      << ", \"max\": " << pass.latency.max() << "}\n";
+  out << "    }";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t clients = 8;
   std::size_t requests_per_client = 40;
   std::size_t threads = 0;
+  bool certify = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,12 +187,14 @@ int main(int argc, char** argv) {
       requests_per_client = std::stoull(next());
     } else if (arg == "--threads") {
       threads = std::stoull(next());
+    } else if (arg == "--certify") {
+      certify = true;
     } else if (arg == "--out") {
       out_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: bench_service [--clients C] [--requests N] "
-                   "[--threads T] [--out FILE]\n");
+                   "[--threads T] [--certify] [--out FILE]\n");
       return 2;
     }
   }
@@ -104,8 +202,9 @@ int main(int argc, char** argv) {
   std::printf("== sapd service load benchmark (closed loop) ==\n");
   const std::vector<PooledInstance> pool = build_instance_pool();
   std::printf("instance pool: %zu instances (E6 grid), %zu clients x %zu "
-              "requests\n\n",
-              pool.size(), clients, requests_per_client);
+              "requests%s\n\n",
+              pool.size(), clients, requests_per_client,
+              certify ? ", plain + certified passes" : "");
 
   service::ServerOptions options;
   options.solver_threads = threads;
@@ -113,71 +212,50 @@ int main(int argc, char** argv) {
   service::Server server(std::move(options));
   server.start();
 
-  std::vector<std::vector<double>> per_client_ms(clients);
-  std::vector<std::size_t> per_client_errors(clients, 0);
-  const auto bench_start = std::chrono::steady_clock::now();
-  {
-    std::vector<std::thread> workers;
-    workers.reserve(clients);
-    for (std::size_t c = 0; c < clients; ++c) {
-      workers.emplace_back([&, c] {
-        service::Client client;
-        client.connect("127.0.0.1", server.port());
-        per_client_ms[c].reserve(requests_per_client);
-        for (std::size_t r = 0; r < requests_per_client; ++r) {
-          const PooledInstance& inst =
-              pool[(c * requests_per_client + r) % pool.size()];
-          service::SolveRequest request;
-          request.eps = 0.5;
-          request.seed = inst.seed;
-          request.instance_text = inst.text;
-          const auto t0 = std::chrono::steady_clock::now();
-          const service::Client::SolveOutcome outcome =
-              client.solve(request);
-          const auto t1 = std::chrono::steady_clock::now();
-          if (outcome.ok) {
-            per_client_ms[c].push_back(
-                1e3 * std::chrono::duration<double>(t1 - t0).count());
-          } else {
-            ++per_client_errors[c];
-          }
-        }
-      });
-    }
-    for (auto& worker : workers) worker.join();
-  }
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    bench_start)
-          .count();
-
-  std::vector<double> all_ms;
-  std::size_t errors = 0;
-  Summary latency;
-  for (std::size_t c = 0; c < clients; ++c) {
-    for (const double ms : per_client_ms[c]) {
-      all_ms.push_back(ms);
-      latency.add(ms);
-    }
-    errors += per_client_errors[c];
-  }
   const std::size_t total = clients * requests_per_client;
-  const double qps =
-      static_cast<double>(total - errors) / std::max(wall_seconds, 1e-9);
-  const double p50 = percentile(all_ms, 50.0);
-  const double p95 = percentile(all_ms, 95.0);
-  const double p99 = percentile(all_ms, 99.0);
+  const PassResult plain =
+      run_pass(server, pool, clients, requests_per_client, /*certify=*/false);
+  PassResult certified;
+  if (certify) {
+    certified =
+        run_pass(server, pool, clients, requests_per_client, /*certify=*/true);
+  }
 
-  TablePrinter table({"metric", "value"});
-  table.add_row({"requests ok", std::to_string(total - errors)});
-  table.add_row({"requests failed", std::to_string(errors)});
-  table.add_row({"wall seconds", fmt(wall_seconds, 2)});
-  table.add_row({"achieved QPS", fmt(qps, 1)});
-  table.add_row({"latency p50 ms", fmt(p50, 2)});
-  table.add_row({"latency p95 ms", fmt(p95, 2)});
-  table.add_row({"latency p99 ms", fmt(p99, 2)});
-  table.add_row({"latency max ms", fmt(latency.max(), 2)});
+  TablePrinter table(certify ? std::vector<std::string>{"metric", "plain",
+                                                        "certified"}
+                             : std::vector<std::string>{"metric", "value"});
+  auto add_row = [&](const std::string& name, const std::string& a,
+                     const std::string& b) {
+    if (certify) {
+      table.add_row({name, a, b});
+    } else {
+      table.add_row({name, a});
+    }
+  };
+  add_row("requests ok", std::to_string(total - plain.errors),
+          std::to_string(total - certified.errors));
+  add_row("requests failed", std::to_string(plain.errors),
+          std::to_string(certified.errors));
+  add_row("certificates", std::to_string(plain.certificates),
+          std::to_string(certified.certificates));
+  add_row("wall seconds", fmt(plain.wall_seconds, 2),
+          fmt(certified.wall_seconds, 2));
+  add_row("achieved QPS", fmt(plain.qps, 1), fmt(certified.qps, 1));
+  add_row("latency p50 ms", fmt(plain.p50, 2), fmt(certified.p50, 2));
+  add_row("latency p95 ms", fmt(plain.p95, 2), fmt(certified.p95, 2));
+  add_row("latency p99 ms", fmt(plain.p99, 2), fmt(certified.p99, 2));
+  add_row("latency max ms", fmt(plain.latency.max(), 2),
+          fmt(certified.latency.max(), 2));
   table.print(std::cout);
+  if (certify) {
+    std::printf("\ncertification overhead: p50 %+.2f ms (%+.1f%%), "
+                "QPS %+.1f%%\n",
+                certified.p50 - plain.p50,
+                plain.p50 > 0 ? 1e2 * (certified.p50 - plain.p50) / plain.p50
+                              : 0.0,
+                plain.qps > 0 ? 1e2 * (certified.qps - plain.qps) / plain.qps
+                              : 0.0);
+  }
 
   const service::ServerStats stats = server.stats_snapshot();
   std::printf("\nserver side: ok=%llu bad=%llu overloaded=%llu "
@@ -200,19 +278,24 @@ int main(int argc, char** argv) {
     out << "    \"clients\": " << clients << ",\n";
     out << "    \"requests_per_client\": " << requests_per_client << ",\n";
     out << "    \"instance_pool\": " << pool.size() << ",\n";
+    out << "    \"certify\": " << (certify ? "true" : "false") << ",\n";
     out << "    \"generator\": \"bench_full_solver E6 grid (12 edges, caps "
            "8..48, mixed demand, 5 profiles, n in {12,24,48})\"\n";
     out << "  },\n";
     out << "  \"results\": {\n";
-    out << "    \"requests_ok\": " << (total - errors) << ",\n";
-    out << "    \"requests_failed\": " << errors << ",\n";
-    out << "    \"wall_seconds\": " << wall_seconds << ",\n";
-    out << "    \"qps\": " << qps << ",\n";
-    out << "    \"latency_ms\": {\"p50\": " << p50 << ", \"p95\": " << p95
-        << ", \"p99\": " << p99 << ", \"max\": " << latency.max() << "}\n";
-    out << "  }\n";
+    out << "    \"plain\": ";
+    write_pass_json(out, plain, total);
+    if (certify) {
+      out << ",\n    \"certified\": ";
+      write_pass_json(out, certified, total);
+      out << ",\n    \"certify_overhead\": {\"p50_ms\": "
+          << (certified.p50 - plain.p50) << ", \"p95_ms\": "
+          << (certified.p95 - plain.p95) << ", \"qps_ratio\": "
+          << (plain.qps > 0 ? certified.qps / plain.qps : 0.0) << "}";
+    }
+    out << "\n  }\n";
     out << "}\n";
     std::printf("wrote %s\n", out_path.c_str());
   }
-  return errors == 0 ? 0 : 1;
+  return plain.errors + certified.errors == 0 ? 0 : 1;
 }

@@ -13,12 +13,22 @@
 //                      [--tasks N] [--profile P] [--demand D] [--eps X]
 //                      [--ring] [--no-timings] [--cases] [--out FILE]
 //   sapkit_cli serve   [--host H] [--port P] [--threads T] [--queue Q]
-//   sapkit_cli request [--host H] [--port P] [--stats] [--ring]
-//                      [--algo A] [--eps X] [--seed N] [file]
+//   sapkit_cli request [--host H] [--port P] [--stats] [--ring] [--certify]
+//                      [--cert-out FILE] [--algo A] [--eps X] [--seed N]
+//                      [file]
+//   sapkit_cli certify --solution SOL [--cert CERT] [--ring] [file]
+//
+// `certify` with --cert validates an existing certificate against the
+// instance + solution through the independent checker; without --cert it
+// produces a fresh certificate (written to stdout or --cert-out), then
+// self-checks it. `solve --certify` and `batch --certify` certify solver
+// output inline; `request --certify` asks the server for a certificate and
+// re-checks it client-side.
 //
 // Exit codes: 0 success, 1 runtime failure (unreadable file, infeasible
-// output, connection refused, typed server rejection), 2 usage error
-// (unknown subcommand, unknown flag, missing or malformed flag value).
+// output, connection refused, typed server rejection, invalid or
+// unverifiable certificate), 2 usage error (unknown subcommand, unknown
+// flag, missing or malformed flag value).
 //
 // Instances use the sap-path v1 text format (see src/io/instance_io.hpp).
 // Batch reports use the sapkit-batch-v1 JSON schema (see docs/ALGORITHMS.md).
@@ -30,6 +40,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "src/cert/certify.hpp"
 #include "src/core/sap_solver.hpp"
 #include "src/exact/profile_dp.hpp"
 #include "src/gen/generators.hpp"
@@ -55,14 +66,16 @@ void print_usage(std::ostream& os) {
   os << "usage: sapkit_cli "
         "solve|exact|bound|gen|batch|serve|request [options] [file]\n"
         "  solve   --algo full|uniform|small|medium|large --eps X --seed N\n"
+        "          [--certify] [--cert-out FILE]\n"
         "  gen     --edges M --tasks N --seed S\n"
         "  batch   --count N --seed S --threads T --edges M --tasks N\n"
         "          --profile uniform|valley|mountain|staircase|walk\n"
-        "          --demand small|medium|large|mixed --eps X\n"
+        "          --demand small|medium|large|mixed --eps X [--certify]\n"
         "          [--ring] [--no-timings] [--cases] [--out FILE]\n"
         "  serve   --host H --port P --threads T --queue Q\n"
-        "  request --host H --port P [--stats] [--ring] --algo A --eps X\n"
-        "          --seed N [file]\n";
+        "  request --host H --port P [--stats] [--ring] [--certify]\n"
+        "          [--cert-out FILE] --algo A --eps X --seed N [file]\n"
+        "  certify --solution SOL [--cert CERT] [--ring] [file]\n";
 }
 
 int usage_error(const std::string& message) {
@@ -76,6 +89,13 @@ PathInstance load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   return read_path_instance(in);
+}
+
+RingInstance load_ring(const std::string& path) {
+  if (path.empty() || path == "-") return read_ring_instance(std::cin);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_ring_instance(in);
 }
 
 /// Raw text of an instance file; `request` ships it to the server without
@@ -134,7 +154,11 @@ struct Options {
   bool timings = true;
   bool cases = false;
   bool stats = false;
+  bool certify = false;
   std::string out_path;
+  std::string cert_out_path;
+  std::string solution_path;
+  std::string cert_path;
   std::string file;
 };
 
@@ -202,8 +226,16 @@ Options parse_options(int argc, char** argv) {
       opt.cases = true;
     } else if (arg == "--stats") {
       opt.stats = true;
+    } else if (arg == "--certify") {
+      opt.certify = true;
     } else if (arg == "--out") {
       opt.out_path = next();
+    } else if (arg == "--cert-out") {
+      opt.cert_out_path = next();
+    } else if (arg == "--solution") {
+      opt.solution_path = next();
+    } else if (arg == "--cert") {
+      opt.cert_path = next();
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       throw UsageError("unknown flag: " + arg);
     } else {
@@ -211,6 +243,73 @@ Options parse_options(int argc, char** argv) {
     }
   }
   return opt;
+}
+
+void write_certificate_to(const std::string& path,
+                          const cert::Certificate& c) {
+  if (path.empty()) {
+    write_certificate(std::cout, c);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_certificate(out, c);
+}
+
+/// One-line human summary of a certificate, to stderr.
+void print_cert_summary(const cert::Certificate& c, bool checked) {
+  std::cerr << "certificate: rung " << cert::ub_rung_name(c.ub.rung)
+            << ", weight " << c.solution_weight << ", ub " << c.ub.value
+            << ", alpha " << c.alpha_num << "/" << c.alpha_den << ", check "
+            << (checked ? "ok" : "FAILED") << "\n";
+}
+
+/// Shared path/ring body of the `certify` subcommand: validate an existing
+/// certificate (--cert) or produce + self-check a fresh one.
+template <typename Inst, typename Sol>
+int certify_pair(const Inst& inst, const Sol& sol, const Options& opt) {
+  if (!opt.cert_path.empty()) {
+    std::ifstream cert_in(opt.cert_path);
+    if (!cert_in) throw std::runtime_error("cannot open " + opt.cert_path);
+    const cert::Certificate c = read_certificate(cert_in);
+    const cert::CheckResult check = cert::check_certificate(inst, sol, c);
+    if (!check.valid) {
+      std::cerr << "certificate REJECTED: " << check.reason << "\n";
+      return 1;
+    }
+    print_cert_summary(c, /*checked=*/true);
+    return 0;
+  }
+  const cert::CertifyOutcome outcome = cert::certify_solution(inst, sol);
+  if (!outcome.certified) {
+    std::cerr << "error: cannot certify: " << outcome.detail << "\n";
+    return 1;
+  }
+  const cert::CheckResult check =
+      cert::check_certificate(inst, sol, outcome.cert);
+  write_certificate_to(opt.cert_out_path, outcome.cert);
+  print_cert_summary(outcome.cert, check.valid);
+  if (!check.valid) {
+    std::cerr << "certificate REJECTED: " << check.reason << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_certify(const Options& opt) {
+  if (opt.solution_path.empty()) {
+    throw UsageError("certify requires --solution FILE");
+  }
+  std::ifstream sol_in(opt.solution_path);
+  if (!sol_in) throw std::runtime_error("cannot open " + opt.solution_path);
+  if (opt.ring) {
+    const RingInstance inst = load_ring(opt.file);
+    const RingSapSolution sol = read_ring_solution(sol_in);
+    return certify_pair(inst, sol, opt);
+  }
+  const PathInstance inst = load(opt.file);
+  const SapSolution sol = read_sap_solution(sol_in);
+  return certify_pair(inst, sol, opt);
 }
 
 int run_serve(const Options& opt) {
@@ -262,6 +361,7 @@ int run_request(const Options& opt) {
   request.algo = opt.algo;
   request.eps = opt.eps;
   request.seed = opt.seed;
+  request.want_certificate = opt.certify;
   request.instance_text = load_text(opt.file);
 
   const service::Client::SolveOutcome outcome = client.solve(request);
@@ -274,6 +374,32 @@ int run_request(const Options& opt) {
             << outcome.response.placed << "/" << outcome.response.total_tasks
             << " tasks) in " << outcome.response.wall_micros
             << "us server wall time\n";
+  if (opt.certify) {
+    // Trust, but verify: re-check the server's certificate locally through
+    // the independent checker before reporting success.
+    if (outcome.response.certificate_text.empty()) {
+      std::cerr << "error: server returned no certificate (pre-certification "
+                   "server, or the solve was not certifiable)\n";
+      return 1;
+    }
+    std::istringstream cert_is(outcome.response.certificate_text);
+    const cert::Certificate c = read_certificate(cert_is);
+    std::istringstream inst_is(request.instance_text);
+    std::istringstream sol_is(outcome.response.solution_text);
+    const cert::CheckResult check =
+        opt.ring ? cert::check_certificate(read_ring_instance(inst_is),
+                                           read_ring_solution(sol_is), c)
+                 : cert::check_certificate(read_path_instance(inst_is),
+                                           read_sap_solution(sol_is), c);
+    print_cert_summary(c, check.valid);
+    if (!check.valid) {
+      std::cerr << "certificate REJECTED: " << check.reason << "\n";
+      return 1;
+    }
+    if (!opt.cert_out_path.empty()) {
+      write_certificate_to(opt.cert_out_path, c);
+    }
+  }
   std::cout << outcome.response.solution_text;
   return 0;
 }
@@ -290,6 +416,7 @@ int dispatch(const std::string& command, const Options& opt) {
 
   if (command == "serve") return run_serve(opt);
   if (command == "request") return run_request(opt);
+  if (command == "certify") return run_certify(opt);
 
   if (command == "batch") {
     BatchOptions options;
@@ -303,6 +430,7 @@ int dispatch(const std::string& command, const Options& opt) {
       config.gen.num_edges = opt.edges;
       config.gen.num_tasks = opt.tasks;
       config.solver.path.eps = opt.eps;
+      config.certify = opt.certify;
       fn = make_ring_batch_case(config);
     } else {
       PathBatchConfig config;
@@ -311,6 +439,7 @@ int dispatch(const std::string& command, const Options& opt) {
       config.gen.profile = parse_profile(opt.profile);
       config.gen.demand = parse_demand(opt.demand);
       config.solver.eps = opt.eps;
+      config.certify = opt.certify;
       fn = make_path_batch_case(config);
     }
 
@@ -373,6 +502,23 @@ int dispatch(const std::string& command, const Options& opt) {
   }
   std::cerr << "weight " << sol.weight(inst) << " (" << sol.size() << "/"
             << inst.num_tasks() << " tasks)\n";
+  if (opt.certify) {
+    const cert::CertifyOutcome outcome = cert::certify_solution(inst, sol);
+    if (!outcome.certified) {
+      std::cerr << "error: cannot certify: " << outcome.detail << "\n";
+      return 1;
+    }
+    const cert::CheckResult cert_check =
+        cert::check_certificate(inst, sol, outcome.cert);
+    if (!opt.cert_out_path.empty()) {
+      write_certificate_to(opt.cert_out_path, outcome.cert);
+    }
+    print_cert_summary(outcome.cert, cert_check.valid);
+    if (!cert_check.valid) {
+      std::cerr << "certificate REJECTED: " << cert_check.reason << "\n";
+      return 1;
+    }
+  }
   write_sap_solution(std::cout, sol);
   return 0;
 }

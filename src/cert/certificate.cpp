@@ -1,0 +1,45 @@
+#include "src/cert/certificate.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace sap::cert {
+
+const char* ub_rung_name(UbRung rung) noexcept {
+  switch (rung) {
+    case UbRung::kExactDp:
+      return "exact_dp";
+    case UbRung::kUfppBnb:
+      return "ufpp_bnb";
+    case UbRung::kLpDual:
+      return "lp_dual";
+    case UbRung::kTotalWeight:
+      return "total_weight";
+  }
+  return "total_weight";
+}
+
+UbRung parse_ub_rung(std::string_view name) {
+  if (name == "exact_dp") return UbRung::kExactDp;
+  if (name == "ufpp_bnb") return UbRung::kUfppBnb;
+  if (name == "lp_dual") return UbRung::kLpDual;
+  if (name == "total_weight") return UbRung::kTotalWeight;
+  throw std::invalid_argument("cert: unknown upper-bound rung '" +
+                              std::string(name) + "'");
+}
+
+void set_alpha_from_bound(Certificate& cert) noexcept {
+  const Weight ub = cert.ub.value;
+  const Weight w = cert.solution_weight;
+  if (ub == 0 && w == 0) {
+    cert.alpha_num = 1;
+    cert.alpha_den = 1;
+    return;
+  }
+  const Weight g = std::gcd(ub, w);  // g > 0: not both are zero
+  cert.alpha_num = ub / g;
+  cert.alpha_den = w / g;
+}
+
+}  // namespace sap::cert

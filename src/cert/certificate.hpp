@@ -1,0 +1,84 @@
+// Per-solve certification vocabulary: what a certificate asserts and which
+// witnesses it carries.
+//
+// A Certificate makes a solution self-verifying. It claims three things
+// about a (instance, solution) pair that travels next to it:
+//   1. feasibility — the solution itself is the witness; the verifier
+//      re-checks capacities, height bounds and vertical disjointness from
+//      scratch;
+//   2. an upper bound on OPT — one "rung" of the UpperBoundLadder fired
+//      (src/cert/ladder.hpp), and `ub.value` is its exact integral bound,
+//      with a dual-price witness attached when the rung is the LP bound;
+//   3. an a-posteriori approximation ratio — w(S) * alpha_num >=
+//      ub.value * alpha_den, i.e. w(S)/OPT >= w(S)/UB >= alpha_den/alpha_num.
+// The checker for all three is check_certificate (src/cert/check.hpp),
+// which deliberately shares no code with the producers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/model/task.hpp"
+
+namespace sap::cert {
+
+/// The rungs of the upper-bound ladder, tightest first. Lower rungs are
+/// never tighter than a higher rung that proved a bound, so the ladder
+/// stops at the first rung that fires.
+enum class UbRung : std::uint8_t {
+  kExactDp = 0,      ///< exact SAP optimum (profile DP, tiny instances)
+  kUfppBnb = 1,      ///< exact UFPP optimum (branch-and-bound), >= OPT_SAP
+  kLpDual = 2,       ///< rational-repaired dual of the UFPP LP relaxation
+  kTotalWeight = 3,  ///< trivial fallback: sum of all task weights
+};
+
+inline constexpr std::size_t kNumUbRungs = 4;
+
+[[nodiscard]] const char* ub_rung_name(UbRung rung) noexcept;
+/// Inverse of ub_rung_name; throws std::invalid_argument on unknown names.
+[[nodiscard]] UbRung parse_ub_rung(std::string_view name);
+
+/// Scaled integral dual prices for the UFPP LP relaxation: the price of
+/// edge e is edge_price[e] / scale. Any non-negative price vector yields a
+/// valid upper bound by weak duality once the per-task slacks are recomputed
+/// exactly (the repair in ladder.cpp / the recheck in check.cpp), so the
+/// double-based simplex that *suggested* the prices can never over-claim.
+struct DualWitness {
+  std::int64_t scale = 1;                ///< > 0
+  std::vector<std::int64_t> edge_price;  ///< one per edge, each >= 0
+
+  [[nodiscard]] bool empty() const noexcept { return edge_price.empty(); }
+};
+
+/// One proven upper bound on OPT: which rung fired and its exact value.
+struct UpperBoundCertificate {
+  UbRung rung = UbRung::kTotalWeight;
+  Weight value = 0;
+  DualWitness dual;  ///< populated iff rung == kLpDual
+};
+
+/// The full certificate attached to one solve. The instance and the
+/// solution travel separately (wire envelope / files on disk); the
+/// certificate references them only through recomputable quantities.
+struct Certificate {
+  enum class Kind : std::uint8_t { kPath, kRing };
+
+  Kind kind = Kind::kPath;
+  Weight solution_weight = 0;  ///< claimed w(S); verifier recomputes
+  UpperBoundCertificate ub;
+
+  /// Claimed a-posteriori ratio alpha = alpha_num / alpha_den, meaning
+  /// w(S) * alpha_num >= ub.value * alpha_den. The producers set alpha to
+  /// exactly ub/w(S) (reduced); alpha_den == 0 encodes "no finite ratio"
+  /// (an empty solution against a positive bound).
+  std::int64_t alpha_num = 1;
+  std::int64_t alpha_den = 1;
+};
+
+/// Sets cert.alpha_* to the reduced fraction ub.value / solution_weight
+/// (1/1 when both are zero).
+void set_alpha_from_bound(Certificate& cert) noexcept;
+
+}  // namespace sap::cert

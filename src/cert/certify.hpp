@@ -1,0 +1,73 @@
+// Producer side of certification: turn a (instance, solution) pair into a
+// Certificate, and certified wrappers around the solver entry points.
+//
+// certify_solution re-verifies feasibility with the library verifier (the
+// FeasibilityCertificate: the solution itself is the witness, re-checked
+// before anything is claimed about it), runs the upper-bound ladder, and
+// records the exact a-posteriori ratio. The independent re-check of all of
+// this is check_certificate (src/cert/check.hpp).
+#pragma once
+
+#include <string>
+
+#include "src/cert/certificate.hpp"
+#include "src/cert/ladder.hpp"
+#include "src/core/ring_solver.hpp"
+#include "src/core/sap_solver.hpp"
+#include "src/model/path_instance.hpp"
+#include "src/model/ring_instance.hpp"
+#include "src/model/solution.hpp"
+#include "src/sapu/sapu_solver.hpp"
+
+namespace sap::cert {
+
+struct CertifyOptions {
+  LadderOptions ladder;
+};
+
+/// Outcome of certifying one solution. `feasible` is the feasibility
+/// certificate verdict; when false (or when the ladder cannot prove any
+/// bound) `cert` is not meaningful and `detail` explains why.
+struct CertifyOutcome {
+  bool feasible = false;
+  bool certified = false;  ///< feasible AND a bound was proven
+  std::string detail;      ///< failure reason when !certified
+  Certificate cert;
+  LadderResult ladder;
+};
+
+/// Certifies an existing path solution.
+[[nodiscard]] CertifyOutcome certify_solution(const PathInstance& inst,
+                                              const SapSolution& sol,
+                                              const CertifyOptions& options = {});
+
+/// Certifies an existing ring solution.
+[[nodiscard]] CertifyOutcome certify_solution(const RingInstance& inst,
+                                              const RingSapSolution& sol,
+                                              const CertifyOptions& options = {});
+
+/// A solve plus its certificate. The wrappers throw std::logic_error if the
+/// solver emits an infeasible solution (a library bug by contract).
+struct CertifiedSapSolve {
+  SapSolution solution;
+  CertifyOutcome outcome;
+};
+
+struct CertifiedRingSolve {
+  RingSapSolution solution;
+  CertifyOutcome outcome;
+};
+
+[[nodiscard]] CertifiedSapSolve solve_sap_certified(
+    const PathInstance& inst, const SolverParams& params = {},
+    const CertifyOptions& options = {});
+
+[[nodiscard]] CertifiedSapSolve solve_sap_uniform_certified(
+    const PathInstance& inst, const SapUniformOptions& solver_options = {},
+    const CertifyOptions& options = {});
+
+[[nodiscard]] CertifiedRingSolve solve_ring_sap_certified(
+    const RingInstance& inst, const RingSolverParams& params = {},
+    const CertifyOptions& options = {});
+
+}  // namespace sap::cert

@@ -1,0 +1,64 @@
+// check_certificate — the standalone certificate verifier.
+//
+// Verifier contract: this code path shares NO logic with the certificate
+// producers (src/cert/certify.cpp, src/cert/ladder.cpp) or with the library
+// verifiers (model/verify.cpp). Feasibility is re-derived from scratch by
+// pairwise overlap tests, the solution weight and every arithmetic claim is
+// recomputed in checked 128-bit arithmetic, dual-price bounds are
+// re-evaluated from the witness alone, and the exact rungs (exact_dp,
+// ufpp_bnb) are re-proven by verifier-local budget-capped search. A
+// certificate whose exact rung exceeds the verifier's budgets is REJECTED as
+// unverifiable — the verifier never takes a producer's word for anything.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/cert/certificate.hpp"
+#include "src/model/path_instance.hpp"
+#include "src/model/ring_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap::cert {
+
+struct CheckResult {
+  bool valid = false;
+  std::string reason;  ///< empty on success; human-readable cause otherwise
+
+  explicit operator bool() const noexcept { return valid; }
+
+  [[nodiscard]] static CheckResult ok() { return {true, {}}; }
+  [[nodiscard]] static CheckResult fail(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+/// Budgets for the verifier-local re-proofs of the exact rungs. Certificates
+/// whose instances exceed these are rejected as unverifiable, not accepted.
+struct CheckOptions {
+  /// exact_dp recheck: exhaustive height DFS, only tractable on tiny
+  /// instances.
+  std::size_t exact_recheck_max_tasks = 12;
+  Value exact_recheck_max_capacity = 64;
+  std::size_t exact_recheck_max_nodes = 20'000'000;
+
+  /// ufpp_bnb recheck: subset DFS with suffix-weight pruning.
+  std::size_t bnb_recheck_max_tasks = 22;
+  std::size_t bnb_recheck_max_nodes = 50'000'000;
+};
+
+/// Verifies `cert` against the (instance, solution) pair it travels with:
+/// feasibility, recomputed weight, the upper-bound rung, and the claimed
+/// ratio. Rejects with a reason on the first violated claim.
+[[nodiscard]] CheckResult check_certificate(const PathInstance& inst,
+                                            const SapSolution& sol,
+                                            const Certificate& cert,
+                                            const CheckOptions& options = {});
+
+/// Ring overload; only the lp_dual and total_weight rungs are accepted.
+[[nodiscard]] CheckResult check_certificate(const RingInstance& inst,
+                                            const RingSapSolution& sol,
+                                            const Certificate& cert,
+                                            const CheckOptions& options = {});
+
+}  // namespace sap::cert

@@ -5,6 +5,7 @@
 #include <limits>
 #include <ostream>
 
+#include "src/cert/certify.hpp"
 #include "src/core/sap_solver.hpp"
 #include "src/model/verify.hpp"
 
@@ -27,25 +28,32 @@ void write_number(std::ostream& os, double value) {
 }
 
 /// {"count": c, "mean": m, "p50": ..., "p95": ..., "min": ..., "max": ...}
-/// computed over the finite-ratio sample; nulls when the sample is empty.
-void write_ratio_stats(std::ostream& os, const BatchReport& report) {
-  os << "{\"count\": " << report.ratio.count() << ", \"mean\": ";
-  write_number(os, report.ratio.count() == 0
-                       ? std::numeric_limits<double>::quiet_NaN()
-                       : report.ratio.mean());
+/// computed over a finite-value sample; nulls when the sample is empty.
+void write_ratio_stats(std::ostream& os, const Summary& summary, double p50,
+                       double p95, std::size_t infinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  os << "{\"count\": " << summary.count() << ", \"mean\": ";
+  write_number(os, summary.count() == 0 ? nan : summary.mean());
   os << ", \"p50\": ";
-  write_number(os, report.ratio_p50);
+  write_number(os, p50);
   os << ", \"p95\": ";
-  write_number(os, report.ratio_p95);
+  write_number(os, p95);
   os << ", \"min\": ";
-  write_number(os, report.ratio.count() == 0
-                       ? std::numeric_limits<double>::quiet_NaN()
-                       : report.ratio.min());
+  write_number(os, summary.count() == 0 ? nan : summary.min());
   os << ", \"max\": ";
-  write_number(os, report.ratio.count() == 0
-                       ? std::numeric_limits<double>::quiet_NaN()
-                       : report.ratio.max());
-  os << ", \"infinite\": " << report.ratio_infinite << "}";
+  write_number(os, summary.count() == 0 ? nan : summary.max());
+  os << ", \"infinite\": " << infinite << "}";
+}
+
+/// The certified a-posteriori ratio UB / w(S) with the same conventions as
+/// the measured ratio (1.0 when 0/0, +inf for a zero-weight solution).
+double certified_ratio(const cert::Certificate& cert) {
+  if (cert.solution_weight > 0) {
+    return static_cast<double>(cert.ub.value) /
+           static_cast<double>(cert.solution_weight);
+  }
+  if (cert.ub.value == 0) return 1.0;
+  return std::numeric_limits<double>::infinity();
 }
 
 }  // namespace
@@ -78,6 +86,7 @@ BatchReport run_batch(const BatchOptions& options, const BatchCaseFn& fn,
 
   // Sequential aggregation in instance order: identical across thread counts.
   std::vector<double> finite_ratios;
+  std::vector<double> finite_cert_ratios;
   finite_ratios.reserve(cases.size());
   for (const BatchCase& c : cases) {
     out.case_seconds.add(c.seconds);
@@ -91,9 +100,22 @@ BatchReport run_batch(const BatchOptions& options, const BatchCaseFn& fn,
     } else {
       ++out.ratio_infinite;
     }
+    if (c.certified) {
+      ++out.certified;
+      if (c.cert_checked) ++out.cert_checked;
+      ++out.cert_rungs[static_cast<std::size_t>(c.cert_rung)];
+      if (std::isfinite(c.cert_ratio)) {
+        out.cert_ratio.add(c.cert_ratio);
+        finite_cert_ratios.push_back(c.cert_ratio);
+      } else {
+        ++out.cert_ratio_infinite;
+      }
+    }
   }
   out.ratio_p50 = percentile(finite_ratios, 50.0);
   out.ratio_p95 = percentile(finite_ratios, 95.0);
+  out.cert_ratio_p50 = percentile(finite_cert_ratios, 50.0);
+  out.cert_ratio_p95 = percentile(finite_cert_ratios, 95.0);
   if (options.keep_cases) out.cases = std::move(cases);
   return out;
 }
@@ -111,8 +133,20 @@ void write_batch_json(std::ostream& os, const BatchReport& report,
   os << "    \"solved\": " << report.solved << ",\n";
   os << "    \"bound_exact\": " << report.bound_exact << ",\n";
   os << "    \"ratio\": ";
-  write_ratio_stats(os, report);
+  write_ratio_stats(os, report.ratio, report.ratio_p50, report.ratio_p95,
+                    report.ratio_infinite);
   os << ",\n";
+  os << "    \"certificates\": {\"produced\": " << report.certified
+     << ", \"checked\": " << report.cert_checked << ", \"rungs\": {";
+  for (std::size_t r = 0; r < cert::kNumUbRungs; ++r) {
+    os << (r == 0 ? "" : ", ") << "\""
+       << cert::ub_rung_name(static_cast<cert::UbRung>(r))
+       << "\": " << report.cert_rungs[r];
+  }
+  os << "}, \"ratio\": ";
+  write_ratio_stats(os, report.cert_ratio, report.cert_ratio_p50,
+                    report.cert_ratio_p95, report.cert_ratio_infinite);
+  os << "},\n";
   os << "    \"telemetry\": ";
   report.telemetry.write_json(os, /*include_timers=*/false, /*indent=*/4);
   os << "\n  }";
@@ -158,6 +192,12 @@ void write_batch_json(std::ostream& os, const BatchReport& report,
       os << ", \"bound_exact\": " << (c.bound_exact ? "true" : "false")
          << ", \"ratio\": ";
       write_number(os, c.ratio);
+      if (c.certified) {
+        os << ", \"certified\": true, \"cert_checked\": "
+           << (c.cert_checked ? "true" : "false") << ", \"cert_rung\": \""
+           << cert::ub_rung_name(c.cert_rung) << "\", \"cert_ratio\": ";
+        write_number(os, c.cert_ratio);
+      }
       if (options.include_timings) {
         os << ", \"seconds\": ";
         write_number(os, c.seconds);
@@ -187,6 +227,31 @@ BatchCaseFn make_path_batch_case(const PathBatchConfig& config) {
     }
     if (!verify_sap(inst, sol)) return out;
     out.feasible = true;
+    if (config.certify) {
+      // One ladder run: the certificate's bound doubles as the ratio bound.
+      cert::CertifyOptions copts;
+      copts.ladder = config.bound.ladder();
+      cert::CertifyOutcome outcome;
+      {
+        ScopedTimer timer("batch.certify");
+        outcome = cert::certify_solution(inst, sol, copts);
+      }
+      out.algo_weight = sol.weight(inst);
+      if (outcome.certified) {
+        out.certified = true;
+        out.cert_rung = outcome.cert.ub.rung;
+        out.cert_ratio = certified_ratio(outcome.cert);
+        out.bound = static_cast<double>(outcome.cert.ub.value);
+        out.bound_exact = outcome.cert.ub.rung == cert::UbRung::kExactDp;
+        out.ratio = out.cert_ratio;
+        ScopedTimer timer("batch.check_cert");
+        out.cert_checked = static_cast<bool>(
+            cert::check_certificate(inst, sol, outcome.cert, config.check));
+      } else {
+        out.ratio = std::numeric_limits<double>::quiet_NaN();
+      }
+      return out;
+    }
     ScopedTimer timer("batch.bound");
     const RatioMeasurement m = measure_ratio(inst, sol, config.bound);
     out.algo_weight = m.algo_weight;
@@ -211,7 +276,26 @@ BatchCaseFn make_ring_batch_case(const RingBatchConfig& config) {
     }
     if (!verify_ring_sap(ring, sol)) return out;
     out.feasible = true;
-    if (config.compute_bound) {
+    if (config.certify) {
+      cert::CertifyOutcome outcome;
+      {
+        ScopedTimer timer("batch.certify");
+        outcome = cert::certify_solution(ring, sol);
+      }
+      out.algo_weight = ring.solution_weight(sol);
+      if (outcome.certified) {
+        out.certified = true;
+        out.cert_rung = outcome.cert.ub.rung;
+        out.cert_ratio = certified_ratio(outcome.cert);
+        out.bound = static_cast<double>(outcome.cert.ub.value);
+        out.ratio = out.cert_ratio;
+        ScopedTimer timer("batch.check_cert");
+        out.cert_checked = static_cast<bool>(
+            cert::check_certificate(ring, sol, outcome.cert, config.check));
+      } else {
+        out.ratio = std::numeric_limits<double>::quiet_NaN();
+      }
+    } else if (config.compute_bound) {
       ScopedTimer timer("batch.bound");
       const RatioMeasurement m = measure_ring_ratio(ring, sol);
       out.algo_weight = m.algo_weight;

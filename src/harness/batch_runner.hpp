@@ -10,11 +10,14 @@
 // write_batch_json can omit.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <limits>
 #include <vector>
 
+#include "src/cert/check.hpp"
 #include "src/core/ring_solver.hpp"
 #include "src/gen/generators.hpp"
 #include "src/harness/ratio_harness.hpp"
@@ -31,6 +34,15 @@ struct BatchCase {
   double bound = 0.0;
   bool bound_exact = false;
   double ratio = 1.0;
+  /// Certification outcome (certify sweeps only): a certificate was
+  /// produced, and it additionally passed the independent check_certificate
+  /// verifier.
+  bool certified = false;
+  bool cert_checked = false;
+  cert::UbRung cert_rung = cert::UbRung::kTotalWeight;
+  /// Certified a-posteriori ratio UB / w(S) (1.0 when both are zero, +inf
+  /// for zero-weight output against a positive certified bound).
+  double cert_ratio = std::numeric_limits<double>::quiet_NaN();
   TelemetryReport telemetry;  ///< collected while this case ran
   double seconds = 0.0;       ///< case wall time (excluded from determinism)
 };
@@ -65,6 +77,14 @@ struct BatchReport {
   Summary ratio;                   ///< finite ratios of feasible cases
   double ratio_p50 = 0.0;
   double ratio_p95 = 0.0;
+  /// Certification aggregate (all zero unless the sweep certifies).
+  std::size_t certified = 0;     ///< certificates produced
+  std::size_t cert_checked = 0;  ///< produced AND passed check_certificate
+  std::array<std::size_t, cert::kNumUbRungs> cert_rungs{};  ///< by UbRung
+  Summary cert_ratio;            ///< finite certified ratios
+  double cert_ratio_p50 = 0.0;
+  double cert_ratio_p95 = 0.0;
+  std::size_t cert_ratio_infinite = 0;
   Summary case_seconds;
   double total_seconds = 0.0;
   TelemetryReport telemetry;       ///< merged over cases, instance order
@@ -97,20 +117,28 @@ void write_batch_json(std::ostream& os, const BatchReport& report,
                       const BatchJsonOptions& options = {});
 
 /// Standard path sweep: generate_path_instance -> solve_sap -> verify_sap ->
-/// measure_ratio, with params.seed re-rooted at the case seed.
+/// measure_ratio, with params.seed re-rooted at the case seed. With
+/// `certify` set, each case instead produces a full certificate (one ladder
+/// run, whose bound doubles as the ratio bound) and pushes it through the
+/// independent check_certificate verifier.
 struct PathBatchConfig {
   PathGenOptions gen;
   SolverParams solver;
   OptBoundOptions bound;
+  bool certify = false;
+  cert::CheckOptions check;
 };
 [[nodiscard]] BatchCaseFn make_path_batch_case(const PathBatchConfig& config);
 
 /// Standard ring sweep: generate_ring_instance -> solve_ring_sap ->
-/// verify_ring_sap -> measure_ring_ratio (two-route LP bound).
+/// verify_ring_sap -> measure_ring_ratio (two-route LP bound). `certify` as
+/// for path sweeps.
 struct RingBatchConfig {
   RingGenOptions gen;
   RingSolverParams solver;
   bool compute_bound = true;  ///< false: skip the LP, report weights only
+  bool certify = false;
+  cert::CheckOptions check;
 };
 [[nodiscard]] BatchCaseFn make_ring_batch_case(const RingBatchConfig& config);
 

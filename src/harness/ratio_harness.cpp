@@ -2,21 +2,44 @@
 
 #include <limits>
 
-#include "src/lp/simplex.hpp"
-#include "src/lp/ufpp_lp.hpp"
-
 namespace sap {
+namespace {
+
+double ratio_of(Weight algo_weight, double bound) {
+  if (algo_weight > 0) return bound / static_cast<double>(algo_weight);
+  if (bound <= 1e-9) return 1.0;
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+cert::LadderOptions OptBoundOptions::ladder() const {
+  cert::LadderOptions out;
+  out.try_exact_dp = try_exact;
+  out.exact_dp_max_tasks = exact_max_tasks;
+  out.exact_dp_max_capacity = exact_max_capacity;
+  out.dp = dp;
+  out.try_ufpp_bnb = try_bnb;
+  out.bnb_max_tasks = bnb_max_tasks;
+  out.bnb = bnb;
+  return out;
+}
 
 OptBound sap_opt_bound(const PathInstance& inst,
                        const OptBoundOptions& options) {
-  if (options.try_exact && inst.num_tasks() <= options.exact_max_tasks &&
-      inst.max_capacity() <= options.exact_max_capacity) {
-    const SapExactResult exact = sap_exact_profile_dp(inst, options.dp);
-    if (exact.proven_optimal) {
-      return {static_cast<double>(exact.weight), true};
-    }
+  const cert::LadderResult ladder =
+      cert::run_upper_bound_ladder(inst, options.ladder());
+  OptBound out;
+  if (!ladder.proven) {
+    // Every rung failed (sum w overflows int64): report the only honest
+    // upper bound a double can express.
+    out.value = std::numeric_limits<double>::infinity();
+    return out;
   }
-  return {ufpp_lp_upper_bound(inst), false};
+  out.value = static_cast<double>(ladder.best.value);
+  out.rung = ladder.best.rung;
+  out.exact = ladder.best.rung == cert::UbRung::kExactDp;
+  return out;
 }
 
 RatioMeasurement measure_ratio(const PathInstance& inst,
@@ -27,65 +50,24 @@ RatioMeasurement measure_ratio(const PathInstance& inst,
   const OptBound bound = sap_opt_bound(inst, options);
   out.bound = bound.value;
   out.bound_exact = bound.exact;
-  if (out.algo_weight > 0) {
-    out.ratio = bound.value / static_cast<double>(out.algo_weight);
-  } else if (bound.value <= 1e-9) {
-    out.ratio = 1.0;
-  } else {
-    out.ratio = std::numeric_limits<double>::infinity();
-  }
+  out.bound_rung = bound.rung;
+  out.ratio = ratio_of(out.algo_weight, out.bound);
   return out;
-}
-
-double ring_lp_upper_bound(const RingInstance& inst) {
-  const std::size_t n = inst.num_tasks();
-  LpProblem lp;
-  lp.objective.resize(2 * n);
-  for (std::size_t j = 0; j < n; ++j) {
-    lp.objective[2 * j] =
-        static_cast<double>(inst.task(static_cast<TaskId>(j)).weight);
-    lp.objective[2 * j + 1] = lp.objective[2 * j];
-  }
-  // Edge capacity rows.
-  for (std::size_t e = 0; e < inst.num_edges(); ++e) {
-    LpConstraint row;
-    row.coeffs.assign(2 * n, 0.0);
-    row.rhs = static_cast<double>(inst.capacity(static_cast<EdgeId>(e)));
-    lp.constraints.push_back(std::move(row));
-  }
-  for (std::size_t j = 0; j < n; ++j) {
-    const auto id = static_cast<TaskId>(j);
-    for (int dir = 0; dir < 2; ++dir) {
-      for (EdgeId e : inst.route_edges(id, dir == 0)) {
-        lp.constraints[static_cast<std::size_t>(e)]
-            .coeffs[2 * j + static_cast<std::size_t>(dir)] =
-            static_cast<double>(inst.task(id).demand);
-      }
-    }
-    // x_cw + x_ccw <= 1.
-    LpConstraint box;
-    box.coeffs.assign(2 * n, 0.0);
-    box.coeffs[2 * j] = 1.0;
-    box.coeffs[2 * j + 1] = 1.0;
-    box.rhs = 1.0;
-    lp.constraints.push_back(std::move(box));
-  }
-  return solve_lp(lp).objective;
 }
 
 RatioMeasurement measure_ring_ratio(const RingInstance& inst,
                                     const RingSapSolution& sol) {
   RatioMeasurement out;
   out.algo_weight = inst.solution_weight(sol);
-  out.bound = ring_lp_upper_bound(inst);
-  out.bound_exact = false;
-  if (out.algo_weight > 0) {
-    out.ratio = out.bound / static_cast<double>(out.algo_weight);
-  } else if (out.bound <= 1e-9) {
-    out.ratio = 1.0;
+  const cert::LadderResult ladder = cert::run_ring_upper_bound_ladder(inst);
+  if (ladder.proven) {
+    out.bound = static_cast<double>(ladder.best.value);
+    out.bound_rung = ladder.best.rung;
   } else {
-    out.ratio = std::numeric_limits<double>::infinity();
+    out.bound = std::numeric_limits<double>::infinity();
   }
+  out.bound_exact = false;
+  out.ratio = ratio_of(out.algo_weight, out.bound);
   return out;
 }
 

@@ -246,6 +246,67 @@ RingSapSolution read_ring_solution(std::istream& is,
   return sol;
 }
 
+void write_certificate(std::ostream& os, const cert::Certificate& cert) {
+  os << "sap-cert v1\n";
+  os << "kind "
+     << (cert.kind == cert::Certificate::Kind::kRing ? "ring" : "path")
+     << "\n";
+  os << "weight " << cert.solution_weight << "\n";
+  os << "rung " << cert::ub_rung_name(cert.ub.rung) << "\n";
+  os << "ub " << cert.ub.value << "\n";
+  os << "alpha " << cert.alpha_num << ' ' << cert.alpha_den << "\n";
+  os << "prices " << cert.ub.dual.scale << ' '
+     << cert.ub.dual.edge_price.size() << "\n";
+  if (!cert.ub.dual.edge_price.empty()) {
+    bool first = true;
+    for (std::int64_t y : cert.ub.dual.edge_price) {
+      os << (first ? "" : " ") << y;
+      first = false;
+    }
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+cert::Certificate read_certificate(std::istream& is,
+                                   const ReadLimits& limits) {
+  TokenReader reader(is);
+  reader.expect("sap-cert");
+  reader.expect("v1");
+  cert::Certificate cert;
+  reader.expect("kind");
+  const std::string kind = reader.next("certificate kind");
+  if (kind == "path") {
+    cert.kind = cert::Certificate::Kind::kPath;
+  } else if (kind == "ring") {
+    cert.kind = cert::Certificate::Kind::kRing;
+  } else {
+    reader.fail("expected certificate kind 'path' or 'ring', got '" + kind +
+                "'");
+  }
+  reader.expect("weight");
+  cert.solution_weight = reader.next_int("certificate weight");
+  reader.expect("rung");
+  const std::string rung = reader.next("upper-bound rung");
+  try {
+    cert.ub.rung = cert::parse_ub_rung(rung);
+  } catch (const std::invalid_argument&) {
+    reader.fail("unknown upper-bound rung '" + rung + "'");
+  }
+  reader.expect("ub");
+  cert.ub.value = reader.next_int("upper bound");
+  reader.expect("alpha");
+  cert.alpha_num = reader.next_int("alpha numerator");
+  cert.alpha_den = reader.next_int("alpha denominator");
+  reader.expect("prices");
+  cert.ub.dual.scale = reader.next_int("dual scale");
+  const std::size_t m = reader.count("dual price count", limits.max_edges);
+  cert.ub.dual.edge_price.resize(m);
+  for (auto& y : cert.ub.dual.edge_price) y = reader.next_int("dual price");
+  reader.expect("end");
+  return cert;
+}
+
 std::string to_string(const PathInstance& inst) {
   std::ostringstream os;
   write_path_instance(os, inst);

@@ -22,6 +22,16 @@
 //   placements <k>
 //   <task> <height> <clockwise 0|1>      (k lines)
 //
+//   sap-cert v1
+//   kind path                            (or: ring)
+//   weight <w(S)>
+//   rung <exact_dp|ufpp_bnb|lp_dual|total_weight>
+//   ub <value>
+//   alpha <num> <den>
+//   prices <scale> <m>                   (m = 0 unless rung is lp_dual)
+//   y_0 ... y_{m-1}                      (only when m > 0)
+//   end
+//
 // The readers are safe on untrusted input (the sapd service feeds them
 // network-supplied payloads): counts are parsed overflow-safely and checked
 // against ReadLimits *before* any allocation, edge/vertex indices are range
@@ -33,6 +43,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "src/cert/certificate.hpp"
 #include "src/model/path_instance.hpp"
 #include "src/model/ring_instance.hpp"
 #include "src/model/solution.hpp"
@@ -66,6 +77,12 @@ void write_sap_solution(std::ostream& os, const SapSolution& sol);
 
 void write_ring_solution(std::ostream& os, const RingSapSolution& sol);
 [[nodiscard]] RingSapSolution read_ring_solution(std::istream& is,
+                                                 const ReadLimits& limits = {});
+
+/// Serializes a certificate (`sap-cert v1`); the dual-price count is bounded
+/// by `ReadLimits::max_edges` on the way back in.
+void write_certificate(std::ostream& os, const cert::Certificate& cert);
+[[nodiscard]] cert::Certificate read_certificate(std::istream& is,
                                                  const ReadLimits& limits = {});
 
 /// Convenience round-trips through std::string (used by tests and the CLI).

@@ -71,30 +71,41 @@ VerifyResult verify_ring_sap(const RingInstance& inst,
   std::unordered_set<TaskId> seen;
   for (const RingPlacement& p : sol.placements) {
     if (p.task < 0 || static_cast<std::size_t>(p.task) >= inst.num_tasks()) {
-      return VerifyResult::failure("task id " + std::to_string(p.task) +
-                                   " out of range");
+      return VerifyResult::failure(
+          VerifyError::kIdOutOfRange,
+          "task id " + std::to_string(p.task) + " out of range");
     }
     if (!seen.insert(p.task).second) {
-      return VerifyResult::failure("task id " + std::to_string(p.task) +
-                                   " selected twice");
+      return VerifyResult::failure(
+          VerifyError::kDuplicateId,
+          "task id " + std::to_string(p.task) + " selected twice");
     }
     if (p.height < 0) {
-      return VerifyResult::failure("task " + std::to_string(p.task) +
-                                   " has negative height");
+      return VerifyResult::failure(
+          VerifyError::kNegativeHeight,
+          "task " + std::to_string(p.task) + " has negative height");
     }
   }
 
   // Per-edge occupancy check: gather vertical intervals on each edge, then
-  // check capacity and pairwise disjointness directly.
+  // check capacity and pairwise disjointness directly. The stacking top is
+  // computed with an overflow check so adversarial heights cannot trigger UB.
   std::vector<std::vector<std::pair<Value, Value>>> occupancy(
       inst.num_edges());
   for (const RingPlacement& p : sol.placements) {
-    const Value top = p.height + inst.task(p.task).demand;
+    Value top = 0;
+    if (__builtin_add_overflow(p.height, inst.task(p.task).demand, &top)) {
+      return VerifyResult::failure(
+          VerifyError::kOverflow,
+          "task " + std::to_string(p.task) +
+              " stacking height overflows int64");
+    }
     for (EdgeId e : inst.route_edges(p.task, p.clockwise)) {
       if (top > inst.capacity(e)) {
         return VerifyResult::failure(
+            VerifyError::kCapacityExceeded,
             "task " + std::to_string(p.task) + " top " + std::to_string(top) +
-            " exceeds capacity on edge " + std::to_string(e));
+                " exceeds capacity on edge " + std::to_string(e));
       }
       occupancy[static_cast<std::size_t>(e)].emplace_back(p.height, top);
     }
@@ -104,8 +115,9 @@ VerifyResult verify_ring_sap(const RingInstance& inst,
     std::ranges::sort(spans);
     for (std::size_t i = 1; i < spans.size(); ++i) {
       if (spans[i].first < spans[i - 1].second) {
-        return VerifyResult::failure("vertical overlap on edge " +
-                                     std::to_string(e));
+        return VerifyResult::failure(
+            VerifyError::kVerticalOverlap,
+            "vertical overlap on edge " + std::to_string(e));
       }
     }
   }

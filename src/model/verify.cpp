@@ -6,6 +6,29 @@
 #include <unordered_set>
 
 namespace sap {
+
+const char* verify_error_name(VerifyError error) noexcept {
+  switch (error) {
+    case VerifyError::kNone:
+      return "none";
+    case VerifyError::kIdOutOfRange:
+      return "id_out_of_range";
+    case VerifyError::kDuplicateId:
+      return "duplicate_id";
+    case VerifyError::kNegativeHeight:
+      return "negative_height";
+    case VerifyError::kCapacityExceeded:
+      return "capacity_exceeded";
+    case VerifyError::kVerticalOverlap:
+      return "vertical_overlap";
+    case VerifyError::kOverflow:
+      return "overflow";
+    case VerifyError::kOther:
+      return "other";
+  }
+  return "other";
+}
+
 namespace {
 
 VerifyResult check_ids(const PathInstance& inst,
@@ -14,28 +37,54 @@ VerifyResult check_ids(const PathInstance& inst,
   seen.reserve(tasks.size());
   for (TaskId j : tasks) {
     if (j < 0 || static_cast<std::size_t>(j) >= inst.num_tasks()) {
-      return VerifyResult::failure("task id " + std::to_string(j) +
-                                   " out of range");
+      return VerifyResult::failure(
+          VerifyError::kIdOutOfRange,
+          "task id " + std::to_string(j) + " out of range");
     }
     if (!seen.insert(j).second) {
-      return VerifyResult::failure("task id " + std::to_string(j) +
-                                   " selected twice");
+      return VerifyResult::failure(
+          VerifyError::kDuplicateId,
+          "task id " + std::to_string(j) + " selected twice");
     }
   }
   return VerifyResult::success();
 }
 
+/// Per-edge load check with overflow-checked accumulation: demands are
+/// bucketed by entry/exit edge (a difference array) and the running load is
+/// maintained with __builtin_add_overflow, so an adversarial task set whose
+/// loads exceed int64 yields a typed kOverflow failure instead of UB.
 VerifyResult check_loads(const PathInstance& inst,
                          std::span<const TaskId> tasks,
                          const std::function<Value(EdgeId)>& limit_of) {
-  const auto loads = edge_loads(inst, tasks);
-  for (std::size_t e = 0; e < loads.size(); ++e) {
-    const auto edge = static_cast<EdgeId>(e);
-    if (loads[e] > limit_of(edge)) {
-      return VerifyResult::failure(
-          "load " + std::to_string(loads[e]) + " exceeds limit " +
-          std::to_string(limit_of(edge)) + " on edge " + std::to_string(e));
+  const std::size_t m = inst.num_edges();
+  std::vector<Value> enter(m, 0);
+  std::vector<Value> leave(m, 0);
+  for (TaskId j : tasks) {
+    const Task& t = inst.task(j);
+    auto& in = enter[static_cast<std::size_t>(t.first)];
+    auto& out = leave[static_cast<std::size_t>(t.last)];
+    if (__builtin_add_overflow(in, t.demand, &in) ||
+        __builtin_add_overflow(out, t.demand, &out)) {
+      return VerifyResult::failure(VerifyError::kOverflow,
+                                   "edge load accumulation overflows int64");
     }
+  }
+  Value load = 0;
+  for (std::size_t e = 0; e < m; ++e) {
+    if (__builtin_add_overflow(load, enter[e], &load)) {
+      return VerifyResult::failure(VerifyError::kOverflow,
+                                   "edge load accumulation overflows int64");
+    }
+    const auto edge = static_cast<EdgeId>(e);
+    if (load > limit_of(edge)) {
+      return VerifyResult::failure(
+          VerifyError::kCapacityExceeded,
+          "load " + std::to_string(load) + " exceeds limit " +
+              std::to_string(limit_of(edge)) + " on edge " +
+              std::to_string(e));
+    }
+    load -= leave[e];  // subtracting previously-added demands cannot wrap
   }
   return VerifyResult::success();
 }
@@ -65,14 +114,23 @@ VerifyResult verify_sap_impl(const PathInstance& inst, const SapSolution& sol,
 
   for (const Placement& p : sol.placements) {
     if (p.height < 0) {
-      return VerifyResult::failure("task " + std::to_string(p.task) +
-                                   " has negative height");
+      return VerifyResult::failure(
+          VerifyError::kNegativeHeight,
+          "task " + std::to_string(p.task) + " has negative height");
     }
-    const Value top = p.height + inst.task(p.task).demand;
+    Value top = 0;
+    if (__builtin_add_overflow(p.height, inst.task(p.task).demand, &top)) {
+      return VerifyResult::failure(
+          VerifyError::kOverflow,
+          "task " + std::to_string(p.task) +
+              " stacking height overflows int64");
+    }
     if (top > cap_of(p.task)) {
       return VerifyResult::failure(
+          VerifyError::kCapacityExceeded,
           "task " + std::to_string(p.task) + " top " + std::to_string(top) +
-          " exceeds its capacity limit " + std::to_string(cap_of(p.task)));
+              " exceeds its capacity limit " +
+              std::to_string(cap_of(p.task)));
     }
   }
 
@@ -99,7 +157,7 @@ VerifyResult verify_sap_impl(const PathInstance& inst, const SapSolution& sol,
   for (const Event& ev : events) {
     const Placement& p = sol.placements[ev.index];
     const Value bottom = p.height;
-    const Value top = p.height + inst.task(p.task).demand;
+    const Value top = p.height + inst.task(p.task).demand;  // checked above
     if (!ev.insert) {
       active.erase(bottom);
       continue;
@@ -107,15 +165,17 @@ VerifyResult verify_sap_impl(const PathInstance& inst, const SapSolution& sol,
     auto above = active.lower_bound(bottom);
     if (above != active.end() && above->first < top) {
       return VerifyResult::failure(
+          VerifyError::kVerticalOverlap,
           "tasks " + std::to_string(p.task) + " and " +
-          std::to_string(above->second.second) + " overlap vertically");
+              std::to_string(above->second.second) + " overlap vertically");
     }
     if (above != active.begin()) {
       auto below = std::prev(above);
       if (below->second.first > bottom) {
         return VerifyResult::failure(
+            VerifyError::kVerticalOverlap,
             "tasks " + std::to_string(p.task) + " and " +
-            std::to_string(below->second.second) + " overlap vertically");
+                std::to_string(below->second.second) + " overlap vertically");
       }
     }
     active.emplace(bottom, std::make_pair(top, p.task));

@@ -1,8 +1,13 @@
 // Exact feasibility verifiers. Every algorithm's output in the test suite is
 // pushed through these; they are written independently of the solvers (sweep
 // line over edges) so they can catch solver bugs rather than share them.
+//
+// All arithmetic on untrusted quantities (load accumulation, stacking
+// heights) is overflow-checked: an adversarial instance or solution yields a
+// typed kOverflow failure, never signed-overflow UB.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -11,16 +16,34 @@
 
 namespace sap {
 
-/// Outcome of a verification with a human-readable reason on failure.
+/// Machine-readable cause of a verification failure.
+enum class VerifyError : std::uint8_t {
+  kNone = 0,           ///< success
+  kIdOutOfRange,       ///< task id outside [0, n)
+  kDuplicateId,        ///< task selected/placed more than once
+  kNegativeHeight,     ///< placement height < 0
+  kCapacityExceeded,   ///< load or stacking top above the edge limit
+  kVerticalOverlap,    ///< two placements share an edge and vertical range
+  kOverflow,           ///< int64 arithmetic on the solution would overflow
+  kOther,              ///< unclassified (string-only failure)
+};
+
+[[nodiscard]] const char* verify_error_name(VerifyError error) noexcept;
+
+/// Outcome of a verification: a typed error plus a human-readable reason.
 struct VerifyResult {
   bool ok = true;
+  VerifyError error = VerifyError::kNone;
   std::string reason;
 
   explicit operator bool() const noexcept { return ok; }
 
   static VerifyResult success() { return {}; }
   static VerifyResult failure(std::string why) {
-    return {false, std::move(why)};
+    return {false, VerifyError::kOther, std::move(why)};
+  }
+  static VerifyResult failure(VerifyError error, std::string why) {
+    return {false, error, std::move(why)};
   }
 };
 

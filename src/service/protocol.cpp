@@ -51,6 +51,38 @@ class EnvelopeParser {
     }
   }
 
+  /// Optional-key variant of take(): consumes and returns the value only if
+  /// the next line starts with `key`; otherwise leaves the cursor in place
+  /// and returns false. This is how additive envelope lines stay
+  /// backward-compatible: old peers never emit them, new parsers peek.
+  bool take_if(std::string_view key, std::string_view* value_out) {
+    if (rest_.empty()) return false;
+    const std::size_t nl = rest_.find('\n');
+    const std::string_view line =
+        nl == std::string_view::npos ? rest_ : rest_.substr(0, nl);
+    if (line.size() < key.size() || line.substr(0, key.size()) != key) {
+      return false;
+    }
+    std::string_view value = line.substr(key.size());
+    if (!value.empty() && value.front() != ' ') return false;
+    rest_ = nl == std::string_view::npos ? std::string_view{}
+                                         : rest_.substr(nl + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    *value_out = value;
+    return true;
+  }
+
+  /// Consumes exactly `n` raw bytes (a length-prefixed nested section).
+  std::string_view take_bytes(std::size_t n, const char* what) {
+    if (rest_.size() < n) {
+      fail(std::string("truncated ") + what + " section: want " +
+           std::to_string(n) + " bytes, have " + std::to_string(rest_.size()));
+    }
+    const std::string_view value = rest_.substr(0, n);
+    rest_.remove_prefix(n);
+    return value;
+  }
+
   [[nodiscard]] std::string_view rest() const noexcept { return rest_; }
 
   [[noreturn]] static void fail(const std::string& why) {
@@ -163,6 +195,7 @@ std::string encode_solve_request(const SolveRequest& request) {
   payload += "\nalgo " + request.algo;
   payload += "\neps " + format_f64(request.eps);
   payload += "\nseed " + std::to_string(request.seed);
+  if (request.want_certificate) payload += "\ncertify 1";
   payload += "\ninstance\n";
   payload += request.instance_text;
   return payload;
@@ -187,6 +220,14 @@ SolveRequest parse_solve_request(std::string_view payload) {
   }
   request.eps = parse_f64(parser.take("eps"), "eps");
   request.seed = parse_u64(parser.take("seed"), "seed");
+  std::string_view certify;
+  if (parser.take_if("certify", &certify)) {
+    if (certify != "0" && certify != "1") {
+      EnvelopeParser::fail("bad certify flag '" +
+                           std::string(certify.substr(0, 40)) + "' (want 0|1)");
+    }
+    request.want_certificate = certify == "1";
+  }
   parser.expect_line("instance");
   request.instance_text = std::string(parser.rest());
   return request;
@@ -200,7 +241,14 @@ std::string encode_solve_response(const SolveResponse& response) {
   payload += "\nwall_micros " + std::to_string(response.wall_micros);
   payload += "\ntelemetry ";
   payload += response.telemetry_json.empty() ? "{}" : response.telemetry_json;
-  payload += "\nsolution\n";
+  if (!response.certificate_text.empty()) {
+    payload += "\ncertificate " +
+               std::to_string(response.certificate_text.size()) + "\n";
+    payload += response.certificate_text;
+    payload += "solution\n";
+  } else {
+    payload += "\nsolution\n";
+  }
   payload += response.solution_text;
   return payload;
 }
@@ -214,6 +262,13 @@ SolveResponse parse_solve_response(std::string_view payload) {
   response.total_tasks = parse_u64(parser.take("tasks"), "tasks");
   response.wall_micros = parse_i64(parser.take("wall_micros"), "wall_micros");
   response.telemetry_json = std::string(parser.take("telemetry"));
+  std::string_view cert_bytes;
+  if (parser.take_if("certificate", &cert_bytes)) {
+    const std::int64_t n = parse_i64(cert_bytes, "certificate byte count");
+    if (n < 0) EnvelopeParser::fail("negative certificate byte count");
+    response.certificate_text = std::string(
+        parser.take_bytes(static_cast<std::size_t>(n), "certificate"));
+  }
   parser.expect_line("solution");
   response.solution_text = std::string(parser.rest());
   return response;

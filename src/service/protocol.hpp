@@ -69,6 +69,10 @@ struct SolveRequest {
   std::string algo = "full";
   double eps = 0.5;
   std::uint64_t seed = 1;
+  /// Version-negotiated certificate opt-in: encoded as an extra "certify 1"
+  /// line that clients which predate certification never send, so old
+  /// clients and old servers interoperate unchanged.
+  bool want_certificate = false;
   std::string instance_text;
 };
 
@@ -86,6 +90,11 @@ struct SolveResponse {
   std::uint64_t total_tasks = 0;
   std::int64_t wall_micros = 0;
   std::string telemetry_json;  ///< single-line counters object ("{}" if none)
+  /// Optional sap-cert v1 text, present only when the request asked for a
+  /// certificate and the server could produce one. Carried as a
+  /// length-prefixed "certificate <nbytes>" section so the multi-line text
+  /// nests inside the envelope unambiguously.
+  std::string certificate_text;
   std::string solution_text;
 };
 

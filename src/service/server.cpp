@@ -388,6 +388,18 @@ bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
                                       "' (want full|uniform|small|medium|"
                                       "large)");
         }
+        if (request.want_certificate) {
+          // Certification runs inside the telemetry session (cert.ladder.*
+          // counters surface in telemetry_json) and inside the solve timer,
+          // so wall_micros reflects the true cost of a certified request.
+          const cert::CertifyOutcome outcome =
+              cert::certify_solution(inst, sol, options_.certify);
+          if (outcome.certified) {
+            std::ostringstream cert_os;
+            write_certificate(cert_os, outcome.cert);
+            response.certificate_text = cert_os.str();
+          }
+        }
       }
       response.weight = sol.weight(inst);
       response.placed = sol.size();
@@ -403,6 +415,15 @@ bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
       {
         TelemetrySession session(&telemetry);
         sol = solve_ring_sap(inst, params);
+        if (request.want_certificate) {
+          const cert::CertifyOutcome outcome =
+              cert::certify_solution(inst, sol, options_.certify);
+          if (outcome.certified) {
+            std::ostringstream cert_os;
+            write_certificate(cert_os, outcome.cert);
+            response.certificate_text = cert_os.str();
+          }
+        }
       }
       response.weight = inst.solution_weight(sol);
       response.placed = sol.size();

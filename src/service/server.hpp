@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/cert/certify.hpp"
 #include "src/io/instance_io.hpp"
 #include "src/service/protocol.hpp"
 #include "src/util/thread_pool.hpp"
@@ -47,6 +48,9 @@ struct ServerOptions {
   ReadLimits read_limits{.max_edges = 1'000'000,
                          .max_tasks = 1'000'000,
                          .max_placements = 1'000'000};
+  /// Ladder/certification knobs applied when a request opts into a
+  /// certificate ("certify 1"). Defaults keep per-request cert cost bounded.
+  cert::CertifyOptions certify;
   /// Test seam: runs on the worker thread after dequeue, before solving.
   /// Production configs leave it empty.
   std::function<void()> test_pre_solve_hook;

@@ -153,5 +153,88 @@ TEST(InstanceIoTest, RejectsMalformedInput) {
       std::invalid_argument);  // demand exceeds bottleneck
 }
 
+cert::Certificate certificate_from_string(const std::string& text,
+                                          const ReadLimits& limits = {}) {
+  std::istringstream is(text);
+  return read_certificate(is, limits);
+}
+
+TEST(InstanceIoTest, CertificateRoundTrip) {
+  cert::Certificate cert;
+  cert.kind = cert::Certificate::Kind::kRing;
+  cert.solution_weight = 41;
+  cert.ub.rung = cert::UbRung::kLpDual;
+  cert.ub.value = 97;
+  cert.alpha_num = 97;
+  cert.alpha_den = 41;
+  cert.ub.dual.scale = 1 << 20;
+  cert.ub.dual.edge_price = {0, 5, 1048576, 3};
+  std::stringstream ss;
+  write_certificate(ss, cert);
+  const cert::Certificate back = read_certificate(ss);
+  EXPECT_EQ(back.kind, cert.kind);
+  EXPECT_EQ(back.solution_weight, cert.solution_weight);
+  EXPECT_EQ(back.ub.rung, cert.ub.rung);
+  EXPECT_EQ(back.ub.value, cert.ub.value);
+  EXPECT_EQ(back.alpha_num, cert.alpha_num);
+  EXPECT_EQ(back.alpha_den, cert.alpha_den);
+  EXPECT_EQ(back.ub.dual.scale, cert.ub.dual.scale);
+  EXPECT_EQ(back.ub.dual.edge_price, cert.ub.dual.edge_price);
+}
+
+TEST(InstanceIoTest, CertificateWithoutPricesRoundTrips) {
+  cert::Certificate cert;
+  cert.solution_weight = 7;
+  cert.ub.rung = cert::UbRung::kExactDp;
+  cert.ub.value = 7;
+  std::stringstream ss;
+  write_certificate(ss, cert);
+  const cert::Certificate back = read_certificate(ss);
+  EXPECT_EQ(back.kind, cert::Certificate::Kind::kPath);
+  EXPECT_EQ(back.ub.rung, cert::UbRung::kExactDp);
+  EXPECT_TRUE(back.ub.dual.empty());
+}
+
+TEST(InstanceIoTest, HostileCertificatesRejected) {
+  // Wrong magic / version.
+  EXPECT_THROW(certificate_from_string("sap-path v1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(certificate_from_string("sap-cert v2\n"),
+               std::invalid_argument);
+  // Unknown kind and unknown rung name.
+  EXPECT_THROW(certificate_from_string("sap-cert v1\nkind tree\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      certificate_from_string("sap-cert v1\nkind path\nweight 1\n"
+                              "rung psychic\n"),
+      std::invalid_argument);
+  // Price count over the read limit is rejected before allocation.
+  ReadLimits tight;
+  tight.max_edges = 4;
+  EXPECT_THROW(
+      certificate_from_string("sap-cert v1\nkind path\nweight 1\n"
+                              "rung lp_dual\nub 2\nalpha 2 1\n"
+                              "prices 1 5\n0 0 0 0 0\nend\n",
+                              tight),
+      std::invalid_argument);
+  // Negative and overflowing counts.
+  EXPECT_THROW(
+      certificate_from_string("sap-cert v1\nkind path\nweight 1\n"
+                              "rung lp_dual\nub 2\nalpha 2 1\n"
+                              "prices 1 -1\nend\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      certificate_from_string("sap-cert v1\nkind path\nweight 1\n"
+                              "rung lp_dual\nub 2\nalpha 2 1\n"
+                              "prices 1 99999999999999999999\nend\n"),
+      std::invalid_argument);
+  // Truncated: missing the "end" terminator.
+  EXPECT_THROW(
+      certificate_from_string("sap-cert v1\nkind path\nweight 1\n"
+                              "rung total_weight\nub 2\nalpha 2 1\n"
+                              "prices 1 0\n"),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace sap

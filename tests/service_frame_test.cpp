@@ -196,6 +196,59 @@ TEST(ProtocolTest, ErrorCodeNamesRoundTrip) {
   EXPECT_THROW(parse_error_code("NOT_A_CODE"), std::invalid_argument);
 }
 
+TEST(ProtocolTest, CertifyRequestLineRoundTripsAndStaysOptional) {
+  SolveRequest request;
+  request.want_certificate = true;
+  request.instance_text = "sap-path v1\nedges 1\n";
+  const std::string payload = encode_solve_request(request);
+  EXPECT_NE(payload.find("\ncertify 1\n"), std::string::npos);
+  EXPECT_TRUE(parse_solve_request(payload).want_certificate);
+
+  // Old clients never emit the line; absence parses as "no certificate".
+  request.want_certificate = false;
+  const std::string old_payload = encode_solve_request(request);
+  EXPECT_EQ(old_payload.find("certify"), std::string::npos);
+  EXPECT_FALSE(parse_solve_request(old_payload).want_certificate);
+}
+
+TEST(ProtocolTest, CertificateSectionRoundTripsNested) {
+  SolveResponse response;
+  response.weight = 12;
+  response.telemetry_json = "{}";
+  // The certificate text deliberately contains envelope keywords; the
+  // length prefix is what delimits it, not line content.
+  response.certificate_text =
+      "sap-cert v1\nkind path\nweight 12\nrung total_weight\nub 30\n"
+      "alpha 5 2\nprices 1 0\nend\n";
+  response.solution_text = "sap-solution v1\nplacements 0\n";
+  const SolveResponse back =
+      parse_solve_response(encode_solve_response(response));
+  EXPECT_EQ(back.certificate_text, response.certificate_text);
+  EXPECT_EQ(back.solution_text, response.solution_text);
+
+  // No certificate -> no section, and old parsers see the old envelope.
+  response.certificate_text.clear();
+  const std::string payload = encode_solve_response(response);
+  EXPECT_EQ(payload.find("certificate"), std::string::npos);
+  EXPECT_TRUE(parse_solve_response(payload).certificate_text.empty());
+}
+
+TEST(ProtocolTest, MalformedCertificateSectionsRejected) {
+  EXPECT_THROW(parse_solve_request("sapd-solve v1\nkind path\nalgo full\n"
+                                   "eps 0.5\nseed 1\ncertify 2\ninstance\n"),
+               std::invalid_argument);
+  const std::string head =
+      "sapd-result v1\nweight 1\nplaced 0\ntasks 0\nwall_micros 1\n"
+      "telemetry {}\n";
+  EXPECT_THROW(parse_solve_response(head + "certificate -5\nsolution\n"),
+               std::invalid_argument);
+  // Declared length runs past the payload: truncated, not silently short.
+  EXPECT_THROW(parse_solve_response(head + "certificate 9999\nabc"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_solve_response(head + "certificate banana\nsolution\n"),
+               std::invalid_argument);
+}
+
 TEST(ProtocolTest, MalformedEnvelopesRejected) {
   EXPECT_THROW(parse_solve_request(""), std::invalid_argument);
   EXPECT_THROW(parse_solve_request("sapd-solve v2\n"), std::invalid_argument);

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/cert/check.hpp"
 #include "src/core/ring_solver.hpp"
 #include "src/core/sap_solver.hpp"
 #include "src/gen/generators.hpp"
@@ -208,6 +209,84 @@ TEST(ServiceTest, SolverSelectionMatchesInProcessBackends) {
     write_sap_solution(expected_os, expected_sol);
     EXPECT_EQ(outcome.response.solution_text, expected_os.str()) << algo;
   }
+  server.stop();
+}
+
+TEST(ServiceTest, CertifiedSolveReturnsIndependentlyCheckableCertificate) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  // Tiny instance: the exact_dp rung fires and stays inside the verifier's
+  // recheck budgets, so the client-side check is a full re-proof.
+  Rng rng(5);
+  PathGenOptions gen;
+  gen.num_edges = 6;
+  gen.num_tasks = 8;
+  gen.min_capacity = 4;
+  gen.max_capacity = 12;
+  const PathInstance inst = generate_path_instance(gen, rng);
+
+  SolveRequest request;
+  request.want_certificate = true;
+  request.instance_text = to_string(inst);
+  const Client::SolveOutcome outcome = client.solve(request);
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  ASSERT_FALSE(outcome.response.certificate_text.empty());
+
+  std::istringstream cert_is(outcome.response.certificate_text);
+  const cert::Certificate certificate = read_certificate(cert_is);
+  std::istringstream sol_is(outcome.response.solution_text);
+  const SapSolution sol = read_sap_solution(sol_is);
+  const cert::CheckResult check =
+      cert::check_certificate(inst, sol, certificate);
+  EXPECT_TRUE(check.valid) << check.reason;
+  EXPECT_EQ(certificate.solution_weight, outcome.response.weight);
+  // Certification ran inside the request's telemetry session.
+  EXPECT_NE(outcome.response.telemetry_json.find("cert.produced"),
+            std::string::npos);
+
+  // The same request without the opt-in gets the pre-certification
+  // envelope: no certificate section at all.
+  request.want_certificate = false;
+  const Client::SolveOutcome plain = client.solve(request);
+  ASSERT_TRUE(plain.ok) << plain.error_message;
+  EXPECT_TRUE(plain.response.certificate_text.empty());
+  EXPECT_EQ(plain.response.solution_text, outcome.response.solution_text);
+  server.stop();
+}
+
+TEST(ServiceTest, CertifiedRingSolveReturnsCheckableCertificate) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  Rng rng(6);
+  RingGenOptions gen;
+  gen.num_edges = 6;
+  gen.num_tasks = 8;
+  gen.min_capacity = 4;
+  gen.max_capacity = 12;
+  const RingInstance ring = generate_ring_instance(gen, rng);
+
+  SolveRequest request;
+  request.kind = SolveRequest::Kind::kRing;
+  request.want_certificate = true;
+  request.instance_text = ring_to_string(ring);
+  const Client::SolveOutcome outcome = client.solve(request);
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  ASSERT_FALSE(outcome.response.certificate_text.empty());
+
+  std::istringstream cert_is(outcome.response.certificate_text);
+  const cert::Certificate certificate = read_certificate(cert_is);
+  EXPECT_EQ(certificate.kind, cert::Certificate::Kind::kRing);
+  std::istringstream sol_is(outcome.response.solution_text);
+  const RingSapSolution sol = read_ring_solution(sol_is);
+  const cert::CheckResult check =
+      cert::check_certificate(ring, sol, certificate);
+  EXPECT_TRUE(check.valid) << check.reason;
   server.stop();
 }
 
