@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/model/verify.hpp"
+#include "src/util/checked.hpp"
 #include "src/util/telemetry.hpp"
 
 namespace sap::cert {
@@ -15,9 +16,7 @@ bool checked_solution_weight(const PathInstance& inst, const SapSolution& sol,
                              Weight* out) {
   Weight total = 0;
   for (const Placement& p : sol.placements) {
-    if (__builtin_add_overflow(total, inst.task(p.task).weight, &total)) {
-      return false;
-    }
+    if (!checked_add(total, inst.task(p.task).weight, &total)) return false;
   }
   *out = total;
   return true;
@@ -27,9 +26,7 @@ bool checked_solution_weight(const RingInstance& inst,
                              const RingSapSolution& sol, Weight* out) {
   Weight total = 0;
   for (const RingPlacement& p : sol.placements) {
-    if (__builtin_add_overflow(total, inst.task(p.task).weight, &total)) {
-      return false;
-    }
+    if (!checked_add(total, inst.task(p.task).weight, &total)) return false;
   }
   *out = total;
   return true;

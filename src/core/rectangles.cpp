@@ -57,8 +57,11 @@ std::vector<TaskRect> solution_rectangles(const PathInstance& inst,
   out.reserve(sol.placements.size());
   for (const Placement& p : sol.placements) {
     const Task& t = inst.task(p.task);
+    // sapkit-lint: begin-allow(exact-arith) -- feasible placements satisfy
+    // h + d <= c <= 2^62 (instance construction), so the top is exact.
     out.push_back({p.task, t.first, t.last, p.height, p.height + t.demand,
                    t.weight});
+    // sapkit-lint: end-allow(exact-arith)
   }
   return out;
 }
@@ -158,6 +161,8 @@ RectMwisResult rectangle_mwis(std::span<const TaskRect> rects,
       }
       if (!placed) {
         cliques.emplace_back(graph.row(v), graph.row(v) + graph.words);
+        // sapkit-lint: allow(exact-arith) -- each vertex contributes once, so
+        // the bound is a subset sum of weights, proven to fit at construction.
         bound += rects[v].weight;
       }
     }
@@ -184,7 +189,11 @@ RectMwisResult rectangle_mwis(std::span<const TaskRect> rects,
           }
         }
         if (pick == n) return;
-        if (weight + clique_bound(mask) <= best_weight) return;
+        // Both terms are at most the full weight sum, so widen: their sum can
+        // exceed int64 even though each side fits.
+        if (static_cast<Int128>(weight) + clique_bound(mask) <= best_weight) {
+          return;
+        }
 
         // Branch 1: include pick (drop its closed neighborhood).
         std::vector<std::uint64_t> included = mask;
@@ -192,6 +201,8 @@ RectMwisResult rectangle_mwis(std::span<const TaskRect> rects,
         for (std::size_t w = 0; w < graph.words; ++w) included[w] &= ~row[w];
         included[pick / 64] &= ~(std::uint64_t{1} << (pick % 64));
         current.push_back(pick);
+        // sapkit-lint: allow(exact-arith) -- subset sum of distinct task
+        // weights; the instance constructor proved the full sum fits int64.
         dfs(included, weight + rects[pick].weight);
         current.pop_back();
 

@@ -24,6 +24,8 @@ struct RingSolveReport {
 
 struct RingSolverParams {
   SolverParams path;          ///< parameters of the path pipeline
+  // sapkit-lint: allow(float-ban) -- FPTAS accuracy knob; the knapsack
+  // backend does its own exact bookkeeping in integers.
   double knapsack_eps = 0.1;  ///< FPTAS accuracy for the through-cut branch
 };
 

@@ -35,12 +35,18 @@ SapSolution solve_small_tasks(const PathInstance& inst,
     if (strip_height < 1) continue;  // cannot host any positive demand
 
     // Normalize: capacities above 2B are irrelevant to this octave
-    // (Observation 2), so clamp before the per-strip UFPP step.
-    auto [sub, back] = inst.clamp_capacities(2 * big_b, group);
+    // (Observation 2), so clamp before the per-strip UFPP step. In the top
+    // octave 2 * big_b would be 2^63 and overflow, but every capacity is at
+    // most kMaxExactCapacity, so saturating there keeps the clamp a no-op.
+    const Value cap_clamp = big_b > kMaxExactCapacity / 2 ? kMaxExactCapacity
+                                                          : 2 * big_b;
+    auto [sub, back] = inst.clamp_capacities(cap_clamp, group);
     std::vector<TaskId> all(sub.num_tasks());
     std::iota(all.begin(), all.end(), TaskId{0});
 
     UfppSolution ufpp;
+    // sapkit-lint: allow(float-ban) -- LP backend diagnostic for the report
+    // struct only; the solver never reads it back.
     double lp_value = 0.0;
     if (params.small_backend == SmallTaskBackend::kLpRounding) {
       Rng strip_rng = rng.fork();

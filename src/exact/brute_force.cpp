@@ -20,6 +20,8 @@ struct BruteSearcher {
       : inst(instance), order(subset.begin(), subset.end()) {
     suffix.assign(order.size() + 1, 0);
     for (std::size_t i = order.size(); i-- > 0;) {
+      // sapkit-lint: allow(exact-arith) -- suffix sums of task weights; the
+      // PathInstance constructor proved the full sum fits in int64.
       suffix[i] = suffix[i + 1] + inst.task(order[i]).weight;
     }
   }
@@ -28,8 +30,11 @@ struct BruteSearcher {
     for (const Placement& p : current) {
       const Task& other = inst.task(p.task);
       if (!t.overlaps(other)) continue;
+      // sapkit-lint: begin-allow(exact-arith) -- candidate and settled
+      // heights satisfy h <= b(j) - d, so h + d <= b(j) <= 2^62 is exact.
       const Value other_top = p.height + other.demand;
       if (h < other_top && p.height < h + t.demand) return false;
+      // sapkit-lint: end-allow(exact-arith)
     }
     return true;
   }
@@ -40,13 +45,15 @@ struct BruteSearcher {
       best = current;
     }
     if (i == order.size()) return;
-    if (current_weight + suffix[i] <= best_weight) return;
+    if (static_cast<Int128>(current_weight) + suffix[i] <= best_weight) return;
     const TaskId j = order[i];
     const Task& t = inst.task(j);
     const Value top_limit = inst.bottleneck(j) - t.demand;
     for (Value h = 0; h <= top_limit; ++h) {
       if (!placeable(t, h)) continue;
       current.push_back({j, h});
+      // sapkit-lint: allow(exact-arith) -- subset sum of task weights; the
+      // PathInstance constructor proved the full sum fits in int64.
       current_weight += t.weight;
       dfs(i + 1);
       current_weight -= t.weight;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
+// sapkit-lint: allow(determinism) -- profile-dedupe lookups only; the map is
+// never iterated, so its order cannot reach solver output.
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +21,8 @@ struct Slot {
   EdgeId last;
 
   friend bool operator==(const Slot&, const Slot&) = default;
+  // sapkit-lint: allow(exact-arith) -- slots are only created with
+  // h + d <= cap <= 2^62 (see place()/free_span), so the top is exact.
   [[nodiscard]] Value top() const noexcept { return height + demand; }
 };
 
@@ -59,6 +63,8 @@ struct StarterEnumerator {
 
   [[nodiscard]] bool free_span(Value h, Value demand) const {
     for (const Slot& s : *slots) {
+      // sapkit-lint: allow(exact-arith) -- h <= cap and d <= cap <= 2^62
+      // (instance construction), so h + d <= 2^63 stays exact in int64.
       if (s.height >= h + demand) break;  // sorted: all later are above
       if (s.top() > h) return false;
     }
@@ -74,6 +80,8 @@ struct StarterEnumerator {
     run(i + 1);  // skip starters[i]
     const TaskId j = starters[i];
     const Task& t = inst.task(j);
+    // sapkit-lint: allow(exact-arith) -- min_height <= cap and d <= cap <=
+    // 2^62 (instance construction), so the sum is exact in int64.
     if (min_height + t.demand > cap) return;
     if (grounded_only) {
       // Candidates: the floor and the top of every alive slot.
@@ -86,6 +94,8 @@ struct StarterEnumerator {
                        candidates.end());
       std::size_t tried = 0;
       for (Value h : candidates) {
+        // sapkit-lint: allow(exact-arith) -- candidate tops are <= cap and
+        // d <= cap <= 2^62, so the sum is exact in int64.
         if (h + t.demand > cap) break;
         if (!free_span(h, t.demand)) continue;
         if (max_heights != 0 && tried >= max_heights) return;
@@ -99,12 +109,16 @@ struct StarterEnumerator {
     std::size_t tried = 0;
     Value h = min_height;
     std::size_t k = 0;
+    // sapkit-lint: allow(exact-arith) -- h <= cap (starts at min_height and
+    // jumps to slot tops <= cap) and d <= cap <= 2^62: exact in int64.
     while (h + t.demand <= cap) {
       // Skip forward over any slot blocking [h, h+demand).
       bool blocked = false;
       for (; k < slots->size(); ++k) {
         const Slot& s = (*slots)[k];
         if (s.top() <= h) continue;           // entirely below
+        // sapkit-lint: allow(exact-arith) -- same h <= cap, d <= cap <= 2^62
+        // bound as the loop condition above: exact in int64.
         if (s.height >= h + t.demand) break;  // entirely above; gap is free
         h = s.top();                          // jump past the blocker
         blocked = true;
@@ -114,6 +128,8 @@ struct StarterEnumerator {
       // [h, h+demand) is free; recurse with every height in this gap.
       Value gap_end = cap;
       if (k < slots->size()) gap_end = std::min(gap_end, (*slots)[k].height);
+      // sapkit-lint: allow(exact-arith) -- hh <= gap_end <= cap and d <=
+      // cap <= 2^62 (instance construction): exact in int64.
       for (Value hh = h; hh + t.demand <= gap_end; ++hh) {
         if (max_heights != 0 && tried >= max_heights) return;
         ++tried;
@@ -133,6 +149,8 @@ struct StarterEnumerator {
     const auto idx = static_cast<std::size_t>(pos - slots->begin());
     slots->insert(pos, slot);
     added->push_back({j, h});
+    // sapkit-lint: allow(exact-arith) -- subset sum of task weights; the
+    // PathInstance constructor proved the full sum fits in int64.
     added_weight += t.weight;
     run(i + 1);
     added_weight -= t.weight;
@@ -164,6 +182,7 @@ SapExactResult sap_exact_profile_dp(const PathInstance& inst,
 
   for (EdgeId e = 0; e < m; ++e) {
     const Value cap = inst.capacity(e);
+    // sapkit-lint: allow(determinism) -- lookups only, never iterated.
     std::unordered_map<std::uint64_t, std::int32_t> dedupe;
     std::vector<std::int32_t> next;
 
@@ -206,6 +225,8 @@ SapExactResult sap_exact_profile_dp(const PathInstance& inst,
           overflow = true;
           return;
         }
+        // sapkit-lint: allow(exact-arith) -- weights of disjoint task sets;
+        // their sum is a subset sum, proven to fit in int64 at construction.
         const Weight total = base_weight + added_weight;
         const std::uint64_t key = hash_profile(slots);
         auto [it, inserted] = dedupe.try_emplace(key, -1);

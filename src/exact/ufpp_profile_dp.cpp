@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
+// sapkit-lint: allow(determinism) -- profile-dedupe lookups only; the map is
+// never iterated, so its order cannot reach solver output.
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +59,8 @@ UfppProfileDpResult ufpp_exact_profile_dp(
 
   for (EdgeId e = 0; e < m; ++e) {
     const Value cap = inst.capacity(e);
+    // sapkit-lint: allow(determinism) -- try_emplace/lookup only, never
+    // iterated; surviving states live in `arena`, which is append-ordered.
     std::unordered_map<std::uint64_t, std::int32_t> dedupe;
     std::vector<std::int32_t> next;
     bool overflow = false;
@@ -70,6 +74,8 @@ UfppProfileDpResult ufpp_exact_profile_dp(
            arena[static_cast<std::size_t>(sid)].active) {
         if (a.last < e) continue;
         active.push_back(a);
+        // sapkit-lint: allow(exact-arith) -- subset sum of demands; the
+        // PathInstance constructor proved the full sum fits in int64.
         load += a.demand;
       }
       if (load > cap) continue;  // dead branch (capacity dropped)
@@ -89,6 +95,8 @@ UfppProfileDpResult ufpp_exact_profile_dp(
                 profile.push_back({inst.task(j).demand, inst.task(j).last});
               }
               std::ranges::sort(profile);
+              // sapkit-lint: allow(exact-arith) -- weights of disjoint task
+              // sets; the sum is a subset sum, proven at construction.
               const Weight total = base_weight + gained;
               const std::uint64_t key = hash_profile(profile);
               auto [it, inserted] = dedupe.try_emplace(key, -1);
@@ -122,9 +130,13 @@ UfppProfileDpResult ufpp_exact_profile_dp(
             }
             enumerate(i + 1, used, gained);  // skip starter i
             const Task& t = inst.task(starters[i]);
+            // sapkit-lint: begin-allow(exact-arith) -- `used` and the gained
+            // weight are subset sums of demands/weights; the PathInstance
+            // constructor proved the full sums fit in int64.
             if (used + t.demand <= cap) {
               added.push_back(starters[i]);
               enumerate(i + 1, used + t.demand, gained + t.weight);
+              // sapkit-lint: end-allow(exact-arith)
               added.pop_back();
             }
           };

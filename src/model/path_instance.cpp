@@ -4,6 +4,8 @@
 #include <numeric>
 #include <string>
 
+#include "src/util/checked.hpp"
+
 namespace sap {
 
 PathInstance::PathInstance(std::vector<Value> capacities,
@@ -17,9 +19,19 @@ PathInstance::PathInstance(std::vector<Value> capacities,
       throw std::invalid_argument("PathInstance: capacity of edge " +
                                   std::to_string(e) + " must be positive");
     }
+    if (capacities_[e] > kMaxExactCapacity) {
+      throw std::invalid_argument(
+          "PathInstance: capacity of edge " + std::to_string(e) +
+          " exceeds 2^62 (height arithmetic would not be exact in int64)");
+    }
   }
   capacity_rmq_ = RangeMin(capacities_);
   const auto m = static_cast<EdgeId>(capacities_.size());
+  // Checked totals: once construction succeeds, the sum of all demands and
+  // of all weights each fit in int64, so every downstream subset sum (edge
+  // loads, solution weights, DP accumulators) is provably exact.
+  Value demand_total = 0;
+  Weight weight_total = 0;
   for (std::size_t j = 0; j < tasks_.size(); ++j) {
     const Task& t = tasks_[j];
     if (t.first < 0 || t.last >= m || t.first > t.last) {
@@ -37,6 +49,16 @@ PathInstance::PathInstance(std::vector<Value> capacities,
     if (t.demand > bottleneck(static_cast<TaskId>(j))) {
       throw std::invalid_argument("PathInstance: task " + std::to_string(j) +
                                   " exceeds its bottleneck capacity");
+    }
+    if (!checked_add(demand_total, t.demand, &demand_total)) {
+      throw std::invalid_argument(
+          "PathInstance: total demand overflows int64 (instance too large "
+          "for exact arithmetic)");
+    }
+    if (!checked_add(weight_total, t.weight, &weight_total)) {
+      throw std::invalid_argument(
+          "PathInstance: total weight overflows int64 (instance too large "
+          "for exact arithmetic)");
     }
   }
 }
@@ -68,6 +90,8 @@ Value PathInstance::max_capacity() const {
 Weight PathInstance::total_weight() const noexcept {
   return std::accumulate(
       tasks_.begin(), tasks_.end(), Weight{0},
+      // sapkit-lint: allow(exact-arith) -- the constructor proved this exact
+      // sum fits in int64 with checked_add; recomputing it cannot overflow.
       [](Weight acc, const Task& t) { return acc + t.weight; });
 }
 

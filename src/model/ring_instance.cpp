@@ -4,7 +4,11 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+// sapkit-lint: allow(determinism) -- duplicate-id membership test only; the
+// set is queried, never iterated, so its order cannot reach any output.
 #include <unordered_set>
+
+#include "src/util/checked.hpp"
 
 namespace sap {
 
@@ -14,12 +18,26 @@ RingInstance::RingInstance(std::vector<Value> capacities,
   if (capacities_.size() < 3) {
     throw std::invalid_argument("RingInstance: ring needs >= 3 edges");
   }
+  // Vertex/edge indices are int; reject sizes the casts below would narrow.
+  if (capacities_.size() >
+      static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument("RingInstance: too many edges for int ids");
+  }
   for (Value c : capacities_) {
     if (c <= 0) {
       throw std::invalid_argument("RingInstance: capacities must be positive");
     }
+    if (c > kMaxExactCapacity) {
+      throw std::invalid_argument(
+          "RingInstance: capacity exceeds 2^62 (height arithmetic would not "
+          "be exact in int64)");
+    }
   }
   const auto m = static_cast<int>(capacities_.size());
+  // Checked totals, mirroring PathInstance: a successful construction proves
+  // that every subset sum of demands or weights fits in int64.
+  Value demand_total = 0;
+  Weight weight_total = 0;
   for (std::size_t j = 0; j < tasks_.size(); ++j) {
     const RingTask& t = tasks_[j];
     if (t.start < 0 || t.start >= m || t.end < 0 || t.end >= m ||
@@ -30,6 +48,12 @@ RingInstance::RingInstance(std::vector<Value> capacities,
     if (t.demand <= 0 || t.weight < 0) {
       throw std::invalid_argument("RingInstance: task " + std::to_string(j) +
                                   " has invalid demand/weight");
+    }
+    if (!checked_add(demand_total, t.demand, &demand_total) ||
+        !checked_add(weight_total, t.weight, &weight_total)) {
+      throw std::invalid_argument(
+          "RingInstance: total demand or weight overflows int64 (instance "
+          "too large for exact arithmetic)");
     }
   }
 }
@@ -62,12 +86,15 @@ EdgeId RingInstance::min_capacity_edge() const {
 
 Weight RingInstance::solution_weight(const RingSapSolution& sol) const {
   Weight total = 0;
+  // sapkit-lint: allow(exact-arith) -- subset sum of task weights; the
+  // constructor proved the full sum fits in int64 with checked_add.
   for (const RingPlacement& p : sol.placements) total += task(p.task).weight;
   return total;
 }
 
 VerifyResult verify_ring_sap(const RingInstance& inst,
                              const RingSapSolution& sol) {
+  // sapkit-lint: allow(determinism) -- membership test only, never iterated.
   std::unordered_set<TaskId> seen;
   for (const RingPlacement& p : sol.placements) {
     if (p.task < 0 || static_cast<std::size_t>(p.task) >= inst.num_tasks()) {
@@ -94,7 +121,7 @@ VerifyResult verify_ring_sap(const RingInstance& inst,
       inst.num_edges());
   for (const RingPlacement& p : sol.placements) {
     Value top = 0;
-    if (__builtin_add_overflow(p.height, inst.task(p.task).demand, &top)) {
+    if (!checked_add(p.height, inst.task(p.task).demand, &top)) {
       return VerifyResult::failure(
           VerifyError::kOverflow,
           "task " + std::to_string(p.task) +

@@ -19,6 +19,13 @@ using EdgeId = std::int32_t;  ///< index into an instance's edge array
 __extension__ typedef __int128 Int128;            ///< exact wide arithmetic
 __extension__ typedef unsigned __int128 Uint128;  ///< exact wide arithmetic
 
+/// Largest admissible edge capacity, enforced by the instance constructors.
+/// Heights never exceed the (bottleneck) capacity, so with c <= 2^62 every
+/// `height + demand` a solver can form satisfies h + d <= 2c < 2^63 and is
+/// exact in int64 — the invariant the exact-arith lint justifications cite.
+inline constexpr std::int64_t kMaxExactCapacity =
+    std::int64_t{1} << 62;  // 4.6e18; any real workload is far below this
+
 /// Exact non-negative rational, used for thresholds such as delta in
 /// "delta-small" so classification never depends on floating point.
 struct Ratio {
@@ -33,9 +40,12 @@ struct Ratio {
   [[nodiscard]] bool lt_scaled(Value a, Value b) const noexcept {
     return static_cast<Int128>(a) * den < static_cast<Int128>(num) * b;
   }
+  // sapkit-lint: begin-allow(float-ban) -- display-only conversion for bench
+  // tables and logs; no classification or feasibility decision consumes it.
   [[nodiscard]] double as_double() const noexcept {
     return static_cast<double>(num) / static_cast<double>(den);
   }
+  // sapkit-lint: end-allow(float-ban)
 };
 
 /// A task on a path: it uses the closed edge range [first, last], has a

@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 
 namespace sap::service {
 namespace {
@@ -103,6 +104,11 @@ ReadStatus read_frame(int fd, Frame* frame, std::size_t max_payload) {
 }
 
 bool write_frame(int fd, FrameType type, std::string_view payload) {
+  // The wire length field is 32-bit; a silently truncated cast here would
+  // desync the stream (the peer would read the payload tail as headers).
+  if (payload.size() > std::numeric_limits<std::uint32_t>::max()) {
+    return false;
+  }
   unsigned char header_bytes[kFrameHeaderBytes];
   encode_frame_header(header_bytes, type,
                       static_cast<std::uint32_t>(payload.size()));

@@ -1,0 +1,30 @@
+// Fixture: the allow grammar, good and bad.
+
+namespace sap {
+
+// sapkit-lint: allow(exact-arith) -- fixture: suppressed on the next line.
+long suppressed(long demand_a, long demand_b) { return demand_a + demand_b; }
+
+// sapkit-lint: allow(exact-arith) -- fixture: a justification may wrap
+// across several comment-only lines and still cover the first code line.
+long wrapped(long weight_a, long weight_b) { return weight_a + weight_b; }
+
+// sapkit-lint: begin-allow(float-ban) -- fixture: a declared float region.
+double region_a(double x) { return x; }
+double region_b(double x) { return x; }
+// sapkit-lint: end-allow(float-ban)
+
+// sapkit-lint: allow(exact-arith)
+long missing_justification(long demand_a) { return demand_a + 1; }
+
+// sapkit-lint: allow(made-up-rule) -- fixture: no such rule.
+long unknown_rule(long weight) { return weight; }
+
+// sapkit-lint: allow(float-ban) -- fixture: suppresses nothing below.
+long stale(long count) { return count; }
+
+// sapkit-lint: end-allow(determinism)
+
+// sapkit-lint: begin-allow(determinism) -- fixture: left open on purpose.
+
+}  // namespace sap

@@ -1,0 +1,13 @@
+// Fixture: src/lp is the declared floating-point home; float-ban and
+// exact-arith do not apply here, but determinism still does.
+#include <cstdlib>
+
+namespace sap {
+
+double pivot(double a, double b) { return a / b; }
+
+double scaled_weight(double weight, double factor) { return weight * factor; }
+
+int lp_noise() { return rand(); }  // line 11: determinism still enforced
+
+}  // namespace sap

@@ -1,0 +1,27 @@
+// Fixture: every raw-operator shape the exact-arith rule must catch.
+#include <cstdint>
+
+namespace sap {
+
+long add_demands(long demand_a, long demand_b) {
+  return demand_a + demand_b;  // line 7: raw +
+}
+
+long scale_weight(long weight, long factor) {
+  return weight * factor;  // line 11: raw *
+}
+
+void accumulate(long* total_weight, long weight) {
+  *total_weight += weight;  // line 15: raw +=
+}
+
+void inflate(long* capacity, long factor) {
+  *capacity *= factor;  // line 19: raw *=
+}
+
+long member_access_rhs(long total, const long* weights, int j) {
+  total += weights[j];  // line 23: quantity token far from the operator
+  return total;
+}
+
+}  // namespace sap

@@ -1,0 +1,9 @@
+// Fixture: floating point in an exactness-critical directory.
+
+namespace sap {
+
+double ratio(long num, long den) {  // line 5: double
+  return static_cast<float>(num) / den;  // line 6: float
+}
+
+}  // namespace sap

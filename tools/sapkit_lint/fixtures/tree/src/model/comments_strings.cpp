@@ -1,0 +1,19 @@
+// Fixture: banned tokens inside comments and string literals are invisible.
+#include <string>
+
+namespace sap {
+
+// A comment may say demand + demand or double or rand() freely.
+/* Block comments too: weight * weight, std::random_device. */
+
+std::string prose() {
+  return "capacity + demand, double trouble, rand()";  // string literal
+}
+
+char quoted() { return '+'; }  // char literal
+
+std::string tricky() {
+  return "escaped \" still a string: weight + weight";
+}
+
+}  // namespace sap

@@ -1,0 +1,28 @@
+// Fixture: arithmetic shapes the exact-arith rule must accept unprompted.
+#include <cstdint>
+
+using Int128 = __int128;
+
+namespace sap {
+
+bool checked_path(long demand_a, long demand_b, long* out) {
+  return checked_add(demand_a, demand_b, out);  // blessed helper
+}
+
+bool builtin_path(long weight_a, long weight_b, long* out) {
+  return !__builtin_add_overflow(weight_a, weight_b, out);  // raw intrinsic
+}
+
+Int128 widened(long weight_a, long weight_b) {
+  return static_cast<Int128>(weight_a) + weight_b;  // 128-bit widening
+}
+
+long subtraction(long capacity, long demand) {
+  return capacity - demand;  // non-negative int64 difference cannot overflow
+}
+
+long unrelated(long count, long index) {
+  return count + index;  // no quantity-typed operand in sight
+}
+
+}  // namespace sap

@@ -1,0 +1,18 @@
+// Fixture: src/service is outside every rule scope; nothing here may fire.
+#include <chrono>
+#include <cstdlib>
+
+namespace sap {
+
+double latency_seconds() {
+  using clock = std::chrono::system_clock;
+  return std::chrono::duration<double>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+long raw_sum(long demand_a, long demand_b) { return demand_a + demand_b; }
+
+int jitter() { return rand(); }
+
+}  // namespace sap

@@ -1,0 +1,44 @@
+// Fixture: every nondeterminism source the determinism rule must catch.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace sap {
+
+int ambient() { return rand(); }            // line 10: rand()
+
+void reseed() { srand(42); }                // line 12: srand()
+
+unsigned hw_entropy() {
+  std::random_device rd;                    // line 15: random_device
+  return rd();
+}
+
+long wall_clock_now() {
+  using clock = std::chrono::system_clock;  // line 20: system_clock
+  return clock::now().time_since_epoch().count();
+}
+
+long hires_now() {
+  return std::chrono::high_resolution_clock::now()  // line 25
+      .time_since_epoch()
+      .count();
+}
+
+long c_time() { return time(nullptr); }     // line 30: time()
+
+int from_distribution(std::mt19937& gen) {  // line 32: mt19937
+  std::uniform_int_distribution<int> d(0, 9);  // line 33: *_distribution
+  return d(gen);
+}
+
+std::unordered_map<int, int> cache;         // line 37: unordered container
+
+long monotonic() {
+  // steady_clock is permitted: timing telemetry is declared nondeterministic.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace sap

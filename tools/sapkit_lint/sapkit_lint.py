@@ -1,0 +1,511 @@
+#!/usr/bin/env python3
+"""sapkit-lint: project-invariant static analysis for the sapkit tree.
+
+The paper's guarantees hold only because every feasibility check, DP and
+certificate rung is exact 64-bit integer arithmetic, and because solver
+output is a pure function of (instance, seed).  This linter turns those
+prose invariants (DESIGN.md section 1, docs/STATIC_ANALYSIS.md) into a
+mechanical gate.  It is a lexical analyser, not a compiler: it tokenizes
+each source line with comments and string literals stripped, and flags
+patterns that the project forbids.  False positives are expected to be
+rare and are silenced with a justified allow-comment:
+
+    // sapkit-lint: allow(<rule>) -- <justification>
+
+which covers its own line and the following line, or a region:
+
+    // sapkit-lint: begin-allow(<rule>) -- <justification>
+    ...
+    // sapkit-lint: end-allow(<rule>)
+
+A justification (the text after `--`) is mandatory; an allow-comment that
+suppresses nothing is itself an error, so stale escapes cannot linger.
+
+Rules (stable IDs, each scoped to the directories where it is a project
+invariant rather than a style preference):
+
+  exact-arith    Raw `+`, `*`, `+=`, `*=` adjacent to a quantity-typed
+                 operand (demand/weight/height/capacity/bottleneck) in the
+                 exactness-critical dirs.  Arithmetic on these int64
+                 quantities must go through the overflow-checked helpers in
+                 src/util/checked.hpp (checked_add/checked_mul) or widen to
+                 Int128 first.  Subtraction is exempt: all quantities are
+                 validated non-negative, and int64 a-b with a,b >= 0 cannot
+                 overflow.
+  float-ban      `float`/`double` tokens in the exactness-critical dirs.
+                 Floating point lives in src/lp/ (out of scope by
+                 construction) and the declared LP-dual-repair region of
+                 src/cert/ladder.cpp; everywhere else it threatens the
+                 exactness claims.
+  determinism    Nondeterminism sources in solver/harness paths: wall-clock
+                 (system_clock/high_resolution_clock/time()/gettimeofday),
+                 ambient randomness (rand/srand/random_device), libstdc++
+                 <random> distributions (non-portable across standard
+                 libraries; use sap::Rng), and unordered containers (their
+                 iteration order may leak into output; a justified allow
+                 must state that the container is never iterated, or that
+                 iteration cannot reach output).  steady_clock is permitted:
+                 it feeds timing telemetry, which is declared
+                 nondeterministic.
+  allow-syntax   Malformed allow-comments: unknown rule name, missing
+                 `-- justification`, end-allow without begin-allow, or a
+                 begin-allow left unclosed at end of file.
+  unused-allow   An allow-comment (line or region) that suppressed no
+                 finding.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import re
+import sys
+from typing import Iterable
+
+# --------------------------------------------------------------------------
+# Rule table and scopes
+# --------------------------------------------------------------------------
+
+# Directories (relative to the repo root, '/'-separated prefixes) where the
+# exact-arithmetic discipline is a correctness requirement.
+EXACT_DIRS = ("src/model", "src/exact", "src/cert", "src/core")
+
+# Solver / harness paths whose output must be a pure function of
+# (instance, seed).  src/service is excluded: it is an I/O layer whose
+# latency stats are inherently timing-dependent, and every solve result it
+# returns is produced by the covered solver paths.
+DETERMINISTIC_DIRS = (
+    "src/model", "src/exact", "src/cert", "src/core", "src/ufpp",
+    "src/dsa", "src/sapu", "src/knapsack", "src/gen", "src/harness",
+    "src/lp", "src/io", "src/util",
+)
+
+RULE_SCOPES = {
+    "exact-arith": EXACT_DIRS,
+    "float-ban": EXACT_DIRS,
+    "determinism": DETERMINISTIC_DIRS,
+}
+
+# allow-syntax / unused-allow are meta-rules: they apply wherever an
+# allow-comment appears.
+META_RULES = ("allow-syntax", "unused-allow")
+ALL_RULES = tuple(RULE_SCOPES) + META_RULES
+
+SOURCE_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".h")
+
+# --------------------------------------------------------------------------
+# Lexical machinery
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    [A-Za-z_][A-Za-z0-9_]*            # identifier / keyword
+  | 0[xX][0-9a-fA-F']+ | [0-9][0-9a-fA-F'.eEpPxXuUlL+-]*   # numeric literal
+  | ->\*? | \+\+ | -- | <<=? | >>=? | <=> | [-+*/%&|^!<>=]= | && | \|\| | ::
+  | [-+*/%&|^!<>=~?:;,.(){}\[\]]
+    """,
+    re.VERBOSE,
+)
+
+# Quantity vocabulary: lower-case member/local names only, so type names
+# (Weight, Value) and pointer declarations (`Weight* w`) never match.
+_QUANTITY_RE = re.compile(
+    r"(?:^|_)(?:demands?|weights?|heights?|capacity|capacities|"
+    r"bottlenecks?)(?:_|$)"
+)
+
+# Tokens whose presence on a line sanctions raw arithmetic: the statement is
+# already routed through the checked helpers or 128-bit widening.
+_CHECKED_MARKERS = re.compile(
+    r"\b(?:checked_\w+|__builtin_add_overflow|__builtin_sub_overflow|"
+    r"__builtin_mul_overflow|Int128|Uint128)\b"
+)
+
+# If the previous token is one of these, a following +/-/* is unary (or a
+# pointer/reference declarator), not binary arithmetic.
+_UNARY_PREV = {
+    None, "(", "[", "{", ",", ";", "=", "return", "case", "<", ">", "<=",
+    ">=", "==", "!=", "&&", "||", "!", "?", ":", "+", "-", "*", "/", "%",
+    "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&", "|", "^", "&&=", "::",
+}
+
+# Tokens that read as a type name directly before '*': the '*' is a pointer
+# declarator, not multiplication (e.g. `Value* out`, `const Weight* w`).
+_TYPE_PREV_RE = re.compile(
+    r"^(?:long|int|short|signed|unsigned|char|bool|void|auto|const|constexpr"
+    r"|Value|Weight|EdgeId|TaskId|Int128|Uint128|std|size_t|ptrdiff_t"
+    r"|\w+_t|uint\d+|int\d+|double|float)$"
+)
+
+_ARITH_OPS = {"+", "*", "+=", "*="}
+
+_FLOAT_RE = re.compile(r"\b(?:float|double)\b")
+
+# Banned nondeterminism sources.  Word-boundary anchored so e.g.
+# `wall_time(` or `steady_clock` never match.
+_NONDET_RES = (
+    (re.compile(r"\brand\s*\("), "rand() draws from ambient global state"),
+    (re.compile(r"\bsrand\s*\("), "srand() mutates ambient global state"),
+    (re.compile(r"\brandom_device\b"), "std::random_device is nondeterministic"),
+    (re.compile(r"\brandom_shuffle\b"), "std::random_shuffle uses ambient randomness"),
+    (re.compile(r"\bsystem_clock\b"), "wall clock (system_clock) in a solver path"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "high_resolution_clock may alias the wall clock"),
+    (re.compile(r"\bgettimeofday\b"), "wall clock (gettimeofday) in a solver path"),
+    (re.compile(r"\blocaltime\b"), "wall clock (localtime) in a solver path"),
+    (re.compile(r"\btime\s*\("), "wall clock (time()) in a solver path"),
+    (re.compile(r"\bmt19937(?:_64)?\b"),
+     "std::mt19937 bypasses sap::Rng (seed discipline lives there)"),
+    (re.compile(r"\b\w*_distribution\b"),
+     "libstdc++ <random> distributions are not portable bit-exactly; "
+     "use sap::Rng helpers"),
+)
+
+_UNORDERED_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\b")
+
+_ALLOW_RE = re.compile(
+    r"//\s*sapkit-lint:\s*(allow|begin-allow|end-allow)\s*"
+    r"\(\s*([A-Za-z0-9_-]*)\s*\)\s*(?:--\s*(.*\S))?\s*$"
+)
+_ALLOW_ANY_RE = re.compile(r"//\s*sapkit-lint\b")
+
+
+@dataclasses.dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class Allow:
+    rule: str
+    line: int          # line of the allow comment itself
+    end: int           # last covered line (inclusive); for region allows
+    used: bool = False
+
+
+def strip_comments_and_strings(text: str) -> list[str]:
+    """Returns per-line code with comments and string/char literals blanked.
+
+    Line numbering is preserved.  Handles // and block comments, escaped
+    quotes, and keeps the comment text out of the token stream so allow
+    comments and prose never trigger rules.
+    """
+    out: list[list[str]] = [[]]
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            if state == "line_comment":
+                state = "code"
+            out.append([])
+            i += 1
+            continue
+        if state == "code":
+            nxt = text[i + 1] if i + 1 < n else ""
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out[-1].append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out[-1].append(" ")
+                i += 1
+                continue
+            out[-1].append(c)
+            i += 1
+            continue
+        if state == "block_comment":
+            if c == "*" and i + 1 < n and text[i + 1] == "/":
+                state = "code"
+                i += 2
+                continue
+            i += 1
+            continue
+        if state in ("string", "char"):
+            if c == "\\":
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (state == "char" and c == "'"):
+                state = "code"
+            i += 1
+            continue
+        # line_comment: skip to newline
+        i += 1
+    return ["".join(chars) for chars in out]
+
+
+def tokenize(code_line: str) -> list[str]:
+    return _TOKEN_RE.findall(code_line)
+
+
+# --------------------------------------------------------------------------
+# Rule matchers — each yields (line_number, message)
+# --------------------------------------------------------------------------
+
+def match_exact_arith(code_lines: list[str]) -> Iterable[tuple[int, str]]:
+    for lineno, code in enumerate(code_lines, start=1):
+        if "+" not in code and "*" not in code:
+            continue
+        if _CHECKED_MARKERS.search(code):
+            continue
+        tokens = tokenize(code)
+        for idx, tok in enumerate(tokens):
+            if tok not in _ARITH_OPS:
+                continue
+            prev = tokens[idx - 1] if idx > 0 else None
+            if tok in ("+", "*") and prev in _UNARY_PREV:
+                continue
+            if tok == "*" and prev is not None and _TYPE_PREV_RE.match(prev):
+                continue  # pointer declarator, not multiplication
+            # The operand window: a few tokens to the left, and everything up
+            # to the end of the statement on the right (quantity member
+            # accesses like `inst.task(j).weight` put the interesting token
+            # well past the operator).
+            stmt_end = next((k for k in range(idx, len(tokens))
+                             if tokens[k] == ";"), len(tokens))
+            window = tokens[max(0, idx - 4):idx] + tokens[idx + 1:stmt_end]
+            hit = next((t for t in window if _QUANTITY_RE.search(t)), None)
+            if hit is None:
+                continue
+            yield (lineno,
+                   f"raw '{tok}' on quantity operand '{hit}': route through "
+                   "checked_add/checked_mul (src/util/checked.hpp) or widen "
+                   "to Int128")
+            break  # one finding per line is enough
+
+
+def match_float_ban(code_lines: list[str]) -> Iterable[tuple[int, str]]:
+    for lineno, code in enumerate(code_lines, start=1):
+        m = _FLOAT_RE.search(code)
+        if m:
+            yield (lineno,
+                   f"'{m.group(0)}' in an exactness-critical directory "
+                   "(floating point belongs in src/lp/ or the declared "
+                   "region of src/cert/ladder.cpp)")
+
+
+def match_determinism(code_lines: list[str]) -> Iterable[tuple[int, str]]:
+    for lineno, code in enumerate(code_lines, start=1):
+        for pattern, why in _NONDET_RES:
+            if pattern.search(code):
+                yield (lineno, why)
+                break
+        else:
+            m = _UNORDERED_RE.search(code)
+            if m:
+                yield (lineno,
+                       f"'{m.group(0)}' in a deterministic path: iteration "
+                       "order is unspecified; justify that it never feeds "
+                       "output, or use an ordered container")
+
+
+RULE_MATCHERS = {
+    "exact-arith": match_exact_arith,
+    "float-ban": match_float_ban,
+    "determinism": match_determinism,
+}
+
+
+# --------------------------------------------------------------------------
+# Allow-comment collection
+# --------------------------------------------------------------------------
+
+def collect_allows(raw_lines: list[str], path: str
+                   ) -> tuple[list[Allow], list[Finding]]:
+    allows: list[Allow] = []
+    findings: list[Finding] = []
+    open_regions: dict[str, Allow] = {}
+    for lineno, line in enumerate(raw_lines, start=1):
+        if not _ALLOW_ANY_RE.search(line):
+            continue
+        m = _ALLOW_RE.search(line)
+        if not m:
+            findings.append(Finding(
+                path, lineno, "allow-syntax",
+                "malformed sapkit-lint comment (want "
+                "'// sapkit-lint: allow(<rule>) -- <justification>')"))
+            continue
+        kind, rule, justification = m.group(1), m.group(2), m.group(3)
+        if rule not in RULE_SCOPES:
+            findings.append(Finding(
+                path, lineno, "allow-syntax",
+                f"unknown rule '{rule}' (known: {', '.join(RULE_SCOPES)})"))
+            continue
+        if kind == "end-allow":
+            region = open_regions.pop(rule, None)
+            if region is None:
+                findings.append(Finding(
+                    path, lineno, "allow-syntax",
+                    f"end-allow({rule}) without a matching begin-allow"))
+            else:
+                region.end = lineno
+                allows.append(region)
+            continue
+        if not justification:
+            findings.append(Finding(
+                path, lineno, "allow-syntax",
+                f"{kind}({rule}) needs a justification: "
+                f"'... {kind}({rule}) -- <why this is safe>'"))
+            continue
+        if kind == "allow":
+            # A line-allow covers the next code line.  Justifications often
+            # wrap across several comment lines, so skip over comment-only
+            # continuation lines to find it.
+            end = lineno + 1
+            while end <= len(raw_lines) and \
+                    raw_lines[end - 1].lstrip().startswith("//"):
+                end += 1
+            allows.append(Allow(rule, lineno, end))
+        else:  # begin-allow
+            if rule in open_regions:
+                findings.append(Finding(
+                    path, lineno, "allow-syntax",
+                    f"begin-allow({rule}) nested inside an open "
+                    f"begin-allow({rule}) region"))
+            else:
+                open_regions[rule] = Allow(rule, lineno, lineno)
+    for rule, region in sorted(open_regions.items()):
+        findings.append(Finding(
+            path, region.line, "allow-syntax",
+            f"begin-allow({rule}) is never closed (missing "
+            f"'// sapkit-lint: end-allow({rule})')"))
+    return allows, findings
+
+
+# --------------------------------------------------------------------------
+# Per-file driver
+# --------------------------------------------------------------------------
+
+def rules_for(rel_path: str, forced: tuple[str, ...] | None) -> list[str]:
+    if forced is not None:
+        return [r for r in forced if r in RULE_SCOPES]
+    posix = rel_path.replace(os.sep, "/")
+    return [rule for rule, dirs in RULE_SCOPES.items()
+            if any(posix == d or posix.startswith(d + "/") for d in dirs)]
+
+
+def lint_file(abs_path: str, rel_path: str,
+              forced_rules: tuple[str, ...] | None) -> list[Finding]:
+    try:
+        with open(abs_path, encoding="utf-8") as f:
+            text = f.read()
+    except (OSError, UnicodeDecodeError) as e:
+        return [Finding(rel_path, 0, "allow-syntax", f"unreadable file: {e}")]
+    raw_lines = text.split("\n")
+    code_lines = strip_comments_and_strings(text)
+    allows, findings = collect_allows(raw_lines, rel_path)
+
+    active_rules = rules_for(rel_path, forced_rules)
+    for rule in active_rules:
+        for lineno, message in RULE_MATCHERS[rule](code_lines):
+            allow = next((a for a in allows
+                          if a.rule == rule and a.line <= lineno <= a.end),
+                         None)
+            if allow is not None:
+                allow.used = True
+            else:
+                findings.append(Finding(rel_path, lineno, rule, message))
+
+    for allow in allows:
+        if not allow.used:
+            findings.append(Finding(
+                rel_path, allow.line, "unused-allow",
+                f"allow({allow.rule}) suppresses nothing; delete it "
+                "(stale escapes hide future regressions)"))
+    return findings
+
+
+def iter_source_files(root: str, paths: list[str]) -> Iterable[tuple[str, str]]:
+    """Yields (abs_path, rel_path) pairs under root for the given paths."""
+    targets = paths or [os.path.join(root, "src")]
+    for target in targets:
+        abs_target = os.path.abspath(target)
+        if os.path.isfile(abs_target):
+            yield abs_target, os.path.relpath(abs_target, root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(abs_target):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    abs_path = os.path.join(dirpath, name)
+                    yield abs_path, os.path.relpath(abs_path, root)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sapkit_lint",
+        description="Project-invariant static analysis for the sapkit tree.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: <root>/src)")
+    parser.add_argument("--root", default=".",
+                        help="repository root; rule scopes are evaluated on "
+                             "paths relative to it (default: cwd)")
+    parser.add_argument("--rules",
+                        help="comma-separated rule list to force on every "
+                             "linted file, ignoring directory scopes "
+                             "(used by the fixture tests)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = ", ".join(RULE_SCOPES.get(rule, ("everywhere",)))
+            print(f"{rule:14s} {scope}")
+        return 0
+
+    forced: tuple[str, ...] | None = None
+    if args.rules is not None:
+        forced = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+        unknown = [r for r in forced if r not in RULE_SCOPES]
+        if unknown:
+            print(f"sapkit_lint: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    root = os.path.abspath(args.root)
+    findings: list[Finding] = []
+    seen = set()
+    for abs_path, rel_path in iter_source_files(root, args.paths):
+        if abs_path in seen:
+            continue
+        seen.add(abs_path)
+        findings.extend(lint_file(abs_path, rel_path, forced))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    if args.json:
+        print(json.dumps([dataclasses.asdict(f) for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        if findings:
+            print(f"sapkit_lint: {len(findings)} finding(s) in "
+                  f"{len(seen)} file(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

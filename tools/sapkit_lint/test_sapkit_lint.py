@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Fixture tests for sapkit_lint.
+
+Two layers:
+
+  * One exact set-comparison of the whole fixture tree against
+    fixtures/expected.txt (path:line:rule triples, both directions), so
+    any rule that stops firing, fires on the wrong line, or fires where
+    it should not, fails with a readable diff.
+  * Targeted unit tests for behaviours the tree cannot express as
+    findings: exit codes, scope resolution, --rules forcing, and the
+    comment/string stripper.
+
+Run from anywhere:  python3 -m unittest discover tools/sapkit_lint
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINTER = os.path.join(HERE, "sapkit_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+TREE = os.path.join(FIXTURES, "tree")
+
+sys.path.insert(0, HERE)
+import sapkit_lint  # noqa: E402
+
+
+def run_linter(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, LINTER, *args],
+        capture_output=True, text=True, check=False)
+
+
+def load_expected() -> set[tuple[str, int, str]]:
+    expected = set()
+    with open(os.path.join(FIXTURES, "expected.txt"), encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            path, lineno, rule = line.rsplit(":", 2)
+            expected.add((path, int(lineno), rule))
+    return expected
+
+
+class FixtureTreeTest(unittest.TestCase):
+    """The exact-findings contract over the fixture tree."""
+
+    def test_findings_match_expected_exactly(self):
+        proc = run_linter("--root", TREE, "--json",
+                          os.path.join(TREE, "src"))
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        got = {(f["path"].replace(os.sep, "/"), f["line"], f["rule"])
+               for f in json.loads(proc.stdout)}
+        expected = load_expected()
+        missing = sorted(expected - got)
+        surprise = sorted(got - expected)
+        self.assertFalse(
+            missing or surprise,
+            f"\nexpected but not reported: {missing}"
+            f"\nreported but not expected: {surprise}")
+
+    def test_clean_files_exit_zero(self):
+        proc = run_linter(
+            "--root", TREE,
+            os.path.join(TREE, "src", "model", "good_arith.cpp"),
+            os.path.join(TREE, "src", "model", "comments_strings.cpp"),
+            os.path.join(TREE, "src", "service", "scope.cpp"))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(proc.stdout.strip(), "")
+
+    def test_out_of_scope_file_is_silent(self):
+        # scope.cpp uses rand(), system_clock, doubles and raw quantity
+        # arithmetic -- all legal in src/service.
+        proc = run_linter(
+            "--root", TREE, os.path.join(TREE, "src", "service", "scope.cpp"))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_rules_flag_overrides_scopes(self):
+        # Forcing determinism onto the out-of-scope service file must fire.
+        proc = run_linter(
+            "--root", TREE, "--rules", "determinism", "--json",
+            os.path.join(TREE, "src", "service", "scope.cpp"))
+        self.assertEqual(proc.returncode, 1)
+        rules = {f["rule"] for f in json.loads(proc.stdout)}
+        self.assertEqual(rules, {"determinism"})
+
+    def test_list_rules(self):
+        proc = run_linter("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("exact-arith", "float-ban", "determinism",
+                     "allow-syntax", "unused-allow"):
+            self.assertIn(rule, proc.stdout)
+
+
+class ScopeResolutionTest(unittest.TestCase):
+    def test_exact_dirs(self):
+        for path in ("src/model/task.hpp", "src/cert/ladder.cpp",
+                     "src/core/params.cpp", "src/exact/brute_force.cpp"):
+            self.assertIn("exact-arith", sapkit_lint.rules_for(path, None))
+            self.assertIn("float-ban", sapkit_lint.rules_for(path, None))
+
+    def test_lp_gets_determinism_only(self):
+        rules = sapkit_lint.rules_for("src/lp/simplex.cpp", None)
+        self.assertEqual(rules, ["determinism"])
+
+    def test_service_out_of_scope(self):
+        self.assertEqual(sapkit_lint.rules_for("src/service/server.cpp",
+                                               None), [])
+
+    def test_prefix_is_path_aware(self):
+        # src/model_extra must not inherit src/model's rules.
+        self.assertEqual(sapkit_lint.rules_for("src/model_extra/x.cpp",
+                                               None), [])
+
+
+class StripperTest(unittest.TestCase):
+    def test_line_numbering_preserved(self):
+        text = "a\n// demand + demand\nb /* x\ny */ c\nd\n"
+        lines = sapkit_lint.strip_comments_and_strings(text)
+        self.assertEqual(len(lines), text.count("\n") + 1)
+        self.assertEqual(lines[0].strip(), "a")
+        self.assertEqual(lines[1].strip(), "")
+        self.assertEqual(lines[3].strip(), "c")
+
+    def test_strings_blanked(self):
+        lines = sapkit_lint.strip_comments_and_strings(
+            'x = "demand + demand";\n')
+        self.assertNotIn("demand", lines[0])
+
+    def test_escaped_quote_stays_in_string(self):
+        lines = sapkit_lint.strip_comments_and_strings(
+            's = "a\\"b + demand"; y = weight + 1;\n')
+        self.assertNotIn("demand", lines[0])
+        self.assertIn("weight", lines[0])
+
+
+class TempTreeTest(unittest.TestCase):
+    """End-to-end over a throwaway tree, proving --root relativity."""
+
+    def test_same_file_flagged_only_under_scoped_dir(self):
+        with tempfile.TemporaryDirectory() as root:
+            body = "long f(long demand_a) { return demand_a + 1; }\n"
+            for rel in ("src/model/a.cpp", "src/service/a.cpp"):
+                path = os.path.join(root, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(body)
+            proc = run_linter("--root", root, "--json",
+                              os.path.join(root, "src"))
+            self.assertEqual(proc.returncode, 1)
+            findings = json.loads(proc.stdout)
+            self.assertEqual(
+                [(f["path"], f["line"], f["rule"]) for f in findings],
+                [("src/model/a.cpp", 1, "exact-arith")])
+
+
+if __name__ == "__main__":
+    unittest.main()
