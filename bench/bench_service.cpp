@@ -12,11 +12,21 @@
 // asking for a certificate ("certify 1"), so the report isolates the
 // end-to-end latency cost of per-solve certification on identical traffic.
 //
+// With --deadline-ms B1,B2,... an additional pass runs per budget with every
+// request carrying "deadline_ms B": the report shows the degraded-response
+// rate and the tail-latency compression each budget buys (the server falls
+// back to the budget-capped approximation instead of rejecting, so
+// requests_ok should stay total while p95/p99/max collapse toward B).
+//
 // Usage: bench_service [--clients C] [--requests N] [--threads T]
-//                      [--certify] [--out FILE.json]
+//                      [--certify] [--deadline-ms B1,B2,...]
+//                      [--out FILE.json]
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <utility>
 #include <iostream>
 #include <sstream>
 #include <thread>
@@ -81,6 +91,7 @@ struct PassResult {
   Summary latency;
   std::size_t errors = 0;
   std::size_t certificates = 0;  ///< responses carrying a certificate
+  std::size_t degraded = 0;      ///< responses marked "degraded 1"
   double wall_seconds = 0.0;
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;
   double qps = 0.0;
@@ -89,10 +100,11 @@ struct PassResult {
 PassResult run_pass(service::Server& server,
                     const std::vector<PooledInstance>& pool,
                     std::size_t clients, std::size_t requests_per_client,
-                    bool certify) {
+                    bool certify, std::int64_t deadline_ms = 0) {
   std::vector<std::vector<double>> per_client_ms(clients);
   std::vector<std::size_t> per_client_errors(clients, 0);
   std::vector<std::size_t> per_client_certs(clients, 0);
+  std::vector<std::size_t> per_client_degraded(clients, 0);
   const auto bench_start = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> workers;
@@ -109,6 +121,7 @@ PassResult run_pass(service::Server& server,
           request.eps = 0.5;
           request.seed = inst.seed;
           request.want_certificate = certify;
+          request.deadline_ms = deadline_ms;
           request.instance_text = inst.text;
           const auto t0 = std::chrono::steady_clock::now();
           const service::Client::SolveOutcome outcome =
@@ -120,6 +133,7 @@ PassResult run_pass(service::Server& server,
             if (!outcome.response.certificate_text.empty()) {
               ++per_client_certs[c];
             }
+            if (outcome.response.degraded) ++per_client_degraded[c];
           } else {
             ++per_client_errors[c];
           }
@@ -140,6 +154,7 @@ PassResult run_pass(service::Server& server,
     }
     out.errors += per_client_errors[c];
     out.certificates += per_client_certs[c];
+    out.degraded += per_client_degraded[c];
   }
   const std::size_t total = clients * requests_per_client;
   out.qps = static_cast<double>(total - out.errors) /
@@ -156,6 +171,7 @@ void write_pass_json(std::ostream& out, const PassResult& pass,
   out << "      \"requests_ok\": " << (total - pass.errors) << ",\n";
   out << "      \"requests_failed\": " << pass.errors << ",\n";
   out << "      \"certificates_returned\": " << pass.certificates << ",\n";
+  out << "      \"degraded_returned\": " << pass.degraded << ",\n";
   out << "      \"wall_seconds\": " << pass.wall_seconds << ",\n";
   out << "      \"qps\": " << pass.qps << ",\n";
   out << "      \"latency_ms\": {\"p50\": " << pass.p50
@@ -171,6 +187,7 @@ int main(int argc, char** argv) {
   std::size_t requests_per_client = 40;
   std::size_t threads = 0;
   bool certify = false;
+  std::vector<std::int64_t> deadline_budgets;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -189,12 +206,23 @@ int main(int argc, char** argv) {
       threads = std::stoull(next());
     } else if (arg == "--certify") {
       certify = true;
+    } else if (arg == "--deadline-ms") {
+      std::stringstream budgets(next());
+      for (std::string item; std::getline(budgets, item, ',');) {
+        const std::int64_t budget = std::stoll(item);
+        if (budget <= 0) {
+          std::fprintf(stderr, "--deadline-ms budgets must be positive\n");
+          return 2;
+        }
+        deadline_budgets.push_back(budget);
+      }
     } else if (arg == "--out") {
       out_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: bench_service [--clients C] [--requests N] "
-                   "[--threads T] [--certify] [--out FILE]\n");
+                   "[--threads T] [--certify] [--deadline-ms B1,B2,...] "
+                   "[--out FILE]\n");
       return 2;
     }
   }
@@ -219,6 +247,15 @@ int main(int argc, char** argv) {
   if (certify) {
     certified =
         run_pass(server, pool, clients, requests_per_client, /*certify=*/true);
+  }
+  // Deadline sweep: same traffic, every request budget-capped. Largest
+  // budget first so the sweep's own wall time shrinks as it tightens.
+  std::vector<std::pair<std::int64_t, PassResult>> deadline_passes;
+  std::sort(deadline_budgets.rbegin(), deadline_budgets.rend());
+  for (const std::int64_t budget : deadline_budgets) {
+    deadline_passes.emplace_back(
+        budget, run_pass(server, pool, clients, requests_per_client,
+                         /*certify=*/false, budget));
   }
 
   TablePrinter table(certify ? std::vector<std::string>{"metric", "plain",
@@ -257,12 +294,33 @@ int main(int argc, char** argv) {
                               : 0.0);
   }
 
+  if (!deadline_passes.empty()) {
+    std::printf("\n== deadline sweep (plain requests, budget-capped) ==\n");
+    TablePrinter sweep({"budget ms", "ok", "degraded", "degraded %", "p50 ms",
+                        "p95 ms", "p99 ms", "max ms"});
+    for (const auto& [budget, pass] : deadline_passes) {
+      const std::size_t ok = total - pass.errors;
+      sweep.add_row({std::to_string(budget), std::to_string(ok),
+                     std::to_string(pass.degraded),
+                     fmt(ok > 0 ? 1e2 * static_cast<double>(pass.degraded) /
+                                      static_cast<double>(ok)
+                                : 0.0,
+                         1),
+                     fmt(pass.p50, 2), fmt(pass.p95, 2), fmt(pass.p99, 2),
+                     fmt(pass.latency.max(), 2)});
+    }
+    sweep.print(std::cout);
+  }
+
   const service::ServerStats stats = server.stats_snapshot();
   std::printf("\nserver side: ok=%llu bad=%llu overloaded=%llu "
-              "connections=%llu\n",
+              "degraded=%llu deadline_exceeded=%llu connections=%llu\n",
               static_cast<unsigned long long>(stats.requests_ok),
               static_cast<unsigned long long>(stats.requests_bad),
               static_cast<unsigned long long>(stats.requests_overloaded),
+              static_cast<unsigned long long>(stats.requests_degraded),
+              static_cast<unsigned long long>(
+                  stats.requests_deadline_exceeded),
               static_cast<unsigned long long>(stats.connections_accepted));
   server.stop();
 
@@ -273,12 +331,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n";
-    out << "  \"schema\": \"sapkit-bench-service-v1\",\n";
+    out << "  \"schema\": \"sapkit-bench-service-v2\",\n";
     out << "  \"config\": {\n";
     out << "    \"clients\": " << clients << ",\n";
     out << "    \"requests_per_client\": " << requests_per_client << ",\n";
     out << "    \"instance_pool\": " << pool.size() << ",\n";
     out << "    \"certify\": " << (certify ? "true" : "false") << ",\n";
+    out << "    \"deadline_budgets_ms\": [";
+    for (std::size_t i = 0; i < deadline_passes.size(); ++i) {
+      out << (i ? ", " : "") << deadline_passes[i].first;
+    }
+    out << "],\n";
     out << "    \"generator\": \"bench_full_solver E6 grid (12 edges, caps "
            "8..48, mixed demand, 5 profiles, n in {12,24,48})\"\n";
     out << "  },\n";
@@ -293,9 +356,24 @@ int main(int argc, char** argv) {
           << (certified.p95 - plain.p95) << ", \"qps_ratio\": "
           << (plain.qps > 0 ? certified.qps / plain.qps : 0.0) << "}";
     }
+    if (!deadline_passes.empty()) {
+      out << ",\n    \"deadline_sweep\": [";
+      for (std::size_t i = 0; i < deadline_passes.size(); ++i) {
+        const auto& [budget, pass] = deadline_passes[i];
+        out << (i ? ",\n      " : "\n      ");
+        out << "{\"budget_ms\": " << budget << ", \"pass\": ";
+        write_pass_json(out, pass, total);
+        out << "}";
+      }
+      out << "\n    ]";
+    }
     out << "\n  }\n";
     out << "}\n";
     std::printf("wrote %s\n", out_path.c_str());
   }
-  return plain.errors + certified.errors == 0 ? 0 : 1;
+  std::size_t sweep_errors = 0;
+  for (const auto& [budget, pass] : deadline_passes) {
+    sweep_errors += pass.errors;
+  }
+  return plain.errors + certified.errors + sweep_errors == 0 ? 0 : 1;
 }

@@ -13,9 +13,10 @@
 //                      [--tasks N] [--profile P] [--demand D] [--eps X]
 //                      [--ring] [--no-timings] [--cases] [--out FILE]
 //   sapkit_cli serve   [--host H] [--port P] [--threads T] [--queue Q]
+//                      [--default-deadline-ms B]
 //   sapkit_cli request [--host H] [--port P] [--stats] [--ring] [--certify]
 //                      [--cert-out FILE] [--algo A] [--eps X] [--seed N]
-//                      [file]
+//                      [--deadline-ms B] [file]
 //   sapkit_cli certify --solution SOL [--cert CERT] [--ring] [file]
 //
 // `certify` with --cert validates an existing certificate against the
@@ -73,8 +74,10 @@ void print_usage(std::ostream& os) {
         "          --demand small|medium|large|mixed --eps X [--certify]\n"
         "          [--ring] [--no-timings] [--cases] [--out FILE]\n"
         "  serve   --host H --port P --threads T --queue Q\n"
+        "          [--default-deadline-ms B]\n"
         "  request --host H --port P [--stats] [--ring] [--certify]\n"
-        "          [--cert-out FILE] --algo A --eps X --seed N [file]\n"
+        "          [--cert-out FILE] --algo A --eps X --seed N\n"
+        "          [--deadline-ms B] [file]\n"
         "  certify --solution SOL [--cert CERT] [--ring] [file]\n";
 }
 
@@ -150,6 +153,8 @@ struct Options {
   std::string demand = "mixed";
   std::string host = "127.0.0.1";
   std::uint16_t port = 7464;  // "SAP" on a phone keypad, sort of
+  std::int64_t deadline_ms = 0;          // request: per-solve budget
+  std::int64_t default_deadline_ms = 0;  // serve: budget for bare requests
   bool ring = false;
   bool timings = true;
   bool cases = false;
@@ -218,6 +223,10 @@ Options parse_options(int argc, char** argv) {
       const std::uint64_t port = next_u64();
       if (port > 65535) throw UsageError("port out of range: " + arg);
       opt.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--deadline-ms") {
+      opt.deadline_ms = static_cast<std::int64_t>(next_u64());
+    } else if (arg == "--default-deadline-ms") {
+      opt.default_deadline_ms = static_cast<std::int64_t>(next_u64());
     } else if (arg == "--ring") {
       opt.ring = true;
     } else if (arg == "--no-timings") {
@@ -326,6 +335,7 @@ int run_serve(const Options& opt) {
   options.port = opt.port;
   options.solver_threads = opt.threads;
   options.max_queue = opt.queue;
+  options.default_deadline_ms = opt.default_deadline_ms;
   service::Server server(std::move(options));
   server.start();
   std::cout << "sapd listening on " << opt.host << ":" << server.port()
@@ -341,7 +351,9 @@ int run_serve(const Options& opt) {
   const service::ServerStats stats = server.stats_snapshot();
   std::cerr << "sapd: served " << stats.requests_ok << " solves ("
             << stats.requests_bad << " bad, " << stats.requests_overloaded
-            << " overloaded) over " << stats.connections_accepted
+            << " overloaded, " << stats.requests_degraded << " degraded, "
+            << stats.requests_deadline_exceeded
+            << " deadline-exceeded) over " << stats.connections_accepted
             << " connections in " << stats.uptime_seconds << "s\n";
   return 0;
 }
@@ -362,6 +374,7 @@ int run_request(const Options& opt) {
   request.eps = opt.eps;
   request.seed = opt.seed;
   request.want_certificate = opt.certify;
+  request.deadline_ms = opt.deadline_ms;
   request.instance_text = load_text(opt.file);
 
   const service::Client::SolveOutcome outcome = client.solve(request);
@@ -374,6 +387,13 @@ int run_request(const Options& opt) {
             << outcome.response.placed << "/" << outcome.response.total_tasks
             << " tasks) in " << outcome.response.wall_micros
             << "us server wall time\n";
+  if (outcome.response.degraded) {
+    std::cerr << "note: deadline expired server-side; result is the "
+                 "budget-capped approximation (skipped: "
+              << (outcome.response.skipped.empty() ? "-"
+                                                   : outcome.response.skipped)
+              << ")\n";
+  }
   if (opt.certify) {
     // Trust, but verify: re-check the server's certificate locally through
     // the independent checker before reporting success.

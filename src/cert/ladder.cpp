@@ -14,6 +14,8 @@
 namespace sap::cert {
 namespace {
 
+// sapkit-lint: allow(determinism) -- the monotonic clock feeds per-rung
+// wall-time telemetry only; ladder bounds and rung order never read it.
 using Clock = std::chrono::steady_clock;
 
 // sapkit-lint: begin-allow(float-ban) -- wall-time measurement feeds the
@@ -107,7 +109,7 @@ bool evaluate_dual_bound(std::span<const Value> capacities,
 /// UFPP LP relaxation (min c.y + sum z s.t. d_j sum_{e in I_j} y_e + z_j >=
 /// w_j, y,z >= 0) with the primal simplex, then repairs the prices exactly.
 bool try_path_lp_dual(const PathInstance& inst, const LadderOptions& options,
-                      UpperBoundCertificate* out) {
+                      UpperBoundCertificate* out, bool* timed_out) {
   const std::size_t m = inst.num_edges();
   const std::size_t n = inst.num_tasks();
   if (n == 0 || options.dual_scale <= 0) return false;
@@ -136,8 +138,12 @@ bool try_path_lp_dual(const PathInstance& inst, const LadderOptions& options,
     dual.constraints.push_back(std::move(row));
   }
 
-  const LpSolution lp = solve_lp(dual);
+  const LpSolution lp = solve_lp(dual, 0, options.deadline);
   // sapkit-lint: end-allow(float-ban)
+  if (lp.status == LpStatus::kTimeout) {
+    *timed_out = true;
+    return false;
+  }
   if (lp.status != LpStatus::kOptimal) return false;
 
   DualWitness witness;
@@ -177,7 +183,7 @@ bool try_path_lp_dual(const PathInstance& inst, const LadderOptions& options,
 /// The ring analogue: one dual row per (task, direction); the exact slack
 /// uses the cheaper direction, matching the verifier in check.cpp.
 bool try_ring_lp_dual(const RingInstance& inst, const LadderOptions& options,
-                      UpperBoundCertificate* out) {
+                      UpperBoundCertificate* out, bool* timed_out) {
   const std::size_t m = inst.num_edges();
   const std::size_t n = inst.num_tasks();
   if (n == 0 || options.dual_scale <= 0) return false;
@@ -209,8 +215,12 @@ bool try_ring_lp_dual(const RingInstance& inst, const LadderOptions& options,
     }
   }
 
-  const LpSolution lp = solve_lp(dual);
+  const LpSolution lp = solve_lp(dual, 0, options.deadline);
   // sapkit-lint: end-allow(float-ban)
+  if (lp.status == LpStatus::kTimeout) {
+    *timed_out = true;
+    return false;
+  }
   if (lp.status != LpStatus::kOptimal) return false;
 
   DualWitness witness;
@@ -287,9 +297,12 @@ LadderResult run_upper_bound_ladder(const PathInstance& inst,
          inst.max_capacity() <= options.exact_dp_max_capacity);
     if (applicable) {
       attempt.applicable = true;
+      SapExactOptions dp_options = options.dp;
+      dp_options.deadline = dp_options.deadline.min(options.deadline);
       const auto start = Clock::now();
-      const SapExactResult dp = sap_exact_profile_dp(inst, options.dp);
+      const SapExactResult dp = sap_exact_profile_dp(inst, dp_options);
       attempt.seconds = seconds_since(start);
+      attempt.timed_out = dp.timed_out;
       if (dp.proven_optimal) {
         attempt.proved = true;
         attempt.value = dp.weight;
@@ -307,9 +320,12 @@ LadderResult run_upper_bound_ladder(const PathInstance& inst,
     LadderRungAttempt attempt{.rung = UbRung::kUfppBnb};
     if (options.try_ufpp_bnb && inst.num_tasks() <= options.bnb_max_tasks) {
       attempt.applicable = true;
+      UfppExactOptions bnb_options = options.bnb;
+      bnb_options.deadline = bnb_options.deadline.min(options.deadline);
       const auto start = Clock::now();
-      const UfppExactResult bnb = ufpp_exact(inst, options.bnb);
+      const UfppExactResult bnb = ufpp_exact(inst, bnb_options);
       attempt.seconds = seconds_since(start);
+      attempt.timed_out = bnb.timed_out;
       if (bnb.proven_optimal) {
         attempt.proved = true;
         attempt.value = bnb.weight;
@@ -330,7 +346,8 @@ LadderResult run_upper_bound_ladder(const PathInstance& inst,
     if (options.try_lp_dual) {
       attempt.applicable = true;
       const auto start = Clock::now();
-      const bool ok = try_path_lp_dual(inst, options, &candidate);
+      const bool ok =
+          try_path_lp_dual(inst, options, &candidate, &attempt.timed_out);
       attempt.seconds = seconds_since(start);
       if (ok) {
         attempt.proved = true;
@@ -377,7 +394,8 @@ LadderResult run_ring_upper_bound_ladder(const RingInstance& inst,
     if (options.try_lp_dual) {
       attempt.applicable = true;
       const auto start = Clock::now();
-      const bool ok = try_ring_lp_dual(inst, options, &candidate);
+      const bool ok =
+          try_ring_lp_dual(inst, options, &candidate, &attempt.timed_out);
       attempt.seconds = seconds_since(start);
       if (ok) {
         attempt.proved = true;

@@ -29,6 +29,7 @@
 #include "src/model/path_instance.hpp"
 #include "src/model/ring_instance.hpp"
 #include "src/ufpp/branch_and_bound.hpp"
+#include "src/util/deadline.hpp"
 
 namespace sap::cert {
 
@@ -53,6 +54,12 @@ struct LadderOptions {
   bool try_lp_dual = true;
   /// Fixed-point denominator for the repaired dual prices.
   std::int64_t dual_scale = std::int64_t{1} << 20;
+
+  /// Cooperative cancellation for the whole ladder: an expensive rung whose
+  /// slice runs out is recorded as `timed_out` and the ladder falls through
+  /// to the next (cheaper) rung — total_weight is instant, so a deadline
+  /// degrades the bound rather than losing it.
+  Deadline deadline{};
 };
 
 /// What happened at one rung of the ladder (in try order).
@@ -60,6 +67,7 @@ struct LadderRungAttempt {
   UbRung rung = UbRung::kTotalWeight;
   bool applicable = false;  ///< rung was within its caps and attempted
   bool proved = false;      ///< rung produced a proven bound
+  bool timed_out = false;   ///< the deadline cut this rung short
   Weight value = 0;         ///< the bound, when proved
   double seconds = 0.0;     ///< wall time spent on the attempt
 };

@@ -8,7 +8,8 @@ SapSolution solve_large_tasks(const PathInstance& inst,
                               LargeTasksReport* report) {
   const std::vector<TaskRect> rects = task_rectangles(inst, subset);
   const RectMwisResult mwis =
-      rectangle_mwis(rects, {params.large_max_nodes});
+      rectangle_mwis(rects, {params.large_max_nodes, params.deadline});
+  if (mwis.timed_out) throw DeadlineExceeded("large-task rectangle MWIS");
   SapSolution out;
   out.placements.reserve(mwis.chosen.size());
   for (std::size_t idx : mwis.chosen) {

@@ -27,11 +27,13 @@ SapSolution elevator(const PathInstance& inst, std::span<const TaskId> band,
 
   SapExactOptions dp;
   dp.min_height = elevation_floor(params.beta, k);
+  dp.deadline = params.deadline;
   if (params.medium_allow_heuristic &&
       band_cap > params.medium_exact_capacity_limit) {
     dp.grounded_only = true;
   }
   const SapExactResult result = sap_exact_profile_dp(sub, dp);
+  if (result.timed_out) throw DeadlineExceeded("medium elevator DP");
   if (exact != nullptr) *exact = result.proven_optimal;
   return result.solution.remapped(back);
 }
@@ -44,11 +46,13 @@ SapSolution elevator_lemma14(const PathInstance& inst,
   auto [sub, back] = inst.clamp_capacities(band_cap, band);
 
   SapExactOptions dp;
+  dp.deadline = params.deadline;
   if (params.medium_allow_heuristic &&
       band_cap > params.medium_exact_capacity_limit) {
     dp.grounded_only = true;
   }
   const SapExactResult result = sap_exact_profile_dp(sub, dp);
+  if (result.timed_out) throw DeadlineExceeded("medium elevator DP");
   if (exact != nullptr) *exact = result.proven_optimal;
 
   // Lemma 14: S1 = tasks below the elevation line (lifted), S2 = the rest.
@@ -103,6 +107,7 @@ SapSolution solve_medium_tasks(const PathInstance& inst,
 
   std::map<int, SapSolution> band_solutions;
   for (const auto& [k, members] : bands) {
+    params.deadline.check();
     bool exact = true;
     std::size_t dropped = 0;
     SapSolution sol =

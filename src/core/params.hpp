@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "src/model/task.hpp"
+#include "src/util/deadline.hpp"
 
 namespace sap {
 
@@ -62,6 +63,12 @@ struct SolverParams {
 
   /// Seed for every randomized component.
   std::uint64_t seed = 0x54F2013ULL;
+
+  /// Cooperative solve budget. Checked between pipeline stages and threaded
+  /// into every expensive inner oracle (medium DP, large-task MWIS); expiry
+  /// aborts the solve with a thrown DeadlineExceeded — the pipeline never
+  /// returns a partial solution. Default: unlimited.
+  Deadline deadline{};
 
   /// q = ceil(log2(1/beta)) used by the medium framework.
   [[nodiscard]] int beta_q() const noexcept;

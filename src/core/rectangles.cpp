@@ -141,6 +141,8 @@ RectMwisResult rectangle_mwis(std::span<const TaskRect> rects,
   Weight best_weight = -1;
   std::size_t nodes = 0;
   bool exhausted = false;
+  bool timed_out = false;
+  DeadlineGate gate(options.deadline);
 
   // Greedy clique cover of the alive set in static order; the bound is the
   // sum over cliques of their maximum weight (first member, by the order).
@@ -171,7 +173,11 @@ RectMwisResult rectangle_mwis(std::span<const TaskRect> rects,
 
   std::function<void(std::vector<std::uint64_t>&, Weight)> dfs =
       [&](std::vector<std::uint64_t>& mask, Weight weight) {
-        if (exhausted) return;
+        if (exhausted || timed_out) return;
+        if (gate.expired()) {
+          timed_out = true;
+          return;
+        }
         if (++nodes > options.max_nodes) {
           exhausted = true;
           return;
@@ -213,6 +219,13 @@ RectMwisResult rectangle_mwis(std::span<const TaskRect> rects,
       };
   dfs(alive, 0);
 
+  if (timed_out) {
+    // Typed timeout outcome: empty selection, never the partial incumbent.
+    out.timed_out = true;
+    out.proven_optimal = false;
+    out.nodes = nodes;
+    return out;
+  }
   out.chosen = std::move(best);
   out.weight = best_weight;
   out.proven_optimal = !exhausted;

@@ -10,6 +10,7 @@
 
 #include "src/model/path_instance.hpp"
 #include "src/model/solution.hpp"
+#include "src/util/deadline.hpp"
 
 namespace sap {
 
@@ -51,12 +52,16 @@ struct ColoringResult {
 
 struct RectMwisOptions {
   std::size_t max_nodes = 5'000'000;
+  /// Cooperative cancellation: expiry stops the search and the result is a
+  /// typed timeout (`timed_out`, empty selection) — never the incumbent.
+  Deadline deadline{};
 };
 
 struct RectMwisResult {
   std::vector<std::size_t> chosen;  ///< indices into the rectangle span
   Weight weight = 0;
   bool proven_optimal = true;
+  bool timed_out = false;  ///< deadline expired: `chosen` is empty
   std::size_t nodes = 0;
 };
 

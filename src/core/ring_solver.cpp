@@ -53,6 +53,7 @@ RingSapSolution solve_ring_sap(const RingInstance& inst,
   RingSapSolution path_branch;
   Weight path_weight = 0;
   if (!path_tasks.empty()) {
+    params.path.deadline.check();
     ScopedTimer timer("ring.stage.path");
     const PathInstance path(path_caps, path_tasks);
     const SapSolution sol = solve_sap(path, params.path);
@@ -84,6 +85,7 @@ RingSapSolution solve_ring_sap(const RingInstance& inst,
   }
   RingSapSolution cut_branch;
   {
+    params.path.deadline.check();
     ScopedTimer timer("ring.stage.cut");
     const KnapsackResult picked =
         knapsack_fptas(items, inst.capacity(cut), params.knapsack_eps);

@@ -27,15 +27,18 @@ SapSolution solve_sap(const PathInstance& inst, const SolverParams& params,
   SapSolution small_sol;
   SapSolution medium_sol;
   SapSolution large_sol;
+  params.deadline.check();
   {
     ScopedTimer timer("sap.stage.small");
     small_sol = solve_small_tasks(inst, classes.small, params, &small_report);
   }
+  params.deadline.check();
   {
     ScopedTimer timer("sap.stage.medium");
     medium_sol =
         solve_medium_tasks(inst, classes.medium, params, &medium_report);
   }
+  params.deadline.check();
   {
     ScopedTimer timer("sap.stage.large");
     large_sol = solve_large_tasks(inst, classes.large, params, &large_report);

@@ -30,6 +30,7 @@ SapSolution solve_small_tasks(const PathInstance& inst,
   Rng rng(params.seed);
   SapSolution out;
   for (const auto& [t, group] : octaves) {
+    params.deadline.check();  // per-octave: each UFPP strip is polynomial
     const Value big_b = Value{1} << t;
     const Value strip_height = big_b / 2;
     if (strip_height < 1) continue;  // cannot host any positive demand

@@ -15,9 +15,11 @@ struct BruteSearcher {
   std::vector<Placement> best;
   Weight current_weight = 0;
   Weight best_weight = -1;
+  DeadlineGate gate;
 
-  BruteSearcher(const PathInstance& instance, std::span<const TaskId> subset)
-      : inst(instance), order(subset.begin(), subset.end()) {
+  BruteSearcher(const PathInstance& instance, std::span<const TaskId> subset,
+                Deadline deadline)
+      : inst(instance), order(subset.begin(), subset.end()), gate(deadline) {
     suffix.assign(order.size() + 1, 0);
     for (std::size_t i = order.size(); i-- > 0;) {
       // sapkit-lint: allow(exact-arith) -- suffix sums of task weights; the
@@ -40,6 +42,7 @@ struct BruteSearcher {
   }
 
   void dfs(std::size_t i) {
+    gate.check();  // throws DeadlineExceeded; amortized clock read
     if (current_weight > best_weight) {
       best_weight = current_weight;
       best = current;
@@ -74,7 +77,7 @@ SapSolution sap_brute_force(const PathInstance& inst,
   if (inst.max_capacity() > options.max_capacity) {
     throw std::invalid_argument("sap_brute_force: capacities too large");
   }
-  BruteSearcher searcher(inst, subset);
+  BruteSearcher searcher(inst, subset, options.deadline);
   searcher.dfs(0);
   return SapSolution{std::move(searcher.best)};
 }

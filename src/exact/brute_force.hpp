@@ -10,16 +10,21 @@
 
 #include "src/model/path_instance.hpp"
 #include "src/model/solution.hpp"
+#include "src/util/deadline.hpp"
 
 namespace sap {
 
 struct SapBruteForceOptions {
   std::size_t max_tasks = 20;        ///< guard: refuse larger inputs
   Value max_capacity = 64;           ///< guard: refuse taller instances
+  /// Cooperative cancellation: expiry aborts the search by throwing
+  /// DeadlineExceeded (a typed outcome — never a partial best-so-far).
+  Deadline deadline{};
 };
 
 /// Maximum-weight SAP solution by exhaustive search. Throws
-/// std::invalid_argument when the instance exceeds the guards.
+/// std::invalid_argument when the instance exceeds the guards and
+/// DeadlineExceeded when `options.deadline` expires mid-search.
 [[nodiscard]] SapSolution sap_brute_force(
     const PathInstance& inst, std::span<const TaskId> subset,
     const SapBruteForceOptions& options = {});

@@ -176,6 +176,8 @@ SapExactResult sap_exact_profile_dp(const PathInstance& inst,
   std::vector<std::int32_t> frontier{0};
   SapExactResult out;
   out.peak_states = 1;
+  DeadlineGate gate(options.deadline);
+  bool timed_out = false;
   if (options.grounded_only || options.max_heights_per_task != 0) {
     out.proven_optimal = false;  // restricted height candidates: heuristic
   }
@@ -221,6 +223,13 @@ SapExactResult sap_exact_profile_dp(const PathInstance& inst,
           &overflow,
           {}};
       enumerator.emit = [&](Weight added_weight) {
+        if (gate.expired()) {
+          // Reuse the overflow brake to unwind the enumeration promptly; the
+          // timeout return below supersedes the truncated result.
+          timed_out = true;
+          overflow = true;
+          return;
+        }
         if (next.size() > 4 * options.max_states) {
           overflow = true;
           return;
@@ -258,6 +267,15 @@ SapExactResult sap_exact_profile_dp(const PathInstance& inst,
       enumerator.run(0);
     }
 
+    if (timed_out) {
+      // Typed timeout outcome: an empty solution, never a partial answer.
+      SapExactResult expired;
+      expired.timed_out = true;
+      expired.proven_optimal = false;
+      expired.peak_states = std::max(out.peak_states, next.size());
+      telemetry::count("dp.timeout");
+      return expired;
+    }
     if (overflow) out.proven_optimal = false;
     if (next.size() > options.max_states) {
       std::ranges::sort(next, [&](std::int32_t a, std::int32_t b) {

@@ -17,6 +17,7 @@
 
 #include "src/model/path_instance.hpp"
 #include "src/model/solution.hpp"
+#include "src/util/deadline.hpp"
 
 namespace sap {
 
@@ -36,12 +37,17 @@ struct SapExactOptions {
   /// no longer exact (clears proven_optimal); misses solutions in which a
   /// task rests on a later-starting task.
   bool grounded_only = false;
+  /// Cooperative cancellation: once this expires the sweep stops and the
+  /// result is a typed timeout (`timed_out`, empty solution) — never a
+  /// partial answer. Default: unlimited.
+  Deadline deadline{};
 };
 
 struct SapExactResult {
   SapSolution solution;
   Weight weight = 0;
   bool proven_optimal = true;   ///< false iff the beam cap truncated states
+  bool timed_out = false;       ///< deadline expired: solution is empty
   std::size_t peak_states = 0;  ///< max live states over the sweep
 };
 

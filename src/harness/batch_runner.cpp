@@ -12,6 +12,9 @@
 namespace sap {
 namespace {
 
+// sapkit-lint: allow(determinism) -- the monotonic clock feeds case/run
+// wall-time fields only, which live in the scheduling-dependent "run"
+// section that counters-only JSON omits; no aggregate counter reads it.
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
@@ -58,6 +61,25 @@ double certified_ratio(const cert::Certificate& cert) {
 
 }  // namespace
 
+void BatchResumeStore::attach(BatchOptions& options) {
+  options.load_case = [this](std::size_t i, BatchCase* c) {
+    std::lock_guard lock(mutex_);
+    const auto it = done_.find(i);
+    if (it == done_.end()) return false;
+    *c = it->second;
+    return true;
+  };
+  options.save_case = [this](std::size_t i, const BatchCase& c) {
+    std::lock_guard lock(mutex_);
+    done_.insert_or_assign(i, c);
+  };
+}
+
+std::size_t BatchResumeStore::size() const {
+  std::lock_guard lock(mutex_);
+  return done_.size();
+}
+
 BatchReport run_batch(const BatchOptions& options, const BatchCaseFn& fn,
                       ThreadPool& pool) {
   BatchReport out;
@@ -69,9 +91,18 @@ BatchReport run_batch(const BatchOptions& options, const BatchCaseFn& fn,
   const auto sweep_start = Clock::now();
   pool.parallel_for(options.num_instances, [&](std::size_t i) {
     const std::uint64_t seed = batch_case_seed(options.base_seed, i);
+    BatchCase c;
+    if (options.load_case && options.load_case(i, &c)) {
+      // Completed by a previous (interrupted) run; reuse verbatim. The
+      // aggregate stays deterministic because the record is the pure
+      // function of (i, seed) the first run already computed. (No counter
+      // is bumped here: resumed and uninterrupted sweeps must aggregate to
+      // byte-identical reports.)
+      cases[i] = std::move(c);
+      return;
+    }
     TelemetryReport collected;
     const auto case_start = Clock::now();
-    BatchCase c;
     if (options.collect_telemetry) {
       TelemetrySession session(&collected);
       c = fn(i, seed);
@@ -80,6 +111,7 @@ BatchReport run_batch(const BatchOptions& options, const BatchCaseFn& fn,
     }
     c.seconds = seconds_since(case_start);
     c.telemetry.merge(collected);
+    if (options.save_case) options.save_case(i, c);
     cases[i] = std::move(c);
   });
   out.total_seconds = seconds_since(sweep_start);

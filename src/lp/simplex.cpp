@@ -45,10 +45,13 @@ struct Tableau {
   }
 
   /// Runs simplex iterations on the current cost row until optimal,
-  /// unbounded, or the iteration budget runs out.
-  LpStatus iterate(std::size_t max_iterations) {
+  /// unbounded, the iteration budget runs out, or `gate` expires. A pivot on
+  /// a dense tableau is heavy, so the gate is polled every iteration (the
+  /// gate's stride amortizes the clock read).
+  LpStatus iterate(std::size_t max_iterations, DeadlineGate* gate) {
     const std::size_t bland_after = max_iterations / 2;
     for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+      if (gate != nullptr && gate->expired()) return LpStatus::kTimeout;
       const bool bland = iter >= bland_after;
       // Entering column: most negative reduced cost (or first, under Bland).
       std::size_t enter = cost.size();
@@ -98,11 +101,15 @@ struct PivotTelemetry {
 
 }  // namespace
 
-LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
+LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations,
+                    Deadline deadline) {
   ScopedTimer timer("lp.solve");
   const std::size_t n = problem.num_vars();
   const std::size_t m = problem.constraints.size();
   if (max_iterations == 0) max_iterations = 200 * (n + m + 16);
+  // Pivots are O(m * columns) apiece, so a short stride keeps cancellation
+  // prompt without measurable overhead.
+  DeadlineGate gate(deadline, /*stride=*/16);
 
   // Column layout: [0, n) structural, [n, n + m) slack/surplus (one per
   // row; unused for equalities), [n + m, n + m + artificials) artificial.
@@ -181,8 +188,9 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
         t.cost_rhs -= t.rhs[r];
       }
     }
-    const LpStatus phase1 = t.iterate(max_iterations);
-    if (phase1 == LpStatus::kIterationLimit) {
+    const LpStatus phase1 = t.iterate(max_iterations, &gate);
+    if (phase1 == LpStatus::kIterationLimit ||
+        phase1 == LpStatus::kTimeout) {
       out.status = phase1;
       return out;
     }
@@ -222,7 +230,7 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
     t.cost_rhs -= basic_cost * t.rhs[r];
     t.cost[basic] = 0.0;
   }
-  const LpStatus phase2 = t.iterate(max_iterations);
+  const LpStatus phase2 = t.iterate(max_iterations, &gate);
   if (phase2 != LpStatus::kOptimal) {
     out.status = phase2;
     return out;

@@ -10,10 +10,17 @@
 #include <vector>
 
 #include "src/lp/dense_matrix.hpp"
+#include "src/util/deadline.hpp"
 
 namespace sap {
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeout,  ///< the deadline expired mid-solve; no solution is returned
+};
 
 enum class LpRelation { kLessEqual, kGreaterEqual, kEqual };
 
@@ -44,7 +51,10 @@ struct LpSolution {
 /// Solves `problem` with dense two-phase primal simplex. Largest-coefficient
 /// pricing with a Bland's-rule fallback kicks in after a stall to guarantee
 /// termination; `max_iterations` (0 = automatic) is a final backstop.
+/// `deadline` is polled once per pivot: on expiry the solve stops with
+/// LpStatus::kTimeout and an empty solution (never a partial basis).
 [[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
-                                  std::size_t max_iterations = 0);
+                                  std::size_t max_iterations = 0,
+                                  Deadline deadline = {});
 
 }  // namespace sap

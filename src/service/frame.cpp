@@ -9,7 +9,13 @@
 namespace sap::service {
 namespace {
 
-enum class IoResult { kDone, kEof, kError };
+enum class IoResult { kDone, kEof, kTimedOut, kError };
+
+bool is_timeout_errno(int err) noexcept {
+  // SO_RCVTIMEO/SO_SNDTIMEO expiry surfaces as EAGAIN (== EWOULDBLOCK on
+  // Linux, but POSIX allows them to differ, so test both).
+  return err == EAGAIN || err == EWOULDBLOCK;
+}
 
 /// Reads exactly `len` bytes, looping over partial reads and EINTR. kEof is
 /// only reported when the peer closes before the *first* byte; a close in
@@ -28,12 +34,16 @@ IoResult read_exact(int fd, void* buffer, std::size_t len, bool* midway) {
       return IoResult::kEof;
     }
     if (errno == EINTR) continue;
+    if (is_timeout_errno(errno)) return IoResult::kTimedOut;
     return IoResult::kError;
   }
   return IoResult::kDone;
 }
 
-bool write_exact(int fd, const void* buffer, std::size_t len) {
+/// Writes exactly `len` bytes with the same partial/EINTR discipline as
+/// read_exact. A zero-byte ::write on a blocking stream makes no progress
+/// and would spin, so it is reported as kError rather than retried.
+IoResult write_exact(int fd, const void* buffer, std::size_t len) {
   const auto* in = static_cast<const unsigned char*>(buffer);
   std::size_t sent = 0;
   while (sent < len) {
@@ -42,10 +52,12 @@ bool write_exact(int fd, const void* buffer, std::size_t len) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
-    return false;
+    if (n == 0) return IoResult::kError;
+    if (errno == EINTR) continue;
+    if (is_timeout_errno(errno)) return IoResult::kTimedOut;
+    return IoResult::kError;
   }
-  return true;
+  return IoResult::kDone;
 }
 
 }  // namespace
@@ -62,7 +74,21 @@ const char* read_status_name(ReadStatus status) noexcept {
       return "TOO_LARGE";
     case ReadStatus::kTruncated:
       return "TRUNCATED";
+    case ReadStatus::kTimedOut:
+      return "TIMED_OUT";
     case ReadStatus::kIoError:
+      return "IO_ERROR";
+  }
+  return "IO_ERROR";
+}
+
+const char* write_status_name(WriteStatus status) noexcept {
+  switch (status) {
+    case WriteStatus::kOk:
+      return "OK";
+    case WriteStatus::kTimedOut:
+      return "TIMED_OUT";
+    case WriteStatus::kError:
       return "IO_ERROR";
   }
   return "IO_ERROR";
@@ -76,6 +102,8 @@ ReadStatus read_frame(int fd, Frame* frame, std::size_t max_payload) {
       break;
     case IoResult::kEof:
       return midway ? ReadStatus::kTruncated : ReadStatus::kEof;
+    case IoResult::kTimedOut:
+      return ReadStatus::kTimedOut;
     case IoResult::kError:
       return ReadStatus::kIoError;
   }
@@ -96,6 +124,8 @@ ReadStatus read_frame(int fd, Frame* frame, std::size_t max_payload) {
         break;
       case IoResult::kEof:
         return ReadStatus::kTruncated;
+      case IoResult::kTimedOut:
+        return ReadStatus::kTimedOut;
       case IoResult::kError:
         return ReadStatus::kIoError;
     }
@@ -103,21 +133,31 @@ ReadStatus read_frame(int fd, Frame* frame, std::size_t max_payload) {
   return ReadStatus::kOk;
 }
 
-bool write_frame(int fd, FrameType type, std::string_view payload) {
+WriteStatus write_frame_status(int fd, FrameType type,
+                               std::string_view payload) {
   // The wire length field is 32-bit; a silently truncated cast here would
   // desync the stream (the peer would read the payload tail as headers).
   if (payload.size() > std::numeric_limits<std::uint32_t>::max()) {
-    return false;
+    return WriteStatus::kError;
   }
   unsigned char header_bytes[kFrameHeaderBytes];
   encode_frame_header(header_bytes, type,
                       static_cast<std::uint32_t>(payload.size()));
-  if (!write_exact(fd, header_bytes, sizeof(header_bytes))) return false;
-  if (!payload.empty() &&
-      !write_exact(fd, payload.data(), payload.size())) {
-    return false;
+  auto to_write_status = [](IoResult result) {
+    return result == IoResult::kTimedOut ? WriteStatus::kTimedOut
+                                         : WriteStatus::kError;
+  };
+  IoResult result = write_exact(fd, header_bytes, sizeof(header_bytes));
+  if (result != IoResult::kDone) return to_write_status(result);
+  if (!payload.empty()) {
+    result = write_exact(fd, payload.data(), payload.size());
+    if (result != IoResult::kDone) return to_write_status(result);
   }
-  return true;
+  return WriteStatus::kOk;
+}
+
+bool write_frame(int fd, FrameType type, std::string_view payload) {
+  return write_frame_status(fd, type, payload) == WriteStatus::kOk;
 }
 
 }  // namespace sap::service

@@ -19,10 +19,22 @@ enum class ReadStatus {
   kBadMagic,  ///< first 4 bytes are not the protocol magic
   kTooLarge,  ///< declared payload exceeds the receiver's ceiling
   kTruncated, ///< peer closed mid-frame
+  kTimedOut,  ///< SO_RCVTIMEO expired before the frame completed
   kIoError,   ///< errno-level read failure
 };
 
 [[nodiscard]] const char* read_status_name(ReadStatus status) noexcept;
+
+/// Outcome of writing one frame; mirrors ReadStatus for the send side so a
+/// SO_SNDTIMEO expiry (half-open or stalled peer) is distinguishable from a
+/// hard reset.
+enum class WriteStatus {
+  kOk,
+  kTimedOut,  ///< SO_SNDTIMEO expired before the frame was fully written
+  kError,     ///< errno-level write failure (e.g. EPIPE/ECONNRESET)
+};
+
+[[nodiscard]] const char* write_status_name(WriteStatus status) noexcept;
 
 struct Frame {
   std::uint32_t type = 0;  ///< raw wire value; may not name a FrameType
@@ -37,8 +49,13 @@ struct Frame {
     int fd, Frame* frame,
     std::size_t max_payload = kDefaultMaxFramePayload);
 
-/// Writes header + payload, retrying on EINTR / partial writes. Returns
-/// false on any unrecoverable write error (e.g. peer reset).
+/// Writes header + payload, retrying on EINTR / partial writes. On any
+/// status other than kOk a partial frame may be on the wire — the caller
+/// must treat the connection as poisoned and close it.
+[[nodiscard]] WriteStatus write_frame_status(int fd, FrameType type,
+                                             std::string_view payload);
+
+/// Convenience wrapper: true iff write_frame_status returned kOk.
 [[nodiscard]] bool write_frame(int fd, FrameType type,
                                std::string_view payload);
 

@@ -161,6 +161,8 @@ const char* error_code_name(ErrorCode code) noexcept {
       return "SHUTTING_DOWN";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "INTERNAL";
 }
@@ -170,6 +172,7 @@ ErrorCode parse_error_code(std::string_view name) {
   if (name == "OVERLOADED") return ErrorCode::kOverloaded;
   if (name == "SHUTTING_DOWN") return ErrorCode::kShuttingDown;
   if (name == "INTERNAL") return ErrorCode::kInternal;
+  if (name == "DEADLINE_EXCEEDED") return ErrorCode::kDeadlineExceeded;
   throw std::invalid_argument("sapd protocol: unknown error code '" +
                               std::string(name) + "'");
 }
@@ -195,6 +198,9 @@ std::string encode_solve_request(const SolveRequest& request) {
   payload += "\nalgo " + request.algo;
   payload += "\neps " + format_f64(request.eps);
   payload += "\nseed " + std::to_string(request.seed);
+  if (request.deadline_ms > 0) {
+    payload += "\ndeadline_ms " + std::to_string(request.deadline_ms);
+  }
   if (request.want_certificate) payload += "\ncertify 1";
   payload += "\ninstance\n";
   payload += request.instance_text;
@@ -220,6 +226,15 @@ SolveRequest parse_solve_request(std::string_view payload) {
   }
   request.eps = parse_f64(parser.take("eps"), "eps");
   request.seed = parse_u64(parser.take("seed"), "seed");
+  std::string_view deadline;
+  if (parser.take_if("deadline_ms", &deadline)) {
+    request.deadline_ms = parse_i64(deadline, "deadline_ms");
+    if (request.deadline_ms <= 0) {
+      EnvelopeParser::fail("bad deadline_ms '" +
+                           std::string(deadline.substr(0, 40)) +
+                           "' (want a positive integer)");
+    }
+  }
   std::string_view certify;
   if (parser.take_if("certify", &certify)) {
     if (certify != "0" && certify != "1") {
@@ -241,6 +256,10 @@ std::string encode_solve_response(const SolveResponse& response) {
   payload += "\nwall_micros " + std::to_string(response.wall_micros);
   payload += "\ntelemetry ";
   payload += response.telemetry_json.empty() ? "{}" : response.telemetry_json;
+  if (response.degraded) {
+    payload += "\ndegraded 1";
+    if (!response.skipped.empty()) payload += "\nskipped " + response.skipped;
+  }
   if (!response.certificate_text.empty()) {
     payload += "\ncertificate " +
                std::to_string(response.certificate_text.size()) + "\n";
@@ -262,6 +281,19 @@ SolveResponse parse_solve_response(std::string_view payload) {
   response.total_tasks = parse_u64(parser.take("tasks"), "tasks");
   response.wall_micros = parse_i64(parser.take("wall_micros"), "wall_micros");
   response.telemetry_json = std::string(parser.take("telemetry"));
+  std::string_view degraded;
+  if (parser.take_if("degraded", &degraded)) {
+    if (degraded != "0" && degraded != "1") {
+      EnvelopeParser::fail("bad degraded flag '" +
+                           std::string(degraded.substr(0, 40)) +
+                           "' (want 0|1)");
+    }
+    response.degraded = degraded == "1";
+    std::string_view skipped;
+    if (parser.take_if("skipped", &skipped)) {
+      response.skipped = std::string(skipped);
+    }
+  }
   std::string_view cert_bytes;
   if (parser.take_if("certificate", &cert_bytes)) {
     const std::int64_t n = parse_i64(cert_bytes, "certificate byte count");

@@ -37,10 +37,11 @@ enum class FrameType : std::uint32_t {
 
 /// Typed rejection codes carried by kErrorResponse frames.
 enum class ErrorCode : std::uint32_t {
-  kBadRequest = 1,    ///< unparseable frame/envelope/instance
-  kOverloaded = 2,    ///< admission queue full — retry later
-  kShuttingDown = 3,  ///< server draining; no new work accepted
-  kInternal = 4,      ///< solver threw; request was well-formed
+  kBadRequest = 1,        ///< unparseable frame/envelope/instance
+  kOverloaded = 2,        ///< admission queue full — retry later
+  kShuttingDown = 3,      ///< server draining; no new work accepted
+  kInternal = 4,          ///< solver threw; request was well-formed
+  kDeadlineExceeded = 5,  ///< per-request deadline expired before a result
 };
 
 [[nodiscard]] const char* error_code_name(ErrorCode code) noexcept;
@@ -69,6 +70,11 @@ struct SolveRequest {
   std::string algo = "full";
   double eps = 0.5;
   std::uint64_t seed = 1;
+  /// Per-request solve budget in milliseconds; 0 = no client deadline (the
+  /// server may still apply its own default). Version-negotiated like
+  /// `certify`: encoded as an extra "deadline_ms N" line only when nonzero,
+  /// so old peers interoperate unchanged.
+  std::int64_t deadline_ms = 0;
   /// Version-negotiated certificate opt-in: encoded as an extra "certify 1"
   /// line that clients which predate certification never send, so old
   /// clients and old servers interoperate unchanged.
@@ -90,6 +96,13 @@ struct SolveResponse {
   std::uint64_t total_tasks = 0;
   std::int64_t wall_micros = 0;
   std::string telemetry_json;  ///< single-line counters object ("{}" if none)
+  /// Degradation ladder marker: the deadline ran out mid-request and the
+  /// server fell back to the approximation result instead of rejecting.
+  /// `skipped` names the stages that were cut short (comma-separated, e.g.
+  /// "cert.exact_dp,cert.ufpp_bnb"). Additive lines; old peers never see
+  /// them (only emitted when degraded).
+  bool degraded = false;
+  std::string skipped;
   /// Optional sap-cert v1 text, present only when the request asked for a
   /// certificate and the server could produce one. Carried as a
   /// length-prefixed "certificate <nbytes>" section so the multi-line text

@@ -48,12 +48,28 @@ std::vector<TaskId> all_task_ids(const PathInstance& inst) {
   return ids;
 }
 
-void set_send_timeout(int fd) {
+void set_send_timeout(int fd, std::chrono::milliseconds timeout) {
+  // A worker must never block forever writing to a dead or half-open peer.
   timeval tv{};
-  tv.tv_sec = 30;  // a worker must never block forever on a dead peer
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
   (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Budget-capped heuristic configuration used when a deadline expires and
+/// the server degrades instead of rejecting: every stage runs with small
+/// polynomial caps, so the fallback completes promptly with no deadline of
+/// its own (and therefore never throws DeadlineExceeded).
+SolverParams degraded_params(double eps, std::uint64_t seed) {
+  SolverParams params;
+  params.eps = eps;
+  params.seed = seed;
+  params.small_backend = SmallTaskBackend::kLocalRatio;  // no LP solves
+  params.medium_exact_capacity_limit = 0;  // always the grounded heuristic
+  params.large_max_nodes = 100'000;
+  return params;
 }
 
 }  // namespace
@@ -71,6 +87,16 @@ struct Server::Connection {
   int fd;
   std::mutex write_mutex;
   std::atomic<bool> reader_done{false};
+  // Set on the first failed response write (send timeout or hard error): a
+  // partial frame may be on the wire, so nothing sent afterwards could be
+  // framed correctly. Poisoning shuts the socket down, which also unblocks
+  // the reader and makes every later write on this connection fail fast
+  // instead of re-paying the send timeout per queued response.
+  std::atomic<bool> poisoned{false};
+
+  void poison() {
+    if (!poisoned.exchange(true)) ::shutdown(fd, SHUT_RDWR);
+  }
 
   // Solves admitted from this connection whose responses are not yet
   // written. The reader waits for zero before shutting the socket down, so
@@ -106,6 +132,9 @@ std::string stats_to_json(const ServerStats& stats) {
   os << "    \"overloaded\": " << stats.requests_overloaded << ",\n";
   os << "    \"shutting_down\": " << stats.requests_shutting_down << ",\n";
   os << "    \"internal\": " << stats.requests_internal_error << ",\n";
+  os << "    \"deadline_exceeded\": " << stats.requests_deadline_exceeded
+     << ",\n";
+  os << "    \"degraded\": " << stats.requests_degraded << ",\n";
   os << "    \"stats\": " << stats.stats_requests << "\n";
   os << "  },\n";
   os << "  \"queue_depth\": " << stats.queue_depth << ",\n";
@@ -227,7 +256,7 @@ void Server::listener_loop() {
       ::close(fd);
       continue;
     }
-    set_send_timeout(fd);
+    set_send_timeout(fd, options_.send_timeout);
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Connection>(fd);
     std::thread reader([this, conn] { connection_loop(conn); });
@@ -326,7 +355,9 @@ void Server::handle_solve_frame(const std::shared_ptr<Connection>& conn,
           --queued_;
           ++active_;
         }
-        if (options_.test_pre_solve_hook) options_.test_pre_solve_hook();
+        if (options_.fault_injector) {
+          options_.fault_injector(FaultPoint::kPreSolve);
+        }
         const bool served = run_solve_job(conn, payload);
         conn->job_responded();
         if (served) {
@@ -364,36 +395,79 @@ bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
     TelemetryReport telemetry;
     std::ostringstream solution_os;
     const auto solve_start = std::chrono::steady_clock::now();
+    // Per-request budget: the client's deadline_ms wins; otherwise the
+    // server default applies; otherwise unlimited (the legacy behaviour).
+    const std::int64_t budget_ms = request.deadline_ms > 0
+                                       ? request.deadline_ms
+                                       : options_.default_deadline_ms;
+    const Deadline deadline =
+        budget_ms > 0 ? Deadline::after_ms(budget_ms) : Deadline::unlimited();
+    // Degradation ladder: when a stage's slice runs out, either fall back
+    // to the budget-capped approximation (degraded response, `skipped`
+    // names the stages cut short) or rethrow into a DEADLINE_EXCEEDED
+    // rejection, per options_.degrade_on_deadline.
+    auto note_skipped = [&response](const std::string& stage) {
+      response.degraded = true;
+      if (!response.skipped.empty()) response.skipped += ',';
+      response.skipped += stage;
+    };
     if (request.kind == SolveRequest::Kind::kPath) {
       std::istringstream is(request.instance_text);
       const PathInstance inst = read_path_instance(is, options_.read_limits);
       SolverParams params;
       params.eps = request.eps;
       params.seed = request.seed;
+      params.deadline = deadline;
       SapSolution sol;
       {
         TelemetrySession session(&telemetry);
-        if (request.algo == "full") {
-          sol = solve_sap(inst, params);
-        } else if (request.algo == "uniform") {
-          sol = solve_sap_uniform(inst);
-        } else if (request.algo == "small") {
-          sol = solve_small_tasks(inst, all_task_ids(inst), params);
-        } else if (request.algo == "medium") {
-          sol = solve_medium_tasks(inst, all_task_ids(inst), params);
-        } else if (request.algo == "large") {
-          sol = solve_large_tasks(inst, all_task_ids(inst), params);
-        } else {
-          throw std::invalid_argument("unknown algo '" + request.algo +
-                                      "' (want full|uniform|small|medium|"
-                                      "large)");
+        try {
+          if (request.algo == "full") {
+            sol = solve_sap(inst, params);
+          } else if (request.algo == "exact") {
+            SapExactOptions exact = options_.exact;
+            exact.deadline = exact.deadline.min(deadline);
+            const SapExactResult oracle = sap_exact_profile_dp(inst, exact);
+            if (oracle.timed_out) throw DeadlineExceeded("exact oracle");
+            sol = oracle.solution;
+          } else if (request.algo == "uniform") {
+            sol = solve_sap_uniform(inst);
+          } else if (request.algo == "small") {
+            sol = solve_small_tasks(inst, all_task_ids(inst), params);
+          } else if (request.algo == "medium") {
+            sol = solve_medium_tasks(inst, all_task_ids(inst), params);
+          } else if (request.algo == "large") {
+            sol = solve_large_tasks(inst, all_task_ids(inst), params);
+          } else {
+            throw std::invalid_argument("unknown algo '" + request.algo +
+                                        "' (want full|exact|uniform|small|"
+                                        "medium|large)");
+          }
+        } catch (const DeadlineExceeded&) {
+          if (!options_.degrade_on_deadline) throw;
+          if (options_.fault_injector) {
+            options_.fault_injector(FaultPoint::kPreFallback);
+          }
+          note_skipped("solve." + request.algo);
+          sol = solve_sap(inst, degraded_params(request.eps, request.seed));
         }
         if (request.want_certificate) {
           // Certification runs inside the telemetry session (cert.ladder.*
           // counters surface in telemetry_json) and inside the solve timer,
           // so wall_micros reflects the true cost of a certified request.
+          // Rungs share the request deadline: one that times out is skipped
+          // and the ladder falls through to a cheaper bound.
+          cert::CertifyOptions certify = options_.certify;
+          certify.ladder.deadline = certify.ladder.deadline.min(deadline);
           const cert::CertifyOutcome outcome =
-              cert::certify_solution(inst, sol, options_.certify);
+              cert::certify_solution(inst, sol, certify);
+          for (const cert::LadderRungAttempt& attempt :
+               outcome.ladder.attempts) {
+            if (attempt.timed_out) {
+              note_skipped(std::string("cert.") +
+                           cert::ub_rung_name(attempt.rung));
+            }
+          }
           if (outcome.certified) {
             std::ostringstream cert_os;
             write_certificate(cert_os, outcome.cert);
@@ -411,13 +485,34 @@ bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
       RingSolverParams params;
       params.path.eps = request.eps;
       params.path.seed = request.seed;
+      params.path.deadline = deadline;
       RingSapSolution sol;
       {
         TelemetrySession session(&telemetry);
-        sol = solve_ring_sap(inst, params);
+        try {
+          sol = solve_ring_sap(inst, params);
+        } catch (const DeadlineExceeded&) {
+          if (!options_.degrade_on_deadline) throw;
+          if (options_.fault_injector) {
+            options_.fault_injector(FaultPoint::kPreFallback);
+          }
+          note_skipped("solve.ring");
+          RingSolverParams fallback;
+          fallback.path = degraded_params(request.eps, request.seed);
+          sol = solve_ring_sap(inst, fallback);
+        }
         if (request.want_certificate) {
+          cert::CertifyOptions certify = options_.certify;
+          certify.ladder.deadline = certify.ladder.deadline.min(deadline);
           const cert::CertifyOutcome outcome =
-              cert::certify_solution(inst, sol, options_.certify);
+              cert::certify_solution(inst, sol, certify);
+          for (const cert::LadderRungAttempt& attempt :
+               outcome.ladder.attempts) {
+            if (attempt.timed_out) {
+              note_skipped(std::string("cert.") +
+                           cert::ub_rung_name(attempt.rung));
+            }
+          }
           if (outcome.certified) {
             std::ostringstream cert_os;
             write_certificate(cert_os, outcome.cert);
@@ -439,6 +534,11 @@ bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
     ok = true;
   } catch (const std::invalid_argument& error) {
     rejection = {ErrorCode::kBadRequest, error.what()};
+  } catch (const DeadlineExceeded& error) {
+    // Reached only with degrade_on_deadline == false (otherwise the inner
+    // handler already served the fallback). Must precede std::exception:
+    // DeadlineExceeded derives from std::runtime_error.
+    rejection = {ErrorCode::kDeadlineExceeded, error.what()};
   } catch (const std::exception& error) {
     rejection = {ErrorCode::kInternal, error.what()};
   } catch (...) {
@@ -447,12 +547,24 @@ bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
 
   if (ok) {
     requests_ok_.fetch_add(1, std::memory_order_relaxed);
+    if (response.degraded) {
+      requests_degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (options_.fault_injector) {
+      options_.fault_injector(FaultPoint::kPreResponse);
+    }
     std::lock_guard lock(conn->write_mutex);
-    (void)write_frame(conn->fd, FrameType::kSolveResponse,
-                      encode_solve_response(response));
+    if (conn->poisoned.load() ||
+        write_frame_status(conn->fd, FrameType::kSolveResponse,
+                           encode_solve_response(response)) !=
+            WriteStatus::kOk) {
+      conn->poison();
+    }
   } else {
     if (rejection.code == ErrorCode::kBadRequest) {
       requests_bad_.fetch_add(1, std::memory_order_relaxed);
+    } else if (rejection.code == ErrorCode::kDeadlineExceeded) {
+      requests_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
     } else {
       requests_internal_error_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -464,8 +576,12 @@ bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
 void Server::send_error(const std::shared_ptr<Connection>& conn,
                         ErrorCode code, const std::string& message) {
   std::lock_guard lock(conn->write_mutex);
-  (void)write_frame(conn->fd, FrameType::kErrorResponse,
-                    encode_error_response({code, message}));
+  if (conn->poisoned.load() ||
+      write_frame_status(conn->fd, FrameType::kErrorResponse,
+                         encode_error_response({code, message})) !=
+          WriteStatus::kOk) {
+    conn->poison();
+  }
 }
 
 void Server::record_latency(double ms) {
@@ -496,6 +612,9 @@ ServerStats Server::stats_snapshot() const {
       requests_shutting_down_.load(std::memory_order_relaxed);
   stats.requests_internal_error =
       requests_internal_error_.load(std::memory_order_relaxed);
+  stats.requests_deadline_exceeded =
+      requests_deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.requests_degraded = requests_degraded_.load(std::memory_order_relaxed);
   stats.stats_requests = stats_requests_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(jobs_mutex_);

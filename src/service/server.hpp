@@ -30,11 +30,24 @@
 #include <vector>
 
 #include "src/cert/certify.hpp"
+#include "src/exact/profile_dp.hpp"
 #include "src/io/instance_io.hpp"
 #include "src/service/protocol.hpp"
+#include "src/util/deadline.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace sap::service {
+
+/// Named interception points for the fault-injection test seam. Production
+/// configs leave `ServerOptions::fault_injector` empty; the chaos harness
+/// uses it to stall workers, provoke queue saturation, and time SIGTERM
+/// against the degraded-solve window.
+enum class FaultPoint {
+  kPreSolve,     ///< worker thread: after dequeue, before solving
+  kPreFallback,  ///< worker thread: deadline expired, before the fallback
+  kPreResponse,  ///< worker thread: response built, before the write
+};
+using FaultInjector = std::function<void(FaultPoint)>;
 
 struct ServerOptions {
   std::string bind_address = "127.0.0.1";
@@ -51,9 +64,21 @@ struct ServerOptions {
   /// Ladder/certification knobs applied when a request opts into a
   /// certificate ("certify 1"). Defaults keep per-request cert cost bounded.
   cert::CertifyOptions certify;
-  /// Test seam: runs on the worker thread after dequeue, before solving.
-  /// Production configs leave it empty.
-  std::function<void()> test_pre_solve_hook;
+  /// Oracle knobs for `algo exact` requests (the exponential profile DP).
+  SapExactOptions exact{.max_states = 5'000'000};
+  /// Server-side default solve budget applied when a request carries no
+  /// `deadline_ms` line. 0 = unlimited (the pre-deadline behaviour).
+  std::int64_t default_deadline_ms = 0;
+  /// When a deadline expires mid-request: true (default) falls back to the
+  /// budget-capped approximation and marks the response `degraded 1`;
+  /// false rejects with a typed DEADLINE_EXCEEDED error instead.
+  bool degrade_on_deadline = true;
+  /// SO_SNDTIMEO applied to accepted sockets: a worker must never block
+  /// forever writing to a dead or half-open peer.
+  std::chrono::milliseconds send_timeout{30'000};
+  /// Fault-injection test seam: invoked at the named points on the worker
+  /// thread. Production configs leave it empty.
+  FaultInjector fault_injector;
 };
 
 /// Monotonic counters + gauges reported by the `stats` request.
@@ -65,6 +90,8 @@ struct ServerStats {
   std::uint64_t requests_overloaded = 0;
   std::uint64_t requests_shutting_down = 0;
   std::uint64_t requests_internal_error = 0;
+  std::uint64_t requests_deadline_exceeded = 0;
+  std::uint64_t requests_degraded = 0;  ///< served ok, but degraded
   std::uint64_t stats_requests = 0;
   std::size_t queue_depth = 0;    ///< admitted, not yet started
   std::size_t active_solves = 0;  ///< running on the pool right now
@@ -141,6 +168,8 @@ class Server {
   std::atomic<std::uint64_t> requests_overloaded_{0};
   std::atomic<std::uint64_t> requests_shutting_down_{0};
   std::atomic<std::uint64_t> requests_internal_error_{0};
+  std::atomic<std::uint64_t> requests_deadline_exceeded_{0};
+  std::atomic<std::uint64_t> requests_degraded_{0};
   std::atomic<std::uint64_t> stats_requests_{0};
 
   // Bounded reservoir of recent solve latencies for the percentiles.

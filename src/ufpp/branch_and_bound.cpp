@@ -21,10 +21,13 @@ struct Searcher {
   Weight best_weight = 0;
   std::size_t nodes = 0;
   bool budget_exhausted = false;
+  bool timed_out = false;
+  DeadlineGate gate;
 
   Searcher(const PathInstance& instance, std::span<const TaskId> subset,
            const UfppExactOptions& opts)
-      : inst(instance), options(opts), order(subset.begin(), subset.end()) {
+      : inst(instance), options(opts), order(subset.begin(), subset.end()),
+        gate(opts.deadline) {
     std::ranges::sort(order, [&](TaskId a, TaskId b) {
       const Task& ta = inst.task(a);
       const Task& tb = inst.task(b);
@@ -88,7 +91,11 @@ struct Searcher {
   }
 
   void dfs(std::size_t i, std::size_t depth) {
-    if (budget_exhausted) return;
+    if (budget_exhausted || timed_out) return;
+    if (gate.expired()) {
+      timed_out = true;
+      return;
+    }
     if (++nodes > options.max_nodes) {
       budget_exhausted = true;
       return;
@@ -125,6 +132,12 @@ UfppExactResult ufpp_exact(const PathInstance& inst,
   Searcher searcher(inst, subset, options);
   searcher.dfs(0, 0);
   UfppExactResult out;
+  if (searcher.timed_out) {
+    // Typed timeout outcome: empty solution, never the partial incumbent.
+    out.timed_out = true;
+    out.nodes = searcher.nodes;
+    return out;
+  }
   out.solution.tasks = std::move(searcher.best);
   out.weight = searcher.best_weight;
   out.proven_optimal = !searcher.budget_exhausted;

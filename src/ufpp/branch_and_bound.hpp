@@ -11,6 +11,7 @@
 
 #include "src/model/path_instance.hpp"
 #include "src/model/solution.hpp"
+#include "src/util/deadline.hpp"
 
 namespace sap {
 
@@ -18,12 +19,16 @@ struct UfppExactOptions {
   std::size_t max_nodes = 20'000'000;  ///< search-node budget
   bool use_lp_bound = true;            ///< LP bound at shallow nodes
   std::size_t lp_bound_depth = 8;      ///< depths [0, this) get LP bounds
+  /// Cooperative cancellation: expiry stops the search and the result is a
+  /// typed timeout (`timed_out`, empty solution) — never a partial answer.
+  Deadline deadline{};
 };
 
 struct UfppExactResult {
   UfppSolution solution;
   Weight weight = 0;
   bool proven_optimal = false;  ///< false iff the node budget ran out
+  bool timed_out = false;       ///< deadline expired: solution is empty
   std::size_t nodes = 0;
 };
 

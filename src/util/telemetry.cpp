@@ -141,6 +141,9 @@ TelemetrySession::TelemetrySession(TelemetryReport* report) noexcept
 
 TelemetrySession::~TelemetrySession() { g_sink = previous_; }
 
+// sapkit-lint: begin-allow(determinism) -- ScopedTimer reads the monotonic
+// clock to fill timer telemetry, which is declared nondeterministic and is
+// excluded from deterministic (counters-only) reports.
 ScopedTimer::ScopedTimer(const char* name) noexcept
     : name_(name), sink_(g_sink) {
   if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
@@ -152,5 +155,6 @@ ScopedTimer::~ScopedTimer() {
   sink_->add_time(name_, 1,
                   std::chrono::duration<double>(elapsed).count());
 }
+// sapkit-lint: end-allow(determinism)
 
 }  // namespace sap

@@ -1,6 +1,7 @@
 // Unit tests for the sapd wire protocol: header codec, fd-level framing
 // (over pipes — no network needed), and the text envelopes.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <string>
@@ -190,10 +191,86 @@ TEST(ProtocolTest, ErrorResponseRoundTripIncludingMultilineMessage) {
 TEST(ProtocolTest, ErrorCodeNamesRoundTrip) {
   for (const ErrorCode code :
        {ErrorCode::kBadRequest, ErrorCode::kOverloaded,
-        ErrorCode::kShuttingDown, ErrorCode::kInternal}) {
+        ErrorCode::kShuttingDown, ErrorCode::kInternal,
+        ErrorCode::kDeadlineExceeded}) {
     EXPECT_EQ(parse_error_code(error_code_name(code)), code);
   }
   EXPECT_THROW(parse_error_code("NOT_A_CODE"), std::invalid_argument);
+}
+
+TEST(ProtocolTest, DeadlineLineRoundTripsAndStaysOptional) {
+  SolveRequest request;
+  request.deadline_ms = 250;
+  request.instance_text = "sap-path v1\nedges 1\n";
+  const std::string payload = encode_solve_request(request);
+  EXPECT_NE(payload.find("\ndeadline_ms 250\n"), std::string::npos);
+  EXPECT_EQ(parse_solve_request(payload).deadline_ms, 250);
+
+  // Old clients never emit the line; absence parses as "no deadline".
+  request.deadline_ms = 0;
+  const std::string old_payload = encode_solve_request(request);
+  EXPECT_EQ(old_payload.find("deadline_ms"), std::string::npos);
+  EXPECT_EQ(parse_solve_request(old_payload).deadline_ms, 0);
+
+  // A non-positive deadline on the wire is a malformed request, not a
+  // silent "unlimited".
+  std::string bad = payload;
+  bad.replace(bad.find("deadline_ms 250"), 15, "deadline_ms 0\n ");
+  EXPECT_THROW((void)parse_solve_request(bad), std::invalid_argument);
+}
+
+TEST(ProtocolTest, DegradedResponseRoundTripsAndStaysOptional) {
+  SolveResponse response;
+  response.weight = 4;
+  response.degraded = true;
+  response.skipped = "solve.exact,cert.sap_exact_dp";
+  response.telemetry_json = "{}";
+  response.solution_text = "sap-solution v1\nplacements 0\n";
+  const std::string payload = encode_solve_response(response);
+  EXPECT_NE(payload.find("\ndegraded 1\n"), std::string::npos);
+  EXPECT_NE(payload.find("\nskipped solve.exact,cert.sap_exact_dp\n"),
+            std::string::npos);
+  const SolveResponse back = parse_solve_response(payload);
+  EXPECT_TRUE(back.degraded);
+  EXPECT_EQ(back.skipped, response.skipped);
+
+  // Responses from servers that never degrade omit both lines.
+  response.degraded = false;
+  response.skipped.clear();
+  const std::string plain = encode_solve_response(response);
+  EXPECT_EQ(plain.find("degraded"), std::string::npos);
+  EXPECT_EQ(plain.find("skipped"), std::string::npos);
+  const SolveResponse plain_back = parse_solve_response(plain);
+  EXPECT_FALSE(plain_back.degraded);
+  EXPECT_TRUE(plain_back.skipped.empty());
+}
+
+TEST(FrameIoTest, ReceiveTimeoutIsTypedNotIoError) {
+  // SO_RCVTIMEO needs a socket; a unix socketpair stands in for TCP.
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  timeval tv{.tv_sec = 0, .tv_usec = 50'000};
+  ASSERT_EQ(::setsockopt(sv[0], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)), 0);
+
+  // Peer sends nothing: the read times out before any header byte.
+  Frame frame;
+  EXPECT_EQ(read_frame(sv[0], &frame), ReadStatus::kTimedOut);
+
+  // Peer sends half a header and stalls: still a typed timeout, and the
+  // caller's poisoned-connection contract applies.
+  const unsigned char half[4] = {'S', 'A', 'P', 'D'};
+  ASSERT_EQ(::write(sv[1], half, sizeof(half)), 4);
+  EXPECT_EQ(read_frame(sv[0], &frame), ReadStatus::kTimedOut);
+
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(FrameIoTest, WriteStatusNamesAreStable) {
+  EXPECT_STREQ(write_status_name(WriteStatus::kOk), "OK");
+  EXPECT_STREQ(write_status_name(WriteStatus::kTimedOut), "TIMED_OUT");
+  EXPECT_STREQ(write_status_name(WriteStatus::kError), "IO_ERROR");
+  EXPECT_STREQ(read_status_name(ReadStatus::kTimedOut), "TIMED_OUT");
 }
 
 TEST(ProtocolTest, CertifyRequestLineRoundTripsAndStaysOptional) {

@@ -410,7 +410,9 @@ TEST(ServiceTest, FullAdmissionQueueRejectsWithOverloadedImmediately) {
   ServerOptions options;
   options.solver_threads = 1;
   options.max_queue = 1;
-  options.test_pre_solve_hook = [&gate] { gate.acquire(); };
+  options.fault_injector = [&gate](FaultPoint point) {
+    if (point == FaultPoint::kPreSolve) gate.acquire();
+  };
   Server server(options);
   server.start();
 
@@ -457,7 +459,9 @@ TEST(ServiceTest, StopDrainsInFlightSolvesBeforeReturning) {
   std::counting_semaphore<64> gate(0);
   ServerOptions options;
   options.solver_threads = 1;
-  options.test_pre_solve_hook = [&gate] { gate.acquire(); };
+  options.fault_injector = [&gate](FaultPoint point) {
+    if (point == FaultPoint::kPreSolve) gate.acquire();
+  };
   Server server(options);
   server.start();
   const std::uint16_t port = server.port();
@@ -521,6 +525,256 @@ TEST(ServiceTest, StatsReportsOutcomeCountsAndPercentiles) {
   EXPECT_EQ(stats.latency_samples, 1u);
   EXPECT_GT(stats.latency_p50_ms, 0.0);
   server.stop();
+}
+
+/// An instance the exponential exact oracle cannot finish in 1 ms: dense,
+/// same-capacity, long-span tasks keep the profile-DP frontier wide.
+std::string adversarial_exact_instance() {
+  PathGenOptions gen;
+  gen.num_edges = 14;
+  gen.num_tasks = 48;
+  gen.min_capacity = 64;
+  gen.max_capacity = 64;
+  gen.mean_span_fraction = 0.8;
+  Rng rng(21);
+  return to_string(generate_path_instance(gen, rng));
+}
+
+TEST(ServiceTest, ExpiredDeadlineDegradesToVerifiedApproximation) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest request;
+  request.algo = "exact";
+  request.deadline_ms = 1;
+  request.instance_text = adversarial_exact_instance();
+  const Client::SolveOutcome outcome = client.solve(request);
+
+  // The budget is far too small for the oracle, but the response is still a
+  // success: the degraded approximation, marked as such.
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_TRUE(outcome.response.degraded);
+  EXPECT_NE(outcome.response.skipped.find("solve.exact"), std::string::npos)
+      << outcome.response.skipped;
+
+  // The fallback answer is a real feasible solution.
+  std::istringstream inst_is(request.instance_text);
+  const PathInstance inst = read_path_instance(inst_is);
+  std::istringstream sol_is(outcome.response.solution_text);
+  const SapSolution sol = read_sap_solution(sol_is);
+  const VerifyResult verdict = verify_sap(inst, sol);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+  EXPECT_EQ(outcome.response.weight, sol.weight(inst));
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_ok, 1u);
+  EXPECT_EQ(stats.requests_degraded, 1u);
+  EXPECT_EQ(stats.requests_deadline_exceeded, 0u);
+  server.stop();
+}
+
+TEST(ServiceTest, ExpiredDeadlineRejectsTypedWhenDegradationDisabled) {
+  ServerOptions options;
+  options.degrade_on_deadline = false;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest request;
+  request.algo = "exact";
+  request.deadline_ms = 1;
+  request.instance_text = adversarial_exact_instance();
+  const Client::SolveOutcome outcome = client.solve(request);
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error_code, ErrorCode::kDeadlineExceeded);
+  EXPECT_FALSE(outcome.local_timeout);  // a server rejection, not a client one
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_deadline_exceeded, 1u);
+  EXPECT_EQ(stats.requests_ok, 0u);
+
+  const std::string json = client.stats_json();
+  EXPECT_NE(json.find("\"deadline_exceeded\": 1"), std::string::npos) << json;
+  server.stop();
+}
+
+TEST(ServiceTest, ServerDefaultDeadlineAppliesWhenRequestCarriesNone) {
+  ServerOptions options;
+  options.default_deadline_ms = 1;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest request;
+  request.algo = "exact";  // no request.deadline_ms: the server default bites
+  request.instance_text = adversarial_exact_instance();
+  const Client::SolveOutcome outcome = client.solve(request);
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_TRUE(outcome.response.degraded);
+  server.stop();
+}
+
+TEST(ServiceTest, GenerousDeadlineChangesNothing) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest request;
+  request.eps = 0.5;
+  request.seed = 3;
+  request.instance_text = "sap-path v1\nedges 2\ncapacities 6 6\ntasks 3\n"
+                          "0 1 2 5\n0 0 3 4\n1 1 2 6\n";
+  const Client::SolveOutcome plain = client.solve(request);
+  request.deadline_ms = 60'000;
+  const Client::SolveOutcome budgeted = client.solve(request);
+  ASSERT_TRUE(plain.ok);
+  ASSERT_TRUE(budgeted.ok);
+  // Determinism contract: a non-binding deadline is invisible in the result.
+  EXPECT_FALSE(budgeted.response.degraded);
+  EXPECT_EQ(budgeted.response.solution_text, plain.response.solution_text);
+  EXPECT_EQ(budgeted.response.weight, plain.response.weight);
+  server.stop();
+}
+
+TEST(ServiceTest, ClientReadTimeoutOnNeverReplyPeerIsTypedDeadline) {
+  // An accept-only listener: the connection opens, then nothing ever comes
+  // back. Without SO_RCVTIMEO the client would block forever.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+
+  ClientOptions options;
+  options.read_timeout_ms = 100;
+  Client client(options);
+  client.connect("127.0.0.1", ntohs(addr.sin_port));
+  SolveRequest request;
+  request.instance_text = "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n"
+                          "0 0 2 5\n";
+  const Client::SolveOutcome outcome = client.solve(request);
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error_code, ErrorCode::kDeadlineExceeded);
+  EXPECT_TRUE(outcome.local_timeout);
+  // The connection is poisoned: a late reply must not desync a future call.
+  EXPECT_FALSE(client.connected());
+  ::close(listener);
+}
+
+TEST(ServiceTest, RetryBackoffScheduleIsDeterministicUnderFixedSeed) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 50;
+  policy.growth = 2.0;
+  policy.max_backoff_ms = 400;
+  policy.seed = 42;
+
+  Rng a(policy.seed);
+  Rng b(policy.seed);
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    const std::int64_t first = Client::backoff_ms(policy, attempt, a);
+    const std::int64_t second = Client::backoff_ms(policy, attempt, b);
+    EXPECT_EQ(first, second) << "attempt " << attempt;
+    // Equal jitter keeps every draw inside [base/2, base).
+    const std::int64_t base = std::min<std::int64_t>(
+        policy.max_backoff_ms, 50 * (std::int64_t{1} << (attempt - 1)));
+    EXPECT_GE(first, base / 2);
+    EXPECT_LT(first, base);
+  }
+}
+
+TEST(ServiceTest, SolveWithRetryRecoversFromOverload) {
+  std::counting_semaphore<64> gate(0);
+  ServerOptions server_options;
+  server_options.solver_threads = 1;
+  server_options.max_queue = 1;
+  server_options.fault_injector = [&gate](FaultPoint point) {
+    if (point == FaultPoint::kPreSolve) gate.acquire();
+  };
+  Server server(server_options);
+  server.start();
+
+  SolveRequest request;
+  request.instance_text = "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n"
+                          "0 0 2 5\n";
+
+  // A occupies the worker, B fills the queue; C's first attempt must be
+  // rejected OVERLOADED, then succeed on a retry once the gate opens.
+  Client::SolveOutcome outcome_a, outcome_b;
+  std::thread a([&] {
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    outcome_a = client.solve(request);
+  });
+  spin_until([&] { return server.stats_snapshot().active_solves == 1; });
+  std::thread b([&] {
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    outcome_b = client.solve(request);
+  });
+  spin_until([&] { return server.stats_snapshot().queue_depth == 1; });
+
+  std::thread opener([&] {
+    spin_until([&] {
+      return server.stats_snapshot().requests_overloaded >= 1;
+    });
+    gate.release(64);
+  });
+
+  ClientOptions retry_options;
+  retry_options.retry.max_attempts = 8;
+  retry_options.retry.initial_backoff_ms = 20;
+  retry_options.retry.seed = 7;
+  Client retry_client(retry_options);
+  retry_client.connect("127.0.0.1", server.port());
+  const Client::SolveOutcome outcome = retry_client.solve_with_retry(request);
+  opener.join();
+  a.join();
+  b.join();
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_GT(outcome.attempts, 1);
+  EXPECT_TRUE(outcome_a.ok);
+  EXPECT_TRUE(outcome_b.ok);
+  server.stop();
+}
+
+TEST(ServiceTest, SolveWithRetryGivesUpAfterMaxAttemptsOnDeadServer) {
+  ServerOptions options;
+  Server server(options);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  ClientOptions retry_options;
+  retry_options.retry.max_attempts = 3;
+  retry_options.retry.initial_backoff_ms = 1;
+  Client client(retry_options);
+  client.connect("127.0.0.1", port);
+  server.stop();  // every retry now fails at reconnect or mid-round-trip
+
+  SolveRequest request;
+  request.instance_text = "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n"
+                          "0 0 2 5\n";
+  try {
+    (void)client.solve_with_retry(request);
+    FAIL() << "expected a transport failure";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("after 3 attempts"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 }  // namespace

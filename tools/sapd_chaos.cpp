@@ -1,0 +1,414 @@
+// sapd chaos harness: fault-injection scenarios against an in-process
+// server, driven through real loopback sockets so the kernel's buffering,
+// half-open, and timeout behaviour is exercised for real, not mocked.
+//
+// Each scenario is a named function; `sapd_chaos <scenario>` runs one and
+// exits 0 on pass (registered individually in ctest under the `chaos`
+// label so failures are attributed precisely), `sapd_chaos all` runs every
+// scenario. The invariant under test is always the same: whatever a hostile
+// or unlucky peer does, the server keeps serving well-formed clients, never
+// hangs, and stop() always drains and returns.
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <semaphore>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/gen/generators.hpp"
+#include "src/io/instance_io.hpp"
+#include "src/model/verify.hpp"
+#include "src/service/client.hpp"
+#include "src/service/frame.hpp"
+#include "src/service/server.hpp"
+#include "src/util/rng.hpp"
+
+namespace sap::service {
+namespace {
+
+int g_failures = 0;
+
+#define CHAOS_CHECK(cond, what)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ++g_failures;                                                   \
+      std::cerr << "FAIL: " << (what) << " [" << __FILE__ << ":"      \
+                << __LINE__ << "]\n";                                 \
+    }                                                                 \
+  } while (0)
+
+std::string tiny_instance() {
+  return "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n0 0 2 5\n";
+}
+
+/// Dense same-capacity long-span tasks: the exponential exact oracle cannot
+/// finish these inside a millisecond budget, forcing the degraded path.
+std::string adversarial_instance() {
+  PathGenOptions gen;
+  gen.num_edges = 14;
+  gen.num_tasks = 48;
+  gen.min_capacity = 64;
+  gen.max_capacity = 64;
+  gen.mean_span_fraction = 0.8;
+  Rng rng(97);
+  return to_string(generate_path_instance(gen, rng));
+}
+
+int connect_raw(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// The server must still answer a well-formed client — the postcondition of
+/// every scenario. "Still answers" allows typed OVERLOADED rejections while
+/// a scenario's admission backlog drains (under TSan the flooded solves are
+/// an order of magnitude slower), so the probe uses the client's own
+/// idempotent retry path with a fixed seed.
+void expect_still_healthy(Server& server, const char* scenario) {
+  ClientOptions copts;
+  copts.retry.max_attempts = 60;
+  copts.retry.initial_backoff_ms = 50;
+  copts.retry.max_backoff_ms = 500;
+  copts.retry.seed = 7;
+  Client client(copts);
+  client.connect("127.0.0.1", server.port());
+  SolveRequest request;
+  request.instance_text = tiny_instance();
+  try {
+    const Client::SolveOutcome outcome = client.solve_with_retry(request);
+    CHAOS_CHECK(outcome.ok, std::string(scenario) +
+                                ": server unhealthy after scenario: " +
+                                outcome.error_message);
+  } catch (const std::exception& error) {
+    CHAOS_CHECK(false, std::string(scenario) + ": server unreachable after "
+                           "scenario: " + error.what());
+  }
+}
+
+/// Slow-loris framing: a valid request dribbled one byte at a time must
+/// still be served; a loris that goes silent mid-header and disconnects
+/// must not wedge the reader thread.
+void scenario_slow_loris() {
+  Server server(ServerOptions{});
+  server.start();
+
+  SolveRequest request;
+  request.instance_text = tiny_instance();
+  const std::string payload = encode_solve_request(request);
+  std::string wire(kFrameHeaderBytes, '\0');
+  encode_frame_header(reinterpret_cast<unsigned char*>(wire.data()),
+                      FrameType::kSolveRequest,
+                      static_cast<std::uint32_t>(payload.size()));
+  wire += payload;
+
+  const int fd = connect_raw(server.port());
+  CHAOS_CHECK(fd >= 0, "slow_loris: connect failed");
+  // Trickle the header byte by byte, then the payload in small chunks.
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    CHAOS_CHECK(::write(fd, wire.data() + i, 1) == 1, "slow_loris: write");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (std::size_t i = kFrameHeaderBytes; i < wire.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, wire.size() - i);
+    CHAOS_CHECK(::write(fd, wire.data() + i, static_cast<std::size_t>(n)) ==
+                    static_cast<ssize_t>(n),
+                "slow_loris: write chunk");
+  }
+  Frame frame;
+  CHAOS_CHECK(read_frame(fd, &frame) == ReadStatus::kOk,
+              "slow_loris: no response to dribbled request");
+  CHAOS_CHECK(frame.type == static_cast<std::uint32_t>(
+                                FrameType::kSolveResponse),
+              "slow_loris: wrong response type");
+  ::close(fd);
+
+  // Second loris: two header bytes, a pause, then silence and a hard close.
+  const int fd2 = connect_raw(server.port());
+  CHAOS_CHECK(fd2 >= 0, "slow_loris: second connect failed");
+  CHAOS_CHECK(::write(fd2, wire.data(), 2) == 2, "slow_loris: partial write");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ::close(fd2);
+
+  expect_still_healthy(server, "slow_loris");
+  server.stop();
+}
+
+/// Disconnects at every interesting frame offset: mid-header, between
+/// header and payload, and mid-payload.
+void scenario_mid_frame_disconnect() {
+  Server server(ServerOptions{});
+  server.start();
+
+  SolveRequest request;
+  request.instance_text = tiny_instance();
+  const std::string payload = encode_solve_request(request);
+  std::string wire(kFrameHeaderBytes, '\0');
+  encode_frame_header(reinterpret_cast<unsigned char*>(wire.data()),
+                      FrameType::kSolveRequest,
+                      static_cast<std::uint32_t>(payload.size()));
+  wire += payload;
+
+  const std::size_t cuts[] = {1, kFrameHeaderBytes / 2, kFrameHeaderBytes,
+                              kFrameHeaderBytes + 1, wire.size() - 1};
+  for (const std::size_t cut : cuts) {
+    const int fd = connect_raw(server.port());
+    CHAOS_CHECK(fd >= 0, "mid_frame_disconnect: connect failed");
+    CHAOS_CHECK(::write(fd, wire.data(), cut) == static_cast<ssize_t>(cut),
+                "mid_frame_disconnect: write");
+    ::close(fd);  // RST or FIN mid-frame; server must just drop the conn
+  }
+  expect_still_healthy(server, "mid_frame_disconnect");
+  server.stop();
+}
+
+/// A peer that floods the server with requests and never reads a byte back:
+/// once the response stream backs up, the server's SO_SNDTIMEO fires, the
+/// connection is poisoned (shut down, later writes fail fast instead of
+/// re-paying the timeout per response), and stop() must not hang on it.
+void scenario_half_open_peer() {
+  ServerOptions options;
+  options.send_timeout = std::chrono::milliseconds(200);
+  Server server(options);
+  server.start();
+
+  SolveRequest request;
+  request.instance_text = tiny_instance();
+  const std::string payload = encode_solve_request(request);
+
+  // Shrink the receive window (pre-connect, so it caps the advertised
+  // window) to make the server's writes back up quickly.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CHAOS_CHECK(fd >= 0, "half_open_peer: socket failed");
+  const int tiny = 4096;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  CHAOS_CHECK(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+              "half_open_peer: connect failed");
+
+  // Pipeline a few thousand requests. Responses (solves and OVERLOADED
+  // rejections alike) pile up unread until a server write blocks past the
+  // send timeout. Our own writes may start failing once the server poisons
+  // the connection — that is the expected endgame, not an error.
+  const auto flood_start = std::chrono::steady_clock::now();
+  int sent = 0;
+  for (int i = 0; i < 3'000; ++i) {
+    if (!write_frame(fd, FrameType::kSolveRequest, payload)) break;
+    ++sent;
+  }
+  CHAOS_CHECK(sent > 0, "half_open_peer: no request ever sent");
+
+  // The server must shed the wedged peer and return to serving well-formed
+  // clients in bounded time (one send timeout, not one per response).
+  expect_still_healthy(server, "half_open_peer");
+  const auto elapsed = std::chrono::steady_clock::now() - flood_start;
+  CHAOS_CHECK(elapsed < std::chrono::seconds(60),
+              "half_open_peer: recovery took implausibly long");
+  server.stop();  // must drain without waiting on the wedged peer
+  ::close(fd);
+}
+
+/// A burst of deadline-carrying requests against a single worker and a tiny
+/// queue: every request must resolve as either a served (possibly degraded)
+/// response or a typed OVERLOADED — never a hang, never a silent drop.
+void scenario_queue_saturation_under_deadline() {
+  ServerOptions options;
+  options.solver_threads = 1;
+  options.max_queue = 2;
+  options.fault_injector = [](FaultPoint point) {
+    if (point == FaultPoint::kPreSolve) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  };
+  Server server(options);
+  server.start();
+
+  const std::string instance = adversarial_instance();
+  constexpr int kClients = 16;
+  std::atomic<int> served{0};
+  std::atomic<int> degraded{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      client.connect("127.0.0.1", server.port());
+      SolveRequest request;
+      request.algo = "exact";
+      request.deadline_ms = 1;
+      request.seed = static_cast<std::uint64_t>(c);
+      request.instance_text = instance;
+      const Client::SolveOutcome outcome = client.solve(request);
+      if (outcome.ok) {
+        ++served;
+        if (outcome.response.degraded) ++degraded;
+      } else if (outcome.error_code == ErrorCode::kOverloaded) {
+        ++overloaded;
+      } else {
+        ++unexpected;
+        std::cerr << "unexpected outcome: " << outcome.error_message << "\n";
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  CHAOS_CHECK(unexpected.load() == 0,
+              "queue_saturation: non-OVERLOADED failures");
+  CHAOS_CHECK(served.load() + overloaded.load() == kClients,
+              "queue_saturation: requests unaccounted for");
+  CHAOS_CHECK(served.load() >= 1, "queue_saturation: nothing served");
+  CHAOS_CHECK(degraded.load() >= 1,
+              "queue_saturation: deadline pressure never degraded a solve");
+  expect_still_healthy(server, "queue_saturation");
+  server.stop();
+}
+
+/// stop() racing a degraded solve: the fallback is in flight when shutdown
+/// begins; the drain contract says its response is still flushed.
+void scenario_stop_during_degraded_solve() {
+  std::binary_semaphore in_fallback{0};
+  ServerOptions options;
+  options.fault_injector = [&in_fallback](FaultPoint point) {
+    if (point == FaultPoint::kPreFallback) in_fallback.release();
+  };
+  Server server(options);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  Client::SolveOutcome outcome;
+  std::thread client_thread([&] {
+    Client client;
+    client.connect("127.0.0.1", port);
+    SolveRequest request;
+    request.algo = "exact";
+    request.deadline_ms = 1;
+    request.instance_text = adversarial_instance();
+    outcome = client.solve(request);
+  });
+
+  in_fallback.acquire();  // the worker is committed to the degraded path
+  server.stop();          // races the fallback solve; must drain, not abort
+  client_thread.join();
+  CHAOS_CHECK(outcome.ok,
+              std::string("stop_during_degraded_solve: response lost: ") +
+                  outcome.error_message);
+  CHAOS_CHECK(outcome.response.degraded,
+              "stop_during_degraded_solve: response not marked degraded");
+}
+
+std::atomic<bool> g_sigterm{false};
+
+/// SIGTERM arriving exactly inside the degraded-solve window: the handler
+/// only sets a flag (async-signal-safe); the main thread then runs the
+/// graceful stop, and the in-flight degraded response must still land.
+void scenario_sigterm_during_degraded_solve() {
+  g_sigterm = false;
+  struct sigaction action {};
+  action.sa_handler = [](int) { g_sigterm = true; };
+  struct sigaction previous {};
+  ::sigaction(SIGTERM, &action, &previous);
+
+  ServerOptions options;
+  options.fault_injector = [](FaultPoint point) {
+    if (point == FaultPoint::kPreFallback) {
+      ::kill(::getpid(), SIGTERM);
+    }
+  };
+  Server server(options);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  Client::SolveOutcome outcome;
+  std::thread client_thread([&] {
+    Client client;
+    client.connect("127.0.0.1", port);
+    SolveRequest request;
+    request.algo = "exact";
+    request.deadline_ms = 1;
+    request.instance_text = adversarial_instance();
+    outcome = client.solve(request);
+  });
+
+  while (!g_sigterm.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.stop();  // the sapd CLI's SIGTERM path: flag -> graceful stop
+  client_thread.join();
+  ::sigaction(SIGTERM, &previous, nullptr);
+  CHAOS_CHECK(outcome.ok,
+              std::string("sigterm_during_degraded_solve: response lost: ") +
+                  outcome.error_message);
+  CHAOS_CHECK(outcome.response.degraded,
+              "sigterm_during_degraded_solve: response not marked degraded");
+}
+
+using Scenario = void (*)();
+
+const std::map<std::string, Scenario>& scenarios() {
+  static const std::map<std::string, Scenario> table = {
+      {"slow_loris", scenario_slow_loris},
+      {"mid_frame_disconnect", scenario_mid_frame_disconnect},
+      {"half_open_peer", scenario_half_open_peer},
+      {"queue_saturation_under_deadline",
+       scenario_queue_saturation_under_deadline},
+      {"stop_during_degraded_solve", scenario_stop_during_degraded_solve},
+      {"sigterm_during_degraded_solve",
+       scenario_sigterm_during_degraded_solve},
+  };
+  return table;
+}
+
+}  // namespace
+}  // namespace sap::service
+
+int main(int argc, char** argv) {
+  using sap::service::g_failures;
+  using sap::service::scenarios;
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const std::string which = argc > 1 ? argv[1] : "all";
+  if (which == "list") {
+    for (const auto& [name, fn] : scenarios()) std::cout << name << "\n";
+    return 0;
+  }
+  bool ran = false;
+  for (const auto& [name, fn] : scenarios()) {
+    if (which != "all" && which != name) continue;
+    ran = true;
+    const int before = g_failures;
+    fn();
+    std::cout << (g_failures == before ? "PASS" : "FAIL") << ": " << name
+              << "\n";
+  }
+  if (!ran) {
+    std::cerr << "unknown scenario '" << which
+              << "' (try `sapd_chaos list`)\n";
+    return 2;
+  }
+  return g_failures == 0 ? 0 : 1;
+}

@@ -37,8 +37,8 @@ int from_distribution(std::mt19937& gen) {  // line 32: mt19937
 std::unordered_map<int, int> cache;         // line 37: unordered container
 
 long monotonic() {
-  // steady_clock is permitted: timing telemetry is declared nondeterministic.
-  return std::chrono::steady_clock::now().time_since_epoch().count();
+  // Monotonic clock outside src/util/deadline.hpp: also a finding.
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // 41
 }
 
 }  // namespace sap

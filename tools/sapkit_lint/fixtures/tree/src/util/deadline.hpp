@@ -1,0 +1,15 @@
+// Fixture: the one sanctioned monotonic-clock seam.  This path
+// (src/util/deadline.hpp relative to --root) is MONOTONIC_CLOCK_HOME, so
+// its steady_clock reads produce no determinism findings -- with no
+// allow-comment needed.  Every other banned source still fires here.
+#include <chrono>
+
+namespace sap {
+
+using MonotonicClock = std::chrono::steady_clock;
+
+inline MonotonicClock::time_point deadline_now() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace sap

@@ -44,9 +44,12 @@ invariant rather than a style preference):
                  libraries; use sap::Rng), and unordered containers (their
                  iteration order may leak into output; a justified allow
                  must state that the container is never iterated, or that
-                 iteration cannot reach output).  steady_clock is permitted:
-                 it feeds timing telemetry, which is declared
-                 nondeterministic.
+                 iteration cannot reach output).  The monotonic clock
+                 (steady_clock) is also banned: deadline checks must route
+                 through sap::Deadline, whose home src/util/deadline.hpp is
+                 the single exempt file.  Telemetry-only timing reads need
+                 an allow-comment stating the reading never feeds solver
+                 output.
   allow-syntax   Malformed allow-comments: unknown rule name, missing
                  `-- justification`, end-allow without begin-allow, or a
                  begin-allow left unclosed at end of file.
@@ -83,6 +86,12 @@ DETERMINISTIC_DIRS = (
     "src/dsa", "src/sapu", "src/knapsack", "src/gen", "src/harness",
     "src/lp", "src/io", "src/util",
 )
+
+# The one file in the deterministic tree sanctioned to read the monotonic
+# clock.  Everything else routes deadline/budget checks through the
+# sap::Deadline/DeadlineGate types it defines; timing reads that only feed
+# telemetry (declared nondeterministic) carry a justified allow-comment.
+MONOTONIC_CLOCK_HOME = "src/util/deadline.hpp"
 
 RULE_SCOPES = {
     "exact-arith": EXACT_DIRS,
@@ -146,7 +155,9 @@ _ARITH_OPS = {"+", "*", "+=", "*="}
 _FLOAT_RE = re.compile(r"\b(?:float|double)\b")
 
 # Banned nondeterminism sources.  Word-boundary anchored so e.g.
-# `wall_time(` or `steady_clock` never match.
+# `wall_time(` never matches `time(`.
+_STEADY_CLOCK_RE = re.compile(r"\bsteady_clock\b")
+
 _NONDET_RES = (
     (re.compile(r"\brand\s*\("), "rand() draws from ambient global state"),
     (re.compile(r"\bsrand\s*\("), "srand() mutates ambient global state"),
@@ -158,6 +169,10 @@ _NONDET_RES = (
     (re.compile(r"\bgettimeofday\b"), "wall clock (gettimeofday) in a solver path"),
     (re.compile(r"\blocaltime\b"), "wall clock (localtime) in a solver path"),
     (re.compile(r"\btime\s*\("), "wall clock (time()) in a solver path"),
+    (_STEADY_CLOCK_RE,
+     "monotonic clock read outside src/util/deadline.hpp: route deadline "
+     "checks through sap::Deadline, or justify a telemetry-only timing "
+     "read with an allow"),
     (re.compile(r"\bmt19937(?:_64)?\b"),
      "std::mt19937 bypasses sap::Rng (seed discipline lives there)"),
     (re.compile(r"\b\w*_distribution\b"),
@@ -259,10 +274,13 @@ def tokenize(code_line: str) -> list[str]:
 
 
 # --------------------------------------------------------------------------
-# Rule matchers — each yields (line_number, message)
+# Rule matchers — each yields (line_number, message).  All take the linted
+# file's root-relative path: most ignore it, but determinism uses it for
+# the MONOTONIC_CLOCK_HOME exemption.
 # --------------------------------------------------------------------------
 
-def match_exact_arith(code_lines: list[str]) -> Iterable[tuple[int, str]]:
+def match_exact_arith(code_lines: list[str],
+                      rel_path: str = "") -> Iterable[tuple[int, str]]:
     for lineno, code in enumerate(code_lines, start=1):
         if "+" not in code and "*" not in code:
             continue
@@ -294,7 +312,8 @@ def match_exact_arith(code_lines: list[str]) -> Iterable[tuple[int, str]]:
             break  # one finding per line is enough
 
 
-def match_float_ban(code_lines: list[str]) -> Iterable[tuple[int, str]]:
+def match_float_ban(code_lines: list[str],
+                    rel_path: str = "") -> Iterable[tuple[int, str]]:
     for lineno, code in enumerate(code_lines, start=1):
         m = _FLOAT_RE.search(code)
         if m:
@@ -304,9 +323,13 @@ def match_float_ban(code_lines: list[str]) -> Iterable[tuple[int, str]]:
                    "region of src/cert/ladder.cpp)")
 
 
-def match_determinism(code_lines: list[str]) -> Iterable[tuple[int, str]]:
+def match_determinism(code_lines: list[str],
+                      rel_path: str = "") -> Iterable[tuple[int, str]]:
+    clock_home = rel_path.replace(os.sep, "/") == MONOTONIC_CLOCK_HOME
     for lineno, code in enumerate(code_lines, start=1):
         for pattern, why in _NONDET_RES:
+            if pattern is _STEADY_CLOCK_RE and clock_home:
+                continue
             if pattern.search(code):
                 yield (lineno, why)
                 break
@@ -417,7 +440,7 @@ def lint_file(abs_path: str, rel_path: str,
 
     active_rules = rules_for(rel_path, forced_rules)
     for rule in active_rules:
-        for lineno, message in RULE_MATCHERS[rule](code_lines):
+        for lineno, message in RULE_MATCHERS[rule](code_lines, rel_path):
             allow = next((a for a in allows
                           if a.rule == rule and a.line <= lineno <= a.end),
                          None)

@@ -81,6 +81,26 @@ class FixtureTreeTest(unittest.TestCase):
             "--root", TREE, os.path.join(TREE, "src", "service", "scope.cpp"))
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
 
+    def test_deadline_header_is_exempt_from_the_clock_ban(self):
+        # src/util/deadline.hpp is MONOTONIC_CLOCK_HOME: its steady_clock
+        # reads are clean without any allow-comment, even when the
+        # determinism rule is forced on explicitly.
+        path = os.path.join(TREE, "src", "util", "deadline.hpp")
+        for args in ((), ("--rules", "determinism")):
+            proc = run_linter("--root", TREE, *args, path)
+            self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+            self.assertEqual(proc.stdout.strip(), "")
+
+    def test_steady_clock_fires_outside_the_deadline_header(self):
+        proc = run_linter(
+            "--root", TREE, "--json",
+            os.path.join(TREE, "src", "ufpp", "bad_random.cpp"))
+        self.assertEqual(proc.returncode, 1)
+        hits = [f for f in json.loads(proc.stdout)
+                if "monotonic clock" in f["message"]]
+        self.assertEqual([(f["line"], f["rule"]) for f in hits],
+                         [(41, "determinism")])
+
     def test_rules_flag_overrides_scopes(self):
         # Forcing determinism onto the out-of-scope service file must fire.
         proc = run_linter(
