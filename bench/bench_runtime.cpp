@@ -9,6 +9,7 @@
 #include "src/gen/generators.hpp"
 #include "src/lp/ufpp_lp.hpp"
 #include "src/ufpp/strip_local_ratio.hpp"
+#include "src/util/telemetry.hpp"
 
 namespace {
 
@@ -42,6 +43,33 @@ void BM_FullSolver(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_FullSolver)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+// Allocation accounting for the arena substrate: besides time, report the
+// arena's heap chunk acquisitions and spare-list reuses per solve. The
+// first solve warms the thread arena; warm solves must then run entirely
+// out of the recycled footprint, so chunks_per_solve reports 0.0 (the CI
+// perf-smoke job asserts this).
+void BM_FullSolverAllocs(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                  DemandClass::kMixed);
+  SolverParams params;
+  benchmark::DoNotOptimize(solve_sap(inst, params));  // warm the arena
+  TelemetryReport report;
+  double solves = 0.0;
+  for (auto _ : state) {
+    TelemetrySession session(&report);
+    benchmark::DoNotOptimize(solve_sap(inst, params));
+    solves += 1.0;
+  }
+  state.counters["chunks_per_solve"] =
+      static_cast<double>(report.count("alloc.arena.chunks")) / solves;
+  state.counters["chunk_bytes_per_solve"] =
+      static_cast<double>(report.count("alloc.arena.chunk_bytes")) / solves;
+  state.counters["reuse_per_solve"] =
+      static_cast<double>(report.count("alloc.arena.reuse")) / solves;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullSolverAllocs)->Arg(64);
 
 void BM_ProfileDp(benchmark::State& state) {
   const auto inst = make_instance(static_cast<std::size_t>(state.range(0)),

@@ -1,21 +1,24 @@
 #include "src/core/rectangles.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <numeric>
+
+#include "src/util/arena.hpp"
+#include "src/util/flat.hpp"
 
 namespace sap {
 namespace {
 
 /// Adjacency as bitsets: row v has bit u set iff rectangles v, u intersect.
+/// Arena-backed; recycled with the rest of the solve's footprint.
 struct BitGraph {
   std::size_t n = 0;
   std::size_t words = 0;
-  std::vector<std::uint64_t> bits;
+  FlatBuf<std::uint64_t> bits;
 
-  explicit BitGraph(std::span<const TaskRect> rects)
-      : n(rects.size()), words((rects.size() + 63) / 64),
-        bits(rects.size() * ((rects.size() + 63) / 64), 0) {
+  BitGraph(std::span<const TaskRect> rects, Arena& arena)
+      : n(rects.size()), words((rects.size() + 63) / 64), bits(arena) {
+    bits.resize_zeroed(n * words);
     for (std::size_t v = 0; v < n; ++v) {
       for (std::size_t u = v + 1; u < n; ++u) {
         if (rects[v].intersects(rects[u])) {
@@ -29,13 +32,14 @@ struct BitGraph {
   void set(std::size_t v, std::size_t u) {
     bits[v * words + u / 64] |= std::uint64_t{1} << (u % 64);
   }
-  [[nodiscard]] bool test(std::size_t v, std::size_t u) const {
-    return (bits[v * words + u / 64] >> (u % 64)) & 1u;
-  }
   [[nodiscard]] const std::uint64_t* row(std::size_t v) const {
-    return &bits[v * words];
+    return bits.data() + v * words;
   }
 };
+
+[[nodiscard]] bool mask_bit(const std::uint64_t* mask, std::size_t v) {
+  return (mask[v / 64] >> (v % 64)) & 1u;
+}
 
 }  // namespace
 
@@ -117,24 +121,25 @@ ColoringResult smallest_last_coloring(std::span<const TaskRect> rects) {
   return out;
 }
 
-RectMwisResult rectangle_mwis(std::span<const TaskRect> rects,
-                              const RectMwisOptions& options) {
-  const std::size_t n = rects.size();
-  RectMwisResult out;
-  if (n == 0) return out;
-  BitGraph graph(rects);
+namespace {
 
-  // Static order: weight-descending makes the incumbent strong early.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::ranges::sort(order, [&](std::size_t a, std::size_t b) {
-    return rects[a].weight > rects[b].weight;
-  });
+/// Branch-and-bound state for rectangle_mwis. All bitset scratch lives on
+/// the arena: one mask slot per search depth instead of a fresh vector copy
+/// per branch, and a flat pool of clique common-neighbor masks reused across
+/// bound evaluations.
+struct MwisSearch {
+  std::span<const TaskRect> rects;
+  const BitGraph& graph;
+  std::span<const std::size_t> order;
+  DeadlineGate gate;
+  std::size_t max_nodes;
 
-  std::vector<std::uint64_t> alive(graph.words, 0);
-  for (std::size_t v = 0; v < n; ++v) {
-    alive[v / 64] |= std::uint64_t{1} << (v % 64);
-  }
+  /// Depth-indexed masks: slot d holds the alive mask for the dfs call at
+  /// depth d. Each branch removes at least one vertex, so depth <= n and
+  /// n + 1 slots cover the whole search.
+  FlatBuf<std::uint64_t> mask_stack;
+  /// Clique cover scratch: at most n cliques of graph.words each.
+  FlatBuf<std::uint64_t> clique_masks;
 
   std::vector<std::size_t> current;
   std::vector<std::size_t> best;
@@ -142,94 +147,145 @@ RectMwisResult rectangle_mwis(std::span<const TaskRect> rects,
   std::size_t nodes = 0;
   bool exhausted = false;
   bool timed_out = false;
-  DeadlineGate gate(options.deadline);
+
+  MwisSearch(std::span<const TaskRect> r, const BitGraph& g,
+             std::span<const std::size_t> ord, const RectMwisOptions& options,
+             Arena& arena)
+      : rects(r), graph(g), order(ord), gate(options.deadline),
+        max_nodes(options.max_nodes), mask_stack(arena), clique_masks(arena) {
+    const std::size_t n = rects.size();
+    mask_stack.resize_zeroed((n + 1) * graph.words);
+    clique_masks.resize_zeroed(n * graph.words);
+  }
+
+  [[nodiscard]] std::uint64_t* mask_at(std::size_t depth) {
+    return mask_stack.data() + depth * graph.words;
+  }
 
   // Greedy clique cover of the alive set in static order; the bound is the
   // sum over cliques of their maximum weight (first member, by the order).
-  auto clique_bound = [&](const std::vector<std::uint64_t>& mask) -> Weight {
-    std::vector<std::vector<std::uint64_t>> cliques;  // common-neighbor masks
+  [[nodiscard]] Weight clique_bound(const std::uint64_t* mask) {
+    std::size_t num_cliques = 0;
     Weight bound = 0;
     for (std::size_t v : order) {
-      if (!((mask[v / 64] >> (v % 64)) & 1u)) continue;
+      if (!mask_bit(mask, v)) continue;
       bool placed = false;
-      for (std::size_t c = 0; c < cliques.size(); ++c) {
-        if ((cliques[c][v / 64] >> (v % 64)) & 1u) {
+      for (std::size_t c = 0; c < num_cliques; ++c) {
+        std::uint64_t* clique = clique_masks.data() + c * graph.words;
+        if (mask_bit(clique, v)) {
           // v adjacent to every current member: shrink the common mask.
           const std::uint64_t* row = graph.row(v);
-          for (std::size_t w = 0; w < graph.words; ++w) cliques[c][w] &= row[w];
+          for (std::size_t w = 0; w < graph.words; ++w) clique[w] &= row[w];
           placed = true;
           break;
         }
       }
       if (!placed) {
-        cliques.emplace_back(graph.row(v), graph.row(v) + graph.words);
+        std::uint64_t* clique = clique_masks.data() + num_cliques * graph.words;
+        ++num_cliques;
+        const std::uint64_t* row = graph.row(v);
+        std::copy(row, row + graph.words, clique);
         // sapkit-lint: allow(exact-arith) -- each vertex contributes once, so
         // the bound is a subset sum of weights, proven to fit at construction.
         bound += rects[v].weight;
       }
     }
     return bound;
-  };
+  }
 
-  std::function<void(std::vector<std::uint64_t>&, Weight)> dfs =
-      [&](std::vector<std::uint64_t>& mask, Weight weight) {
-        if (exhausted || timed_out) return;
-        if (gate.expired()) {
-          timed_out = true;
-          return;
-        }
-        if (++nodes > options.max_nodes) {
-          exhausted = true;
-          return;
-        }
-        if (weight > best_weight) {
-          best_weight = weight;
-          best = current;
-        }
-        // Pick the heaviest alive vertex.
-        std::size_t pick = n;
-        for (std::size_t v : order) {
-          if ((mask[v / 64] >> (v % 64)) & 1u) {
-            pick = v;
-            break;
-          }
-        }
-        if (pick == n) return;
-        // Both terms are at most the full weight sum, so widen: their sum can
-        // exceed int64 even though each side fits.
-        if (static_cast<Int128>(weight) + clique_bound(mask) <= best_weight) {
-          return;
-        }
+  void dfs(std::size_t depth, Weight weight) {
+    if (exhausted || timed_out) return;
+    if (gate.expired()) {
+      timed_out = true;
+      return;
+    }
+    if (++nodes > max_nodes) {
+      exhausted = true;
+      return;
+    }
+    if (weight > best_weight) {
+      best_weight = weight;
+      best = current;
+    }
+    const std::uint64_t* mask = mask_at(depth);
+    // Pick the heaviest alive vertex.
+    const std::size_t n = rects.size();
+    std::size_t pick = n;
+    for (std::size_t v : order) {
+      if (mask_bit(mask, v)) {
+        pick = v;
+        break;
+      }
+    }
+    if (pick == n) return;
+    // Both terms are at most the full weight sum, so widen: their sum can
+    // exceed int64 even though each side fits.
+    if (static_cast<Int128>(weight) + clique_bound(mask) <= best_weight) {
+      return;
+    }
 
-        // Branch 1: include pick (drop its closed neighborhood).
-        std::vector<std::uint64_t> included = mask;
-        const std::uint64_t* row = graph.row(pick);
-        for (std::size_t w = 0; w < graph.words; ++w) included[w] &= ~row[w];
-        included[pick / 64] &= ~(std::uint64_t{1} << (pick % 64));
-        current.push_back(pick);
-        // sapkit-lint: allow(exact-arith) -- subset sum of distinct task
-        // weights; the instance constructor proved the full sum fits int64.
-        dfs(included, weight + rects[pick].weight);
-        current.pop_back();
+    // Branch 1: include pick (drop its closed neighborhood). The child mask
+    // is written into the next depth slot; this call's slot stays intact for
+    // the exclude branch below.
+    const std::size_t deeper = depth + 1;
+    std::uint64_t* child = mask_at(deeper);
+    const std::uint64_t* row = graph.row(pick);
+    for (std::size_t w = 0; w < graph.words; ++w) child[w] = mask[w] & ~row[w];
+    child[pick / 64] &= ~(std::uint64_t{1} << (pick % 64));
+    current.push_back(pick);
+    // sapkit-lint: allow(exact-arith) -- subset sum of distinct task
+    // weights; the instance constructor proved the full sum fits int64.
+    dfs(deeper, weight + rects[pick].weight);
+    current.pop_back();
 
-        // Branch 2: exclude pick.
-        std::vector<std::uint64_t> excluded = mask;
-        excluded[pick / 64] &= ~(std::uint64_t{1} << (pick % 64));
-        dfs(excluded, weight);
-      };
-  dfs(alive, 0);
+    // Branch 2: exclude pick. This call's slot survived the include branch
+    // (children only write deeper slots), so copy it down minus pick.
+    child = mask_at(deeper);
+    std::copy(mask, mask + graph.words, child);
+    child[pick / 64] &= ~(std::uint64_t{1} << (pick % 64));
+    dfs(deeper, weight);
+  }
+};
 
-  if (timed_out) {
+}  // namespace
+
+RectMwisResult rectangle_mwis(std::span<const TaskRect> rects,
+                              const RectMwisOptions& options) {
+  const std::size_t n = rects.size();
+  RectMwisResult out;
+  if (n == 0) return out;
+  Arena& arena = options.arena ? *options.arena : thread_arena();
+  ArenaScope scope(arena);
+  BitGraph graph(rects, arena);
+
+  // Static order: weight-descending makes the incumbent strong early.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::ranges::sort(order, [&](std::size_t a, std::size_t b) {
+    if (rects[a].weight != rects[b].weight) {
+      return rects[a].weight > rects[b].weight;
+    }
+    return a < b;  // tie-break: order must not depend on sort internals
+  });
+
+  MwisSearch search(rects, graph, order, options, arena);
+  std::uint64_t* alive = search.mask_at(0);
+  for (std::size_t v = 0; v < n; ++v) {
+    alive[v / 64] |= std::uint64_t{1} << (v % 64);
+  }
+  search.dfs(0, 0);
+
+  if (search.timed_out) {
     // Typed timeout outcome: empty selection, never the partial incumbent.
     out.timed_out = true;
     out.proven_optimal = false;
-    out.nodes = nodes;
+    out.nodes = search.nodes;
     return out;
   }
-  out.chosen = std::move(best);
-  out.weight = best_weight;
-  out.proven_optimal = !exhausted;
-  out.nodes = nodes;
+  out.chosen = std::move(search.best);
+  out.weight = search.best_weight;
+  out.proven_optimal = !search.exhausted;
+  out.nodes = search.nodes;
   return out;
 }
 

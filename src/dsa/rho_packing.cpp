@@ -21,7 +21,10 @@ std::vector<std::vector<TaskId>> candidate_orders(
     if (inst.task(a).first != inst.task(b).first) {
       return inst.task(a).first < inst.task(b).first;
     }
-    return inst.task(a).demand > inst.task(b).demand;
+    if (inst.task(a).demand != inst.task(b).demand) {
+      return inst.task(a).demand > inst.task(b).demand;
+    }
+    return a < b;  // tie-break: order must not depend on sort internals
   });
   orders.push_back(std::move(by_left));
 
@@ -30,7 +33,10 @@ std::vector<std::vector<TaskId>> candidate_orders(
     const Value slack_a = inst.bottleneck(a) - inst.task(a).demand;
     const Value slack_b = inst.bottleneck(b) - inst.task(b).demand;
     if (slack_a != slack_b) return slack_a < slack_b;
-    return inst.task(a).demand > inst.task(b).demand;
+    if (inst.task(a).demand != inst.task(b).demand) {
+      return inst.task(a).demand > inst.task(b).demand;
+    }
+    return a < b;  // tie-break: order must not depend on sort internals
   });
   orders.push_back(std::move(by_slack));
 
@@ -39,7 +45,10 @@ std::vector<std::vector<TaskId>> candidate_orders(
     if (inst.task(a).demand != inst.task(b).demand) {
       return inst.task(a).demand > inst.task(b).demand;
     }
-    return inst.task(a).first < inst.task(b).first;
+    if (inst.task(a).first != inst.task(b).first) {
+      return inst.task(a).first < inst.task(b).first;
+    }
+    return a < b;  // tie-break: order must not depend on sort internals
   });
   orders.push_back(std::move(by_demand));
   return orders;

@@ -86,8 +86,10 @@ StripTransformResult strip_transform(const PathInstance& inst,
     std::ranges::sort(dropped, [&](TaskId a, TaskId b) {
       const Task& ta = inst.task(a);
       const Task& tb = inst.task(b);
-      return static_cast<Int128>(ta.weight) * tb.demand >
-             static_cast<Int128>(tb.weight) * ta.demand;
+      const Int128 lhs = static_cast<Int128>(ta.weight) * tb.demand;
+      const Int128 rhs = static_cast<Int128>(tb.weight) * ta.demand;
+      if (lhs != rhs) return lhs > rhs;
+      return a < b;  // tie-break: order must not depend on sort internals
     });
     OccupancyIndex index(inst);
     for (const Placement& p : kept.placements) index.add(p);

@@ -1,14 +1,23 @@
 #include "src/exact/profile_dp.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <cstring>
 #include <numeric>
-// sapkit-lint: allow(determinism) -- profile-dedupe lookups only; the map is
-// never iterated, so its order cannot reach solver output.
-#include <unordered_map>
 #include <vector>
 
+#include "src/util/arena.hpp"
+#include "src/util/flat.hpp"
 #include "src/util/telemetry.hpp"
+
+// Memory substrate: every state the sweep creates lives in flat arena pools
+// (slot spans, placement spans, fixed-size records) instead of per-state
+// heap vectors, and profile dedupe runs on a flat open-addressing table
+// instead of node-based unordered_map. A state is three bulk appends; a
+// whole solve is recycled with one arena rewind, so a warmed thread
+// performs zero heap allocations here. The state *semantics* — emit order,
+// dedupe and collision handling, overflow brake, truncation — are
+// byte-identical to the vector-based implementation (locked by
+// tests/golden_test.cpp and exact_test).
 
 namespace sap {
 namespace {
@@ -19,50 +28,253 @@ struct Slot {
   Value height;
   Value demand;
   EdgeId last;
+  /// Explicit padding, always zero, so whole-profile equality can memcmp
+  /// Slot spans instead of comparing field by field.
+  EdgeId pad = 0;
 
   friend bool operator==(const Slot&, const Slot&) = default;
   // sapkit-lint: allow(exact-arith) -- slots are only created with
   // h + d <= cap <= 2^62 (see place()/free_span), so the top is exact.
   [[nodiscard]] Value top() const noexcept { return height + demand; }
 };
+static_assert(sizeof(Slot) == 24);  // no hidden padding left for memcmp
 
-struct State {
-  std::vector<Slot> slots;  // sorted by height
+/// Flat state record: spans into the slot/placement pools plus the DP
+/// payload. Offsets stay valid across pool growth (growth only moves the
+/// backing block, never re-bases spans).
+struct StateRec {
+  std::size_t slots_off = 0;
+  std::size_t added_off = 0;
+  std::uint32_t slots_len = 0;
+  std::uint32_t added_len = 0;
   Weight weight = 0;
-  std::int32_t parent = -1;           // arena index of predecessor state
-  std::vector<Placement> added;       // placements introduced at this edge
+  std::int32_t parent = -1;
 };
 
-std::uint64_t hash_profile(const std::vector<Slot>& slots) {
-  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  };
-  for (const Slot& s : slots) {
-    mix(static_cast<std::uint64_t>(s.height));
-    mix(static_cast<std::uint64_t>(s.demand));
-    mix(static_cast<std::uint64_t>(s.last));
-  }
-  return h;
+/// Two independent 64-bit digests of one slot. A profile's digest is the
+/// wrapping SUM of its slots' digests plus the length: profiles are
+/// canonical (sorted) multisets, so a commutative combine identifies them
+/// exactly as well as a sequential one — and, crucially, it can be
+/// maintained incrementally by the enumeration DFS (insert adds, undo
+/// subtracts), making the per-emit hashing cost O(1) instead of O(len).
+/// (key, fp, length) give ~128 bits of identity, so a false profile match
+/// is astronomically unlikely and the emit path never has to re-read the
+/// candidate's slots from the pool.
+struct SlotDigest {
+  std::uint64_t key;
+  std::uint64_t fp;
+};
+
+std::uint64_t mix64(std::uint64_t x) {  // splitmix64 finalizer
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
 }
 
-/// Enumerates placements of `starters[i..]` on top of `slots`, invoking
-/// `emit` at every leaf (including "place none").
-struct StarterEnumerator {
+SlotDigest slot_digest(const Slot& s) {
+  const std::uint64_t key =
+      mix64(mix64(mix64(0x9e3779b97f4a7c15ULL ^
+                        static_cast<std::uint64_t>(s.height)) ^
+                  static_cast<std::uint64_t>(s.demand)) ^
+            static_cast<std::uint64_t>(s.last));
+  return {key, mix64(key + 0xcbf29ce484222325ULL)};
+}
+
+/// Open-addressing profile-hash -> state table (linear probing, arena
+/// storage, cleared per edge). Keys are the 64-bit profile hashes; like the
+/// unordered_map it replaces it is lookup-only — never iterated — so its
+/// layout cannot reach solver output.
+///
+/// Each entry mirrors the hot fields of its state (weight, profile
+/// identity), so the dominant emit outcome — "this exact profile already
+/// exists with at least this weight, reject" — is decided from the 32-byte
+/// entry alone, without touching the state records or the slot pool.
+class DedupeTable {
+ public:
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t fp;        ///< second digest: (key, fp, len) = identity
+    Weight weight;           ///< mirror of the state's weight
+    std::int32_t id_plus1;   ///< 0 = empty (so a zeroed table is empty)
+    std::uint32_t slots_len; ///< mirror of the state's profile length
+  };
+  static_assert(sizeof(Entry) == 32);  // two entries per cache line
+
+  explicit DedupeTable(Arena& arena) : entries_(arena) {}
+
+  void clear(std::size_t expected) {
+    std::size_t cap = kMinCapacity;
+    while (cap < expected * 2) cap *= 2;
+    entries_.resize(cap);
+    std::memset(entries_.data(), 0, cap * sizeof(Entry));
+    count_ = 0;
+  }
+
+  /// Entry for `key`: occupied (id_plus1 != 0) or the empty slot where it
+  /// would insert. Grows first, so the reference survives an insert_at and
+  /// any amount of non-table allocation.
+  [[nodiscard]] Entry& find(std::uint64_t key) {
+    if ((count_ + 1) * 4 > entries_.size() * 3) grow();
+    return entries_[probe(key)];
+  }
+
+  void insert_at(Entry& entry, std::uint64_t key, std::uint64_t fp,
+                 std::int32_t id, std::uint32_t slots_len,
+                 Weight weight) noexcept {
+    entry.key = key;
+    entry.fp = fp;
+    entry.weight = weight;
+    entry.id_plus1 = id + 1;
+    entry.slots_len = slots_len;
+    ++count_;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 1024;
+
+  [[nodiscard]] std::size_t probe(std::uint64_t key) const noexcept {
+    const std::size_t mask = entries_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(key) & mask;
+    while (entries_[i].id_plus1 != 0 && entries_[i].key != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void grow() {
+    FlatBuf<Entry> old = entries_;  // shallow view of the current storage
+    entries_.resize(0);
+    entries_.reserve(old.size() * 2);
+    entries_.resize(old.size() * 2);
+    std::memset(entries_.data(), 0, entries_.size() * sizeof(Entry));
+    for (std::size_t i = 0; i < old.size(); ++i) {
+      if (old[i].id_plus1 != 0) entries_[probe(old[i].key)] = old[i];
+    }
+  }
+
+  FlatBuf<Entry> entries_;
+  std::size_t count_ = 0;
+};
+
+/// Everything one edge sweep shares between the per-state enumeration and
+/// the emit path. Scratch buffers persist across states and edges so the
+/// steady state touches no allocator.
+struct SweepContext {
   const PathInstance& inst;
+  const SapExactOptions& options;
+
+  FlatBuf<Slot> slot_pool;
+  FlatBuf<Placement> added_pool;
+  FlatBuf<StateRec> states;
+  FlatBuf<std::int32_t> frontier;
+  FlatBuf<std::int32_t> next;
+  DedupeTable dedupe;
+
+  // Per-state scratch, reused: the alive-slot profile (sorted by height,
+  // mutated by the enumeration DFS) and the placements added at this edge.
+  std::vector<Slot> slots;
+  std::vector<Placement> added;
+  // Running profile digest of `slots`, maintained incrementally at every
+  // insert/remove (commutative sum — see slot_digest).
+  std::uint64_t key_sum = 0;
+  std::uint64_t fp_sum = 0;
+  // Grounded-mode candidate heights, one buffer per DFS depth (a deeper
+  // place() must not clobber the list its caller is iterating).
+  std::vector<std::vector<Value>> candidates_by_depth;
+
+  DeadlineGate gate;
+  bool overflow = false;
+  bool timed_out = false;
+
+  // Of the frontier state currently being expanded:
+  Weight base_weight = 0;
+  std::int32_t parent = -1;
+
+  SweepContext(const PathInstance& inst_, const SapExactOptions& options_,
+               Arena& arena)
+      : inst(inst_),
+        options(options_),
+        slot_pool(arena),
+        added_pool(arena),
+        states(arena),
+        frontier(arena),
+        next(arena),
+        dedupe(arena),
+        gate(options_.deadline) {}
+
+  void emit(Weight added_weight) {
+    if (gate.expired()) {
+      // Reuse the overflow brake to unwind the enumeration promptly; the
+      // timeout return below supersedes the truncated result.
+      timed_out = true;
+      overflow = true;
+      return;
+    }
+    if (next.size() > 4 * options.max_states) {
+      overflow = true;
+      return;
+    }
+    // sapkit-lint: allow(exact-arith) -- weights of disjoint task sets;
+    // their sum is a subset sum, proven to fit in int64 at construction.
+    const Weight total = base_weight + added_weight;
+    DedupeTable::Entry& entry = dedupe.find(key_sum);
+    bool collision = false;
+    if (entry.id_plus1 != 0) {
+      // 128 bits of digest plus the length identify the profile; no byte
+      // comparison against the pool is needed (and the reject path below
+      // therefore costs exactly one cache line: the entry itself).
+      if (entry.slots_len == slots.size() && entry.fp == fp_sum) {
+        if (entry.weight >= total) return;  // dominated duplicate
+        // Overwrite the weaker state in place; `next` already points at it
+        // and the stored slot span is byte-equal, so only the payload and
+        // the added-placement span change.
+        StateRec& rec =
+            states[static_cast<std::size_t>(entry.id_plus1 - 1)];
+        rec.added_off = added_pool.size();
+        rec.added_len = static_cast<std::uint32_t>(added.size());
+        added_pool.append(added.data(), added.size());
+        rec.weight = total;
+        rec.parent = parent;
+        entry.weight = total;
+        return;
+      }
+      collision = true;  // 64-bit hash collision: keep both states
+    }
+    StateRec rec;
+    rec.slots_off = slot_pool.size();
+    rec.slots_len = static_cast<std::uint32_t>(slots.size());
+    slot_pool.append(slots.data(), slots.size());
+    rec.added_off = added_pool.size();
+    rec.added_len = static_cast<std::uint32_t>(added.size());
+    added_pool.append(added.data(), added.size());
+    rec.weight = total;
+    rec.parent = parent;
+    states.push_back(rec);
+    const auto id = static_cast<std::int32_t>(states.size() - 1);
+    if (!collision) {
+      dedupe.insert_at(entry, key_sum, fp_sum, id, rec.slots_len, total);
+    }
+    next.push_back(id);
+  }
+};
+
+/// Enumerates placements of `starters[i..]` on top of the context's slot
+/// profile, invoking SweepContext::emit at every leaf (including "place
+/// none"). Static dispatch — no std::function on the hot path.
+struct StarterEnumerator {
+  SweepContext& ctx;
   const std::vector<TaskId>& starters;
   Value cap;
   std::size_t max_heights;
   Value min_height;
   bool grounded_only;
-  std::vector<Slot>* slots;                // sorted by height, mutated in DFS
-  std::vector<Placement>* added;
   Weight added_weight = 0;
-  const bool* stop = nullptr;              // set when the state cap trips
-  std::function<void(Weight)> emit;
 
   [[nodiscard]] bool free_span(Value h, Value demand) const {
-    for (const Slot& s : *slots) {
+    for (const Slot& s : ctx.slots) {
       // sapkit-lint: allow(exact-arith) -- h <= cap and d <= cap <= 2^62
       // (instance construction), so h + d <= 2^63 stays exact in int64.
       if (s.height >= h + demand) break;  // sorted: all later are above
@@ -72,21 +284,26 @@ struct StarterEnumerator {
   }
 
   void run(std::size_t i) {
-    if (stop != nullptr && *stop) return;
+    if (ctx.overflow) return;
     if (i == starters.size()) {
-      emit(added_weight);
+      ctx.emit(added_weight);
       return;
     }
     run(i + 1);  // skip starters[i]
     const TaskId j = starters[i];
-    const Task& t = inst.task(j);
+    const Task& t = ctx.inst.task(j);
     // sapkit-lint: allow(exact-arith) -- min_height <= cap and d <= cap <=
     // 2^62 (instance construction), so the sum is exact in int64.
     if (min_height + t.demand > cap) return;
     if (grounded_only) {
       // Candidates: the floor and the top of every alive slot.
-      std::vector<Value> candidates{min_height};
-      for (const Slot& s : *slots) {
+      if (i >= ctx.candidates_by_depth.size()) {
+        ctx.candidates_by_depth.resize(i + 1);
+      }
+      std::vector<Value>& candidates = ctx.candidates_by_depth[i];
+      candidates.clear();
+      candidates.push_back(min_height);
+      for (const Slot& s : ctx.slots) {
         if (s.top() >= min_height) candidates.push_back(s.top());
       }
       std::ranges::sort(candidates);
@@ -114,8 +331,8 @@ struct StarterEnumerator {
     while (h + t.demand <= cap) {
       // Skip forward over any slot blocking [h, h+demand).
       bool blocked = false;
-      for (; k < slots->size(); ++k) {
-        const Slot& s = (*slots)[k];
+      for (; k < ctx.slots.size(); ++k) {
+        const Slot& s = ctx.slots[k];
         if (s.top() <= h) continue;           // entirely below
         // sapkit-lint: allow(exact-arith) -- same h <= cap, d <= cap <= 2^62
         // bound as the loop condition above: exact in int64.
@@ -127,7 +344,9 @@ struct StarterEnumerator {
       if (blocked) continue;
       // [h, h+demand) is free; recurse with every height in this gap.
       Value gap_end = cap;
-      if (k < slots->size()) gap_end = std::min(gap_end, (*slots)[k].height);
+      if (k < ctx.slots.size()) {
+        gap_end = std::min(gap_end, ctx.slots[k].height);
+      }
       // sapkit-lint: allow(exact-arith) -- hh <= gap_end <= cap and d <=
       // cap <= 2^62 (instance construction): exact in int64.
       for (Value hh = h; hh + t.demand <= gap_end; ++hh) {
@@ -135,8 +354,8 @@ struct StarterEnumerator {
         ++tried;
         place(i, j, t, hh);
       }
-      if (k >= slots->size()) return;  // explored the unbounded top gap
-      h = (*slots)[k].top();
+      if (k >= ctx.slots.size()) return;  // explored the unbounded top gap
+      h = ctx.slots[k].top();
       ++k;
     }
   }
@@ -144,18 +363,23 @@ struct StarterEnumerator {
   void place(std::size_t i, TaskId j, const Task& t, Value h) {
     const Slot slot{h, t.demand, t.last};
     const auto pos = std::lower_bound(
-        slots->begin(), slots->end(), slot,
+        ctx.slots.begin(), ctx.slots.end(), slot,
         [](const Slot& a, const Slot& b) { return a.height < b.height; });
-    const auto idx = static_cast<std::size_t>(pos - slots->begin());
-    slots->insert(pos, slot);
-    added->push_back({j, h});
+    const auto idx = static_cast<std::size_t>(pos - ctx.slots.begin());
+    ctx.slots.insert(pos, slot);
+    const SlotDigest digest = slot_digest(slot);
+    ctx.key_sum += digest.key;
+    ctx.fp_sum += digest.fp;
+    ctx.added.push_back({j, h});
     // sapkit-lint: allow(exact-arith) -- subset sum of task weights; the
     // PathInstance constructor proved the full sum fits in int64.
     added_weight += t.weight;
     run(i + 1);
     added_weight -= t.weight;
-    added->pop_back();
-    slots->erase(slots->begin() + static_cast<std::ptrdiff_t>(idx));
+    ctx.added.pop_back();
+    ctx.key_sum -= digest.key;
+    ctx.fp_sum -= digest.fp;
+    ctx.slots.erase(ctx.slots.begin() + static_cast<std::ptrdiff_t>(idx));
   }
 };
 
@@ -165,151 +389,130 @@ SapExactResult sap_exact_profile_dp(const PathInstance& inst,
                                     std::span<const TaskId> subset,
                                     const SapExactOptions& options) {
   ScopedTimer timer("dp.solve");
+  Arena& arena = options.arena != nullptr ? *options.arena : thread_arena();
+  // The whole solve is one arena scope: every pool below is recycled (not
+  // freed) on return, so the next solve on this thread reuses the chunks.
+  ArenaScope scope(arena);
+
   const auto m = static_cast<EdgeId>(inst.num_edges());
   std::vector<std::vector<TaskId>> starters_at(inst.num_edges());
   for (TaskId j : subset) {
     starters_at[static_cast<std::size_t>(inst.task(j).first)].push_back(j);
   }
 
-  std::vector<State> arena;
-  arena.push_back(State{});  // empty start state
-  std::vector<std::int32_t> frontier{0};
+  SweepContext ctx(inst, options, arena);
+  ctx.states.push_back(StateRec{});  // empty start state
+  ctx.frontier.push_back(0);
   SapExactResult out;
   out.peak_states = 1;
-  DeadlineGate gate(options.deadline);
-  bool timed_out = false;
   if (options.grounded_only || options.max_heights_per_task != 0) {
     out.proven_optimal = false;  // restricted height candidates: heuristic
   }
 
   for (EdgeId e = 0; e < m; ++e) {
     const Value cap = inst.capacity(e);
-    // sapkit-lint: allow(determinism) -- lookups only, never iterated.
-    std::unordered_map<std::uint64_t, std::int32_t> dedupe;
-    std::vector<std::int32_t> next;
+    ctx.dedupe.clear(ctx.frontier.size());
+    ctx.next.clear();
+    ctx.overflow = false;
 
     // Hard cap on states generated at this edge: past it, stop expanding so
     // memory stays bounded; the result degrades to a feasible lower bound.
-    bool overflow = false;
-    for (std::int32_t sid : frontier) {
-      if (overflow) break;
+    for (std::size_t fi = 0; fi < ctx.frontier.size(); ++fi) {
+      if (ctx.overflow) break;
+      const std::int32_t sid = ctx.frontier[fi];
+      // Copy the record: the states pool may grow (and move) during emits.
+      const StateRec rec = ctx.states[static_cast<std::size_t>(sid)];
       // Drop tasks ending before e; kill the state if a survivor no longer
       // fits under this edge's capacity.
-      std::vector<Slot> slots;
-      slots.reserve(arena[static_cast<std::size_t>(sid)].slots.size());
+      ctx.slots.clear();
+      ctx.key_sum = 0;
+      ctx.fp_sum = 0;
       bool alive = true;
-      for (const Slot& s : arena[static_cast<std::size_t>(sid)].slots) {
+      const Slot* pool = ctx.slot_pool.data() + rec.slots_off;
+      for (std::uint32_t si = 0; si < rec.slots_len; ++si) {
+        const Slot& s = pool[si];
         if (s.last < e) continue;
         if (s.top() > cap) {
           alive = false;
           break;
         }
-        slots.push_back(s);
+        ctx.slots.push_back(s);
+        const SlotDigest digest = slot_digest(s);
+        ctx.key_sum += digest.key;
+        ctx.fp_sum += digest.fp;
       }
       if (!alive) continue;
 
-      std::vector<Placement> added;
-      const Weight base_weight = arena[static_cast<std::size_t>(sid)].weight;
-      StarterEnumerator enumerator{
-          inst,
-          starters_at[static_cast<std::size_t>(e)],
-          cap,
-          options.max_heights_per_task,
-          options.min_height,
-          options.grounded_only,
-          &slots,
-          &added,
-          0,
-          &overflow,
-          {}};
-      enumerator.emit = [&](Weight added_weight) {
-        if (gate.expired()) {
-          // Reuse the overflow brake to unwind the enumeration promptly; the
-          // timeout return below supersedes the truncated result.
-          timed_out = true;
-          overflow = true;
-          return;
-        }
-        if (next.size() > 4 * options.max_states) {
-          overflow = true;
-          return;
-        }
-        // sapkit-lint: allow(exact-arith) -- weights of disjoint task sets;
-        // their sum is a subset sum, proven to fit in int64 at construction.
-        const Weight total = base_weight + added_weight;
-        const std::uint64_t key = hash_profile(slots);
-        auto [it, inserted] = dedupe.try_emplace(key, -1);
-        bool collision = false;
-        if (!inserted) {
-          const std::int32_t existing = it->second;
-          const State& old = arena[static_cast<std::size_t>(existing)];
-          if (old.slots == slots) {
-            if (old.weight >= total) return;
-          } else {
-            collision = true;  // 64-bit hash collision: keep both states
-          }
-        }
-        State state;
-        state.slots = slots;
-        state.weight = total;
-        state.parent = sid;
-        state.added = added;
-        if (!inserted && !collision) {
-          // Overwrite the weaker state in place; `next` already points at it.
-          arena[static_cast<std::size_t>(it->second)] = std::move(state);
-        } else {
-          arena.push_back(std::move(state));
-          const auto id = static_cast<std::int32_t>(arena.size() - 1);
-          if (inserted) it->second = id;
-          next.push_back(id);
-        }
-      };
+      ctx.added.clear();
+      ctx.base_weight = rec.weight;
+      ctx.parent = sid;
+      StarterEnumerator enumerator{ctx,
+                                   starters_at[static_cast<std::size_t>(e)],
+                                   cap,
+                                   options.max_heights_per_task,
+                                   options.min_height,
+                                   options.grounded_only,
+                                   0};
       enumerator.run(0);
     }
 
-    if (timed_out) {
+    if (ctx.timed_out) {
       // Typed timeout outcome: an empty solution, never a partial answer.
       SapExactResult expired;
       expired.timed_out = true;
       expired.proven_optimal = false;
-      expired.peak_states = std::max(out.peak_states, next.size());
+      expired.peak_states = std::max(out.peak_states, ctx.next.size());
       telemetry::count("dp.timeout");
       return expired;
     }
-    if (overflow) out.proven_optimal = false;
-    if (next.size() > options.max_states) {
-      std::ranges::sort(next, [&](std::int32_t a, std::int32_t b) {
-        return arena[static_cast<std::size_t>(a)].weight >
-               arena[static_cast<std::size_t>(b)].weight;
-      });
-      next.resize(options.max_states);
+    if (ctx.overflow) out.proven_optimal = false;
+    if (ctx.next.size() > options.max_states) {
+      // Weight-descending with a state-id tie-break: which states survive
+      // truncation (and their frontier order) must not depend on the sort
+      // implementation. The comparator is a strict total order, so
+      // nth_element + sorting only the kept prefix yields the exact
+      // sequence a full sort would — at O(n + k log k) instead of
+      // O(n log n) over up to 4x max_states entries.
+      const auto by_weight_then_id = [&](std::int32_t a, std::int32_t b) {
+        const Weight wa = ctx.states[static_cast<std::size_t>(a)].weight;
+        const Weight wb = ctx.states[static_cast<std::size_t>(b)].weight;
+        if (wa != wb) return wa > wb;
+        return a < b;
+      };
+      const auto keep = static_cast<std::ptrdiff_t>(options.max_states);
+      const auto mid = ctx.next.begin() + keep;
+      std::nth_element(ctx.next.begin(), mid, ctx.next.end(),
+                       by_weight_then_id);
+      std::sort(ctx.next.begin(), mid, by_weight_then_id);
+      ctx.next.resize(options.max_states);
       out.proven_optimal = false;
     }
-    out.peak_states = std::max(out.peak_states, next.size());
-    frontier = std::move(next);
+    out.peak_states = std::max(out.peak_states, ctx.next.size());
+    std::swap(ctx.frontier, ctx.next);
   }
 
   telemetry::count("dp.runs");
   telemetry::count("dp.states.peak",
                    static_cast<std::int64_t>(out.peak_states));
   telemetry::count("dp.states.expanded",
-                   static_cast<std::int64_t>(arena.size()));
+                   static_cast<std::int64_t>(ctx.states.size()));
   if (!out.proven_optimal) telemetry::count("dp.truncated");
 
   std::int32_t best = -1;
-  for (std::int32_t sid : frontier) {
-    if (best < 0 || arena[static_cast<std::size_t>(sid)].weight >
-                        arena[static_cast<std::size_t>(best)].weight) {
+  for (const std::int32_t sid : ctx.frontier) {
+    if (best < 0 || ctx.states[static_cast<std::size_t>(sid)].weight >
+                        ctx.states[static_cast<std::size_t>(best)].weight) {
       best = sid;
     }
   }
   if (best < 0) return out;  // no feasible state (cannot happen: empty set)
-  out.weight = arena[static_cast<std::size_t>(best)].weight;
+  out.weight = ctx.states[static_cast<std::size_t>(best)].weight;
   for (std::int32_t sid = best; sid >= 0;
-       sid = arena[static_cast<std::size_t>(sid)].parent) {
-    const State& s = arena[static_cast<std::size_t>(sid)];
-    out.solution.placements.insert(out.solution.placements.end(),
-                                   s.added.begin(), s.added.end());
+       sid = ctx.states[static_cast<std::size_t>(sid)].parent) {
+    const StateRec& s = ctx.states[static_cast<std::size_t>(sid)];
+    const Placement* adds = ctx.added_pool.data() + s.added_off;
+    out.solution.placements.insert(out.solution.placements.end(), adds,
+                                   adds + s.added_len);
   }
   return out;
 }

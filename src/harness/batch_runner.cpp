@@ -110,6 +110,11 @@ BatchReport run_batch(const BatchOptions& options, const BatchCaseFn& fn,
       c = fn(i, seed);
     }
     c.seconds = seconds_since(case_start);
+    // Allocator counters record whether the executing thread's arena was
+    // warm — a scheduling fact, not a property of the case — so they are
+    // dropped from records that must aggregate byte-identically across
+    // thread counts and resumes.
+    collected.drop_counters_with_prefix("alloc.");
     c.telemetry.merge(collected);
     if (options.save_case) options.save_case(i, c);
     cases[i] = std::move(c);

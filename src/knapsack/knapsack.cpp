@@ -134,8 +134,10 @@ KnapsackResult knapsack_greedy(std::span<const KnapsackItem> items,
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::ranges::sort(order, [&](std::size_t a, std::size_t b) {
     // Compare profit densities exactly: p_a/s_a > p_b/s_b.
-    return static_cast<Int128>(items[a].profit) * items[b].size >
-           static_cast<Int128>(items[b].profit) * items[a].size;
+    const Int128 lhs = static_cast<Int128>(items[a].profit) * items[b].size;
+    const Int128 rhs = static_cast<Int128>(items[b].profit) * items[a].size;
+    if (lhs != rhs) return lhs > rhs;
+    return a < b;  // tie-break: order must not depend on sort internals
   });
   KnapsackResult greedy;
   Value used = 0;

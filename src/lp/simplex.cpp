@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "src/util/arena.hpp"
+#include "src/util/flat.hpp"
 #include "src/util/telemetry.hpp"
 
 namespace sap {
@@ -11,30 +14,41 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-/// Dense tableau state shared by both phases.
+/// Dense tableau state shared by both phases. All storage is flat and
+/// arena-backed; a Tableau is built fresh per solve and its footprint is
+/// reclaimed wholesale by the caller's ArenaScope.
 struct Tableau {
-  DenseMatrix a;               // m x total coefficient matrix
-  std::vector<double> rhs;     // m, kept >= -kEps
-  std::vector<double> cost;    // reduced-cost row (minimization)
-  double cost_rhs = 0.0;       // negated objective value so far
-  std::vector<std::size_t> basis;  // m entries, column of basic var per row
-  std::size_t iterations = 0;      // pivots taken across both phases
+  FlatMat<double> a;          // m x total coefficient matrix
+  FlatBuf<double> rhs;        // m, kept >= -kEps
+  FlatBuf<double> cost;       // reduced-cost row (minimization)
+  FlatBuf<double> gamma;      // steepest-edge scratch: 1 + ||A_c||^2
+  double cost_rhs = 0.0;      // negated objective value so far
+  FlatBuf<std::size_t> basis;  // m entries, column of basic var per row
+  std::size_t iterations = 0;  // pivots taken across both phases
+
+  explicit Tableau(Arena& arena)
+      : a(arena), rhs(arena), cost(arena), gamma(arena), basis(arena) {}
 
   void pivot(std::size_t row, std::size_t col) {
     const double pivot_value = a(row, col);
-    a.scale_row(row, 1.0 / pivot_value);
+    const std::size_t width = a.cols();
+    double* prow = a.row(row).data();
+    const double inv = 1.0 / pivot_value;
+    for (std::size_t c = 0; c < width; ++c) prow[c] *= inv;
     rhs[row] /= pivot_value;
     for (std::size_t r = 0; r < a.rows(); ++r) {
       if (r == row) continue;
       const double factor = a(r, col);
       if (std::abs(factor) < kEps) continue;
-      a.axpy_row(r, row, -factor);
+      double* tr = a.row(r).data();
+      const double neg = -factor;
+      for (std::size_t c = 0; c < width; ++c) tr[c] += neg * prow[c];
       rhs[r] -= factor * rhs[row];
-      a(r, col) = 0.0;  // clear residual round-off exactly
+      tr[col] = 0.0;  // clear residual round-off exactly
     }
     const double cost_factor = cost[col];
     if (std::abs(cost_factor) > 0.0) {
-      const double* src = a.row(row);
+      const double* src = prow;
       for (std::size_t c = 0; c < cost.size(); ++c) {
         cost[c] -= cost_factor * src[c];
       }
@@ -44,25 +58,59 @@ struct Tableau {
     basis[row] = col;
   }
 
+  /// Dantzig pricing: most negative reduced cost (or the first negative
+  /// column under Bland's rule). Returns cost.size() when optimal.
+  [[nodiscard]] std::size_t price_dantzig(bool bland) const {
+    std::size_t enter = cost.size();
+    double best = -kEps;
+    for (std::size_t c = 0; c < cost.size(); ++c) {
+      if (cost[c] < best) {
+        enter = c;
+        if (bland) break;
+        best = cost[c];
+      }
+    }
+    return enter;
+  }
+
+  /// Steepest-edge pricing, recomputed form: among columns with negative
+  /// reduced cost, maximize cost_c^2 / (1 + ||A_c||^2). The norms are
+  /// accumulated row-major (one cache-friendly sweep of the tableau) into
+  /// the reusable gamma row; ties break to the smallest column index.
+  [[nodiscard]] std::size_t price_steepest() {
+    const std::size_t width = cost.size();
+    gamma.resize(width);
+    for (std::size_t c = 0; c < width; ++c) gamma[c] = 1.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      const double* src = a.row(r).data();
+      for (std::size_t c = 0; c < width; ++c) gamma[c] += src[c] * src[c];
+    }
+    std::size_t enter = width;
+    double best = 0.0;
+    for (std::size_t c = 0; c < width; ++c) {
+      if (cost[c] >= -kEps) continue;
+      const double score = cost[c] * cost[c] / gamma[c];
+      if (score > best) {
+        best = score;
+        enter = c;
+      }
+    }
+    return enter;
+  }
+
   /// Runs simplex iterations on the current cost row until optimal,
   /// unbounded, the iteration budget runs out, or `gate` expires. A pivot on
   /// a dense tableau is heavy, so the gate is polled every iteration (the
   /// gate's stride amortizes the clock read).
-  LpStatus iterate(std::size_t max_iterations, DeadlineGate* gate) {
+  LpStatus iterate(std::size_t max_iterations, DeadlineGate* gate,
+                   LpPricing pricing) {
     const std::size_t bland_after = max_iterations / 2;
     for (std::size_t iter = 0; iter < max_iterations; ++iter) {
       if (gate != nullptr && gate->expired()) return LpStatus::kTimeout;
       const bool bland = iter >= bland_after;
-      // Entering column: most negative reduced cost (or first, under Bland).
-      std::size_t enter = cost.size();
-      double best = -kEps;
-      for (std::size_t c = 0; c < cost.size(); ++c) {
-        if (cost[c] < best) {
-          enter = c;
-          if (bland) break;
-          best = cost[c];
-        }
-      }
+      const std::size_t enter = (bland || pricing == LpPricing::kDantzig)
+                                    ? price_dantzig(bland)
+                                    : price_steepest();
       if (enter == cost.size()) return LpStatus::kOptimal;
 
       // Ratio test: tightest row; ties to the smallest basis column (keeps
@@ -101,26 +149,30 @@ struct PivotTelemetry {
 
 }  // namespace
 
-LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations,
-                    Deadline deadline) {
+LpSolution solve_lp(const LpProblem& problem, const LpOptions& options) {
   ScopedTimer timer("lp.solve");
   const std::size_t n = problem.num_vars();
   const std::size_t m = problem.constraints.size();
+  std::size_t max_iterations = options.max_iterations;
   if (max_iterations == 0) max_iterations = 200 * (n + m + 16);
   // Pivots are O(m * columns) apiece, so a short stride keeps cancellation
   // prompt without measurable overhead.
-  DeadlineGate gate(deadline, /*stride=*/16);
+  DeadlineGate gate(options.deadline, /*stride=*/16);
+
+  Arena& arena = options.arena != nullptr ? *options.arena : thread_arena();
+  ArenaScope scope(arena);
 
   // Column layout: [0, n) structural, [n, n + m) slack/surplus (one per
   // row; unused for equalities), [n + m, n + m + artificials) artificial.
   std::size_t num_artificial = 0;
-  std::vector<bool> row_flipped(m, false);
+  FlatBuf<unsigned char> row_flipped(arena);
+  row_flipped.resize_zeroed(m);
   for (std::size_t r = 0; r < m; ++r) {
     const LpConstraint& con = problem.constraints[r];
     double rhs = con.rhs;
     LpRelation rel = con.relation;
     if (rhs < 0.0) {  // normalize to rhs >= 0 by negating the row
-      row_flipped[r] = true;
+      row_flipped[r] = 1;
       rhs = -rhs;
       if (rel == LpRelation::kLessEqual) {
         rel = LpRelation::kGreaterEqual;
@@ -133,22 +185,22 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations,
   }
 
   const std::size_t total = n + m + num_artificial;
-  Tableau t;
+  Tableau t(arena);
   const PivotTelemetry pivot_telemetry{t};
-  t.a = DenseMatrix(m, total);
-  t.rhs.assign(m, 0.0);
-  t.basis.assign(m, 0);
+  t.a.reshape_zeroed(m, total);
+  t.rhs.resize_zeroed(m);
+  t.basis.resize_zeroed(m);
 
   std::size_t next_artificial = n + m;
   for (std::size_t r = 0; r < m; ++r) {
     const LpConstraint& con = problem.constraints[r];
-    const double sign = row_flipped[r] ? -1.0 : 1.0;
+    const double sign = row_flipped[r] != 0 ? -1.0 : 1.0;
     for (std::size_t c = 0; c < std::min(n, con.coeffs.size()); ++c) {
       t.a(r, c) = sign * con.coeffs[c];
     }
     double rhs = sign * con.rhs;
     LpRelation rel = con.relation;
-    if (row_flipped[r]) {
+    if (row_flipped[r] != 0) {
       if (rel == LpRelation::kLessEqual) {
         rel = LpRelation::kGreaterEqual;
       } else if (rel == LpRelation::kGreaterEqual) {
@@ -177,18 +229,19 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations,
 
   // Phase 1: minimize the sum of artificials (skippable when there are none).
   if (num_artificial > 0) {
-    t.cost.assign(total, 0.0);
+    t.cost.resize(total);
+    std::fill(t.cost.begin(), t.cost.end(), 0.0);
     t.cost_rhs = 0.0;
     for (std::size_t c = n + m; c < total; ++c) t.cost[c] = 1.0;
     // Price out the artificial basis so reduced costs start consistent.
     for (std::size_t r = 0; r < m; ++r) {
       if (t.basis[r] >= n + m) {
-        const double* src = t.a.row(r);
+        const double* src = t.a.row(r).data();
         for (std::size_t c = 0; c < total; ++c) t.cost[c] -= src[c];
         t.cost_rhs -= t.rhs[r];
       }
     }
-    const LpStatus phase1 = t.iterate(max_iterations, &gate);
+    const LpStatus phase1 = t.iterate(max_iterations, &gate, options.pricing);
     if (phase1 == LpStatus::kIterationLimit ||
         phase1 == LpStatus::kTimeout) {
       out.status = phase1;
@@ -215,7 +268,8 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations,
 
   // Phase 2: minimize -objective over structural variables; forbid
   // artificials by pricing them prohibitively.
-  t.cost.assign(total, 0.0);
+  t.cost.resize(total);
+  std::fill(t.cost.begin(), t.cost.end(), 0.0);
   t.cost_rhs = 0.0;
   for (std::size_t c = 0; c < n; ++c) t.cost[c] = -problem.objective[c];
   for (std::size_t c = n + m; c < total; ++c) {
@@ -224,13 +278,13 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations,
   for (std::size_t r = 0; r < m; ++r) {  // price out the current basis
     const double basic_cost = t.cost[t.basis[r]];
     if (basic_cost == 0.0) continue;
-    const double* src = t.a.row(r);
+    const double* src = t.a.row(r).data();
     const std::size_t basic = t.basis[r];
     for (std::size_t c = 0; c < total; ++c) t.cost[c] -= basic_cost * src[c];
     t.cost_rhs -= basic_cost * t.rhs[r];
     t.cost[basic] = 0.0;
   }
-  const LpStatus phase2 = t.iterate(max_iterations, &gate);
+  const LpStatus phase2 = t.iterate(max_iterations, &gate, options.pricing);
   if (phase2 != LpStatus::kOptimal) {
     out.status = phase2;
     return out;
@@ -246,6 +300,14 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations,
     out.objective += problem.objective[c] * out.x[c];
   }
   return out;
+}
+
+LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations,
+                    Deadline deadline) {
+  LpOptions options;
+  options.max_iterations = max_iterations;
+  options.deadline = deadline;
+  return solve_lp(problem, options);
 }
 
 }  // namespace sap

@@ -4,15 +4,22 @@
 // small-task LP-rounding pipeline (the relaxation of ILP (1) in the paper),
 // (b) LP upper bounds on OPT used by the ratio harness when instances exceed
 // the exact oracles, and (c) bounding in the exact UFPP branch-and-bound.
+//
+// The tableau lives in flat arena-backed storage (src/util/flat.hpp): a
+// solve borrows the calling thread's arena (or one supplied via LpOptions)
+// and releases its whole footprint on return, so repeated solves -- the
+// branch-and-bound bound loop above all -- touch the heap only to copy the
+// final x vector out.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
-#include "src/lp/dense_matrix.hpp"
 #include "src/util/deadline.hpp"
 
 namespace sap {
+
+class Arena;
 
 enum class LpStatus {
   kOptimal,
@@ -48,11 +55,39 @@ struct LpSolution {
   std::vector<double> x;
 };
 
-/// Solves `problem` with dense two-phase primal simplex. Largest-coefficient
-/// pricing with a Bland's-rule fallback kicks in after a stall to guarantee
-/// termination; `max_iterations` (0 = automatic) is a final backstop.
-/// `deadline` is polled once per pivot: on expiry the solve stops with
-/// LpStatus::kTimeout and an empty solution (never a partial basis).
+/// Entering-column pricing rule.
+enum class LpPricing {
+  /// Dantzig: most negative reduced cost. The default; every consumer whose
+  /// downstream output is locked byte-identical (golden fixtures) uses it.
+  kDantzig,
+  /// Steepest-edge (recomputed form): maximize cost_c^2 / (1 + ||A_c||^2).
+  /// Typically far fewer pivots on the degenerate knapsack-like relaxations
+  /// the branch-and-bound bound loop solves; the optimum reached is the
+  /// same LP optimum, but the path (and float round-off in the objective)
+  /// may differ, so only bound-style consumers opt in.
+  kSteepestEdge,
+};
+
+struct LpOptions {
+  /// Pivot budget across both phases; 0 picks an automatic budget scaled to
+  /// the problem size. Bland's anti-cycling rule takes over halfway through.
+  std::size_t max_iterations = 0;
+  /// Polled once per pivot; on expiry the solve returns LpStatus::kTimeout
+  /// with no solution (never a partial basis).
+  Deadline deadline{};
+  LpPricing pricing = LpPricing::kDantzig;
+  /// Arena for the tableau. nullptr borrows the calling thread's arena;
+  /// either way the solve's footprint is recycled on return.
+  Arena* arena = nullptr;
+};
+
+/// Solves `problem` with dense two-phase primal simplex on a flat
+/// arena-backed tableau. Pricing is per LpOptions with a Bland's-rule
+/// fallback after a stall to guarantee termination.
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
+                                  const LpOptions& options);
+
+/// Convenience wrapper: Dantzig pricing on the calling thread's arena.
 [[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
                                   std::size_t max_iterations = 0,
                                   Deadline deadline = {});

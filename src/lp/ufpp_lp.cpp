@@ -57,6 +57,12 @@ LpSolution solve_ufpp_relaxation(const PathInstance& inst,
   return solve_lp(build_ufpp_relaxation(inst, subset));
 }
 
+LpSolution solve_ufpp_relaxation(const PathInstance& inst,
+                                 std::span<const TaskId> subset,
+                                 const LpOptions& options) {
+  return solve_lp(build_ufpp_relaxation(inst, subset), options);
+}
+
 double ufpp_lp_upper_bound(const PathInstance& inst) {
   std::vector<TaskId> all(inst.num_tasks());
   std::iota(all.begin(), all.end(), TaskId{0});

@@ -25,6 +25,13 @@ namespace sap {
 [[nodiscard]] LpSolution solve_ufpp_relaxation(const PathInstance& inst,
                                                std::span<const TaskId> subset);
 
+/// Same, with explicit LP options (pricing rule, deadline, arena). Bound
+/// consumers that only need the objective value pass steepest-edge here;
+/// anything that consumes x fractionally sticks with the default overload.
+[[nodiscard]] LpSolution solve_ufpp_relaxation(const PathInstance& inst,
+                                               std::span<const TaskId> subset,
+                                               const LpOptions& options);
+
 /// Fractional optimum over all tasks: an upper bound on OPT_UFPP >= OPT_SAP.
 [[nodiscard]] double ufpp_lp_upper_bound(const PathInstance& inst);
 

@@ -56,6 +56,12 @@ struct Searcher {
     }
   }
 
+  // Reused bound scratch: the LP relaxation is rebuilt in place on every
+  // probe, so its row/coefficient storage is recycled call to call instead
+  // of being reallocated per node.
+  std::vector<TaskId> rest;
+  LpProblem relax;
+
   /// Upper bound on the weight attainable from order[i..) with the current
   /// residual capacities.
   [[nodiscard]] double remaining_bound(std::size_t i, std::size_t depth) {
@@ -63,29 +69,61 @@ struct Searcher {
     if (!options.use_lp_bound || depth >= options.lp_bound_depth) {
       return loose;
     }
-    std::vector<TaskId> rest;
-    rest.reserve(order.size() - i);
+    rest.clear();
     for (std::size_t k = i; k < order.size(); ++k) {
       if (fits(inst.task(order[k]))) rest.push_back(order[k]);
     }
     if (rest.empty()) return 0.0;
-    // Residual capacities can hit 0 on saturated edges; clamp to 1 so the
-    // instance stays constructible. This only loosens the LP value, which
-    // keeps it a valid upper bound.
-    std::vector<Value> caps = residual;
-    for (Value& c : caps) c = std::max<Value>(1, c);
-    PathInstance sub(std::move(caps), [&] {
-      std::vector<Task> ts;
-      ts.reserve(rest.size());
-      for (TaskId j : rest) ts.push_back(inst.task(j));
-      return ts;
-    }());
-    const LpSolution lp = solve_ufpp_relaxation(
-        sub, [&] {
-          std::vector<TaskId> all(rest.size());
-          std::iota(all.begin(), all.end(), TaskId{0});
-          return all;
-        }());
+
+    // Build the UFPP relaxation of the residual subproblem directly (the
+    // same rows build_ufpp_relaxation would emit for the equivalent
+    // sub-instance, without constructing one): a capacity row per edge some
+    // surviving task crosses, then an x_v <= 1 box row per variable.
+    // Residual capacities can hit 0 on saturated edges; clamp to 1, which
+    // only loosens the LP value and so keeps it a valid upper bound.
+    const std::size_t n = rest.size();
+    relax.objective.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      relax.objective[v] = static_cast<double>(inst.task(rest[v]).weight);
+    }
+    if (relax.constraints.size() < residual.size() + n) {
+      relax.constraints.resize(residual.size() + n);
+    }
+    std::size_t row = 0;
+    for (std::size_t e = 0; e < residual.size(); ++e) {
+      LpConstraint* con = nullptr;
+      for (std::size_t v = 0; v < n; ++v) {
+        const Task& t = inst.task(rest[v]);
+        if (static_cast<std::size_t>(t.first) > e ||
+            static_cast<std::size_t>(t.last) < e) {
+          continue;
+        }
+        if (con == nullptr) {
+          con = &relax.constraints[row++];
+          con->coeffs.assign(n, 0.0);
+          con->relation = LpRelation::kLessEqual;
+          con->rhs = static_cast<double>(std::max<Value>(1, residual[e]));
+        }
+        con->coeffs[v] = static_cast<double>(t.demand);
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      LpConstraint& con = relax.constraints[row++];
+      con.coeffs.assign(n, 0.0);
+      con.coeffs[v] = 1.0;
+      con.relation = LpRelation::kLessEqual;
+      con.rhs = 1.0;
+    }
+    relax.constraints.resize(row);
+
+    // Bound LPs only consume the objective value, so steepest-edge pricing
+    // is safe here: it reaches the same LP optimum in (typically far) fewer
+    // pivots, and any optimum makes the bound valid. The solve runs on the
+    // thread arena, so this per-node LP costs no heap traffic once warm.
+    LpOptions lp_options;
+    lp_options.pricing = LpPricing::kSteepestEdge;
+    lp_options.deadline = options.deadline;
+    const LpSolution lp = solve_lp(relax, lp_options);
     if (lp.status != LpStatus::kOptimal) return loose;
     return std::min(loose, lp.objective + 1e-6);
   }

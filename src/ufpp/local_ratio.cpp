@@ -12,7 +12,10 @@ UfppSolution interval_mwis(const PathInstance& inst,
   // Classic DP over tasks sorted by last edge: f(i) = best of skip/take.
   std::vector<TaskId> ids(subset.begin(), subset.end());
   std::ranges::sort(ids, [&](TaskId a, TaskId b) {
-    return inst.task(a).last < inst.task(b).last;
+    if (inst.task(a).last != inst.task(b).last) {
+      return inst.task(a).last < inst.task(b).last;
+    }
+    return a < b;  // tie-break: order must not depend on sort internals
   });
   const std::size_t n = ids.size();
   // pred[i] = number of tasks (prefix length) fully left of task i.
@@ -54,7 +57,10 @@ UfppSolution ufpp_uniform_narrow_local_ratio(const PathInstance& inst,
   constexpr double kEps = 1e-9;
   std::vector<TaskId> ids(subset.begin(), subset.end());
   std::ranges::sort(ids, [&](TaskId a, TaskId b) {
-    return inst.task(a).last < inst.task(b).last;
+    if (inst.task(a).last != inst.task(b).last) {
+      return inst.task(a).last < inst.task(b).last;
+    }
+    return a < b;  // tie-break: order must not depend on sort internals
   });
   std::vector<double> w(ids.size());
   for (std::size_t i = 0; i < ids.size(); ++i) {

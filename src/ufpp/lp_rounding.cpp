@@ -73,8 +73,10 @@ void repair_reinsert(const PathInstance& inst, std::span<const TaskId> subset,
   std::ranges::sort(rest, [&](std::size_t a, std::size_t b) {
     const Task& ta = inst.task(subset[a]);
     const Task& tb = inst.task(subset[b]);
-    return static_cast<Int128>(ta.weight) * tb.demand >
-           static_cast<Int128>(tb.weight) * ta.demand;
+    const Int128 lhs = static_cast<Int128>(ta.weight) * tb.demand;
+    const Int128 rhs = static_cast<Int128>(tb.weight) * ta.demand;
+    if (lhs != rhs) return lhs > rhs;
+    return a < b;  // tie-break: order must not depend on sort internals
   });
   for (std::size_t v : rest) {
     const Task& t = inst.task(subset[v]);

@@ -1,0 +1,287 @@
+// Bump ("arena") allocation for the solver hot paths.
+//
+// A solve that builds millions of short-lived DP states, tableau rows and
+// branch-and-bound scratch vectors spends a measurable share of its time in
+// the general-purpose heap. The Arena replaces that churn with pointer-bump
+// allocation out of a small list of large chunks: an allocation is a bump
+// and an occasional chunk acquisition, a whole solve's worth of scratch is
+// released with one reset(), and a warmed arena (after the first solve on a
+// thread) performs ZERO heap allocations — the property the telemetry
+// counters below exist to assert.
+//
+// Memory model
+//  - Chunks form a singly-linked stack; allocation bumps the top chunk.
+//  - mark()/rewind(mark) pop back to a saved position; popped chunks move
+//    to a spare list for reuse, they are not freed (so nested scopes --
+//    branch-and-bound nodes, per-edge DP frontiers -- stay heap-free).
+//  - reset() rewinds everything and keeps only the largest spare chunk (the
+//    high-water chunk), so steady-state reuse needs no heap traffic while a
+//    one-off giant solve does not pin its peak footprint forever.
+//  - Arena does not run destructors: only trivially destructible types may
+//    live in it (alloc_array enforces this at compile time).
+//
+// Thread model: an Arena is single-threaded by design (no locks). Use
+// thread_arena() for a per-thread instance; distinct threads then bump
+// distinct arenas and never race, which is what the TSan-labeled test
+// exercises.
+//
+// Telemetry (rare events only -- nothing on the bump path):
+//  - alloc.arena.chunks       heap chunk acquisitions (malloc calls)
+//  - alloc.arena.chunk_bytes  bytes obtained from the heap
+//  - alloc.arena.reuse        chunks served from the spare list instead
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+
+#include "src/util/checked.hpp"
+#include "src/util/telemetry.hpp"
+
+namespace sap {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 16;
+  static constexpr std::size_t kMaxChunkBytes = std::size_t{1} << 26;
+
+  /// Position snapshot for rewind(); treat as opaque.
+  struct Mark {
+    void* chunk = nullptr;
+    std::size_t used = 0;
+  };
+
+  Arena() = default;
+  explicit Arena(std::size_t first_chunk_bytes)
+      : next_chunk_bytes_(first_chunk_bytes < kMinChunkBytes
+                              ? kMinChunkBytes
+                              : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    free_list(top_);
+    free_list(spare_);
+  }
+
+  /// Raw bump allocation. `align` must be a power of two no greater than
+  /// alignof(std::max_align_t). Never returns nullptr; throws
+  /// std::bad_alloc when the size arithmetic would overflow or the heap is
+  /// exhausted.
+  [[nodiscard]] void* allocate(std::size_t bytes,
+                               std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    ChunkHeader* chunk = top_;
+    if (chunk != nullptr) {
+      const std::size_t aligned = align_up(chunk->used, align);
+      if (aligned <= chunk->capacity && bytes <= chunk->capacity - aligned) {
+        chunk->used = aligned + bytes;
+        return payload(chunk) + aligned;
+      }
+    }
+    return allocate_slow(bytes, align);
+  }
+
+  /// Uninitialized array of `n` trivially-destructible elements. (The arena
+  /// never runs destructors, so anything else would leak resources.)
+  template <typename T>
+  [[nodiscard]] T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is released without running destructors");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    std::int64_t bytes = 0;
+    if (n > kMaxArrayElems ||
+        !checked_mul(static_cast<std::int64_t>(n),
+                     static_cast<std::int64_t>(sizeof(T)), &bytes)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(
+        allocate(static_cast<std::size_t>(bytes), alignof(T)));
+  }
+
+  /// Current position; pass to rewind() to release everything allocated
+  /// after this call (memory is recycled, not freed).
+  [[nodiscard]] Mark mark() const noexcept {
+    return {top_, top_ != nullptr ? top_->used : 0};
+  }
+
+  /// Pops back to `m`. Chunks acquired since the mark move to the spare
+  /// list for reuse. The mark must come from this arena and still be live
+  /// (LIFO discipline; rewinding to a stale mark is undefined).
+  void rewind(const Mark& m) noexcept {
+    auto* target = static_cast<ChunkHeader*>(m.chunk);
+    while (top_ != target) {
+      ChunkHeader* popped = top_;
+      top_ = popped->prev;
+      popped->used = 0;
+      popped->prev = spare_;
+      spare_ = popped;
+    }
+    if (top_ != nullptr) top_->used = m.used;
+  }
+
+  /// Releases the whole arena for reuse, retaining only the largest chunk
+  /// (the high-water chunk) so the next solve of similar size allocates
+  /// nothing from the heap.
+  void reset() noexcept {
+    rewind(Mark{});
+    ChunkHeader* best = nullptr;
+    ChunkHeader* it = spare_;
+    while (it != nullptr) {
+      if (best == nullptr || it->capacity > best->capacity) best = it;
+      it = it->prev;
+    }
+    ChunkHeader* keep = nullptr;
+    while (spare_ != nullptr) {
+      ChunkHeader* next = spare_->prev;
+      if (spare_ == best) {
+        spare_->prev = nullptr;
+        keep = spare_;
+      } else {
+        bytes_reserved_ -= spare_->capacity;
+        std::free(spare_);
+      }
+      spare_ = next;
+    }
+    spare_ = keep;
+  }
+
+  /// Bytes currently obtained from the heap (live + spare chunks).
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    return bytes_reserved_;
+  }
+
+  /// Bytes handed out since the last reset/rewind-to-empty (alignment
+  /// padding included).
+  [[nodiscard]] std::size_t bytes_used() const noexcept {
+    std::size_t used = 0;
+    for (const ChunkHeader* c = top_; c != nullptr; c = c->prev) {
+      used += c->used;
+    }
+    return used;
+  }
+
+  /// Lifetime count of heap chunk acquisitions (the arena's only heap
+  /// traffic); flat after warmup on a steady workload.
+  [[nodiscard]] std::int64_t chunk_allocations() const noexcept {
+    return chunk_allocations_;
+  }
+
+ private:
+  static constexpr std::size_t kMinChunkBytes = std::size_t{1} << 12;
+  static constexpr std::size_t kMaxArrayElems = std::size_t{1} << 48;
+
+  struct ChunkHeader {
+    ChunkHeader* prev;
+    std::size_t capacity;  ///< payload bytes
+    std::size_t used;      ///< payload bytes handed out
+  };
+
+  static constexpr std::size_t align_up(std::size_t v,
+                                        std::size_t align) noexcept {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  static char* payload(ChunkHeader* chunk) noexcept {
+    return reinterpret_cast<char*>(chunk) + kHeaderBytes;
+  }
+
+  static constexpr std::size_t kHeaderBytes =
+      (sizeof(ChunkHeader) + alignof(std::max_align_t) - 1) &
+      ~(alignof(std::max_align_t) - 1);
+
+  [[noreturn]] static void throw_bad_alloc() { throw std::bad_alloc(); }
+
+  void* allocate_slow(std::size_t bytes, std::size_t align) {
+    // A fresh chunk's payload is max_align_t-aligned, so only the size must
+    // account for `align` worth of slack.
+    std::size_t need = bytes;
+    if (align > alignof(std::max_align_t)) throw_bad_alloc();
+
+    // Reuse a spare chunk when one fits (LIFO scan; the list is short).
+    ChunkHeader** link = &spare_;
+    while (*link != nullptr) {
+      if ((*link)->capacity >= need) {
+        ChunkHeader* chunk = *link;
+        *link = chunk->prev;
+        chunk->prev = top_;
+        chunk->used = bytes;
+        top_ = chunk;
+        telemetry::count("alloc.arena.reuse");
+        return payload(chunk);
+      }
+      link = &(*link)->prev;
+    }
+
+    // Geometric growth, clamped: each heap trip at least doubles the next
+    // chunk so chunk count stays logarithmic in total footprint.
+    std::size_t cap = next_chunk_bytes_;
+    if (cap < need) cap = align_up(need, kMinChunkBytes);
+    std::int64_t total = 0;
+    if (cap > static_cast<std::size_t>(INT64_MAX) ||
+        !checked_add(static_cast<std::int64_t>(cap),
+                     static_cast<std::int64_t>(kHeaderBytes), &total)) {
+      throw_bad_alloc();
+    }
+    auto* chunk = static_cast<ChunkHeader*>(
+        std::malloc(static_cast<std::size_t>(total)));
+    if (chunk == nullptr) throw_bad_alloc();
+    chunk->prev = top_;
+    chunk->capacity = cap;
+    chunk->used = bytes;
+    top_ = chunk;
+    bytes_reserved_ += cap;
+    ++chunk_allocations_;
+    telemetry::count("alloc.arena.chunks");
+    telemetry::count("alloc.arena.chunk_bytes",
+                     static_cast<std::int64_t>(cap));
+    if (next_chunk_bytes_ < kMaxChunkBytes) {
+      next_chunk_bytes_ =
+          cap >= kMaxChunkBytes / 2 ? kMaxChunkBytes : cap * 2;
+    }
+    return payload(chunk);
+  }
+
+  void free_list(ChunkHeader* head) noexcept {
+    while (head != nullptr) {
+      ChunkHeader* prev = head->prev;
+      std::free(head);
+      head = prev;
+    }
+  }
+
+  ChunkHeader* top_ = nullptr;    ///< chunk stack currently bumped into
+  ChunkHeader* spare_ = nullptr;  ///< rewound chunks kept for reuse
+  std::size_t next_chunk_bytes_ = kDefaultChunkBytes;
+  std::size_t bytes_reserved_ = 0;
+  std::int64_t chunk_allocations_ = 0;
+};
+
+/// The calling thread's arena. Solver entry points default to this (reset
+/// between solves); tests may construct private arenas instead.
+[[nodiscard]] inline Arena& thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+/// RAII mark/rewind: everything the protected scope allocates from `arena`
+/// is recycled on scope exit. Scopes must nest (LIFO), which the stack
+/// discipline of C++ scopes gives for free.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) noexcept
+      : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+}  // namespace sap

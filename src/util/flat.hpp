@@ -1,0 +1,259 @@
+// Flat, arena-backed buffer and matrix types for the solver hot paths.
+//
+// Follows the unmanaged-core / managed-wrapper split (the LoopModels
+// tableau pattern): the *View types are non-owning (pointer + dims +
+// capacity) and are what inner loops traffic in; FlatBuf / FlatMat own
+// their storage through an Arena and add growth. Capacity is tracked
+// separately from size/dims, so a buffer grown once is resized and refilled
+// many times without touching the allocator — the property that makes a
+// warmed solve allocation-free.
+//
+// Only trivially-copyable element types are supported: growth is a memcpy
+// and the arena never runs destructors. Old storage after growth is simply
+// abandoned into the arena (reclaimed wholesale by the owner's
+// reset/rewind), which is the bump-allocator trade: growth wastes bytes,
+// steady state costs nothing.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "src/util/arena.hpp"
+
+namespace sap {
+
+/// Non-owning vector-ish view: pointer, size, capacity. push_back asserts
+/// capacity instead of growing — use FlatBuf when growth is needed.
+template <typename T>
+class BufView {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  BufView() = default;
+  BufView(T* data, std::size_t size, std::size_t capacity) noexcept
+      : data_(data), size_(size), capacity_(capacity) {}
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] T& back() noexcept {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_, size_};
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  /// Sets the size within the reserved capacity; contents of any newly
+  /// exposed tail are unspecified (fill explicitly when it matters).
+  void resize_within_capacity(std::size_t n) noexcept {
+    assert(n <= capacity_);
+    size_ = n;
+  }
+
+  void push_back(const T& v) noexcept {
+    assert(size_ < capacity_);
+    data_[size_++] = v;
+  }
+
+  void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
+
+ protected:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+/// Arena-owned growable buffer. Growth doubles capacity (at least) via a
+/// fresh arena block + memcpy; the abandoned block returns to the arena at
+/// the owner's reset/rewind.
+template <typename T>
+class FlatBuf : public BufView<T> {
+ public:
+  explicit FlatBuf(Arena& arena, std::size_t initial_capacity = 0)
+      : arena_(&arena) {
+    if (initial_capacity > 0) reserve(initial_capacity);
+  }
+
+  void reserve(std::size_t n) {
+    if (n <= this->capacity_) return;
+    T* grown = arena_->alloc_array<T>(n);
+    if (this->size_ > 0) {
+      std::memcpy(grown, this->data_, this->size_ * sizeof(T));
+    }
+    this->data_ = grown;
+    this->capacity_ = n;
+  }
+
+  /// Grows (unspecified tail) or shrinks to exactly `n` elements.
+  void resize(std::size_t n) {
+    reserve(n);
+    this->size_ = n;
+  }
+
+  /// Grows to `n` elements, zero-filling any newly exposed tail.
+  void resize_zeroed(std::size_t n) {
+    reserve(n);
+    if (n > this->size_) {
+      std::memset(this->data_ + this->size_, 0,
+                  (n - this->size_) * sizeof(T));
+    }
+    this->size_ = n;
+  }
+
+  void push_back(const T& v) {
+    if (this->size_ == this->capacity_) {
+      reserve(this->capacity_ == 0 ? kFirstCapacity : this->capacity_ * 2);
+    }
+    this->data_[this->size_++] = v;
+  }
+
+  /// Appends `n` elements copied from `src` (which may not alias this
+  /// buffer's live range).
+  void append(const T* src, std::size_t n) {
+    if (n == 0) return;
+    const std::size_t need = this->size_ + n;
+    if (need > this->capacity_) {
+      std::size_t cap =
+          this->capacity_ == 0 ? kFirstCapacity : this->capacity_;
+      while (cap < need) cap *= 2;
+      reserve(cap);
+    }
+    std::memcpy(this->data_ + this->size_, src, n * sizeof(T));
+    this->size_ = need;
+  }
+
+  [[nodiscard]] BufView<T> view() noexcept { return *this; }
+
+ private:
+  static constexpr std::size_t kFirstCapacity = 8;
+
+  Arena* arena_;
+};
+
+/// Non-owning row-major matrix view with a row stride >= cols, so a matrix
+/// reserved wide can shrink/grow its column count in place (the simplex
+/// tableau adds artificial columns without reallocating).
+template <typename T>
+class MatView {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  MatView() = default;
+  MatView(T* data, std::size_t rows, std::size_t cols,
+          std::size_t stride) noexcept
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    assert(cols <= stride);
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * stride_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r,
+                                    std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * stride_ + c];
+  }
+
+  /// Row `r` as a span of the *logical* width (cols, not stride).
+  [[nodiscard]] std::span<T> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_ + r * stride_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_ + r * stride_, cols_};
+  }
+
+ protected:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Arena-owned matrix: dims are split from the reserved footprint
+/// (row_capacity x stride), so reshaping within the reservation is free.
+template <typename T>
+class FlatMat : public MatView<T> {
+ public:
+  explicit FlatMat(Arena& arena) : arena_(&arena) {}
+
+  /// Ensures a footprint of at least `rows` x `cols` and sets the logical
+  /// dims. Newly reserved storage is zero-filled; surviving elements keep
+  /// their values only when the stride is unchanged (reshape within a
+  /// reservation), which is the only in-place pattern the solver uses —
+  /// otherwise start from the zeroed state.
+  void reshape_zeroed(std::size_t rows, std::size_t cols) {
+    if (rows > row_capacity_ || cols > this->stride_) {
+      const std::size_t new_stride =
+          cols > this->stride_ ? grow(cols) : this->stride_;
+      const std::size_t new_rows =
+          rows > row_capacity_ ? grow(rows) : row_capacity_;
+      T* data = arena_->alloc_array<T>(new_rows * new_stride);
+      std::memset(data, 0, new_rows * new_stride * sizeof(T));
+      this->data_ = data;
+      this->stride_ = new_stride;
+      row_capacity_ = new_rows;
+    }
+    this->rows_ = rows;
+    this->cols_ = cols;
+  }
+
+  /// Zero-fills the logical rows x stride region (fresh-tableau state
+  /// without touching the allocator).
+  void fill_zero() noexcept {
+    if (this->rows_ > 0) {
+      std::memset(this->data_, 0, this->rows_ * this->stride_ * sizeof(T));
+    }
+  }
+
+  [[nodiscard]] std::size_t row_capacity() const noexcept {
+    return row_capacity_;
+  }
+
+  [[nodiscard]] MatView<T> view() noexcept { return *this; }
+
+ private:
+  static std::size_t grow(std::size_t need) noexcept {
+    std::size_t cap = 8;
+    while (cap < need) cap *= 2;
+    return cap;
+  }
+
+  Arena* arena_;
+  std::size_t row_capacity_ = 0;
+};
+
+}  // namespace sap

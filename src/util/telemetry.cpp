@@ -66,6 +66,13 @@ void TelemetryReport::merge(const TelemetryReport& other) {
   }
 }
 
+void TelemetryReport::drop_counters_with_prefix(std::string_view prefix) {
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end();) {
+    if (std::string_view(it->first).substr(0, prefix.size()) != prefix) break;
+    it = counters_.erase(it);
+  }
+}
+
 std::int64_t TelemetryReport::count(std::string_view name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;

@@ -16,7 +16,10 @@
 // on the instrumented computation, never on wall time or scheduling; timer
 // *seconds* are inherently nondeterministic. TelemetryReport::write_json
 // therefore exposes a counters-only mode that the batch harness uses for
-// byte-identical reports across thread counts.
+// byte-identical reports across thread counts. Exception: the `alloc.`
+// counters (arena slow paths, src/util/arena.hpp) depend on the executing
+// thread's arena warmth; deterministic consumers drop them via
+// drop_counters_with_prefix("alloc.").
 #pragma once
 
 #include <chrono>
@@ -45,6 +48,13 @@ class TelemetryReport {
 
   /// Adds every counter and timer of `other` into this report.
   void merge(const TelemetryReport& other);
+
+  /// Removes every counter whose name starts with `prefix`. The batch
+  /// harness uses this to drop the allocator counters (`alloc.`): they
+  /// record whether the *executing thread's* arena was already warm — a
+  /// scheduling fact, not a property of the case — and so are exempt from
+  /// the determinism contract below.
+  void drop_counters_with_prefix(std::string_view prefix);
 
   /// Value of a counter (0 when never touched).
   [[nodiscard]] std::int64_t count(std::string_view name) const;

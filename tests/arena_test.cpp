@@ -1,0 +1,171 @@
+#include "src/util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/util/telemetry.hpp"
+
+namespace sap {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  auto* a = arena.alloc_array<std::int64_t>(10);
+  auto* b = arena.alloc_array<std::int64_t>(10);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(std::int64_t), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::int64_t), 0u);
+  for (int i = 0; i < 10; ++i) a[i] = i;
+  for (int i = 0; i < 10; ++i) b[i] = 100 + i;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], 100 + i);
+  }
+}
+
+TEST(ArenaTest, MixedAlignmentsStayAligned) {
+  Arena arena;
+  for (int round = 0; round < 100; ++round) {
+    auto* c = static_cast<char*>(arena.allocate(1, 1));
+    *c = 'x';
+    auto* d = arena.alloc_array<double>(3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+    auto* i = arena.alloc_array<std::int32_t>(5);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(i) % alignof(std::int32_t), 0u);
+  }
+}
+
+TEST(ArenaTest, GrowsAcrossChunksAndCountsHeapTraffic) {
+  Arena arena;
+  const std::int64_t before = arena.chunk_allocations();
+  // Allocate well past the default chunk size; every byte must stay usable.
+  std::vector<std::int64_t*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    auto* p = arena.alloc_array<std::int64_t>(4096);  // 32 KiB each
+    for (int j = 0; j < 4096; j += 511) p[j] = i * 100000 + j;
+    blocks.push_back(p);
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (int j = 0; j < 4096; j += 511) {
+      EXPECT_EQ(blocks[i][j], static_cast<std::int64_t>(i) * 100000 + j);
+    }
+  }
+  const std::int64_t grew = arena.chunk_allocations() - before;
+  EXPECT_GT(grew, 0);
+  // Geometric growth: 2 MiB total must take far fewer chunks than blocks.
+  EXPECT_LT(grew, 16);
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{64} * 4096 * 8);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena;
+  const std::size_t big = Arena::kDefaultChunkBytes * 8;
+  auto* p = static_cast<char*>(arena.allocate(big));
+  p[0] = 'a';
+  p[big - 1] = 'z';
+  EXPECT_EQ(p[0], 'a');
+  EXPECT_EQ(p[big - 1], 'z');
+}
+
+TEST(ArenaTest, ResetReusesHighWaterChunkWithoutHeapTraffic) {
+  Arena arena;
+  // Warm up with a large footprint.
+  for (int i = 0; i < 32; ++i) (void)arena.alloc_array<std::int64_t>(8192);
+  arena.reset();
+  const std::int64_t warmed = arena.chunk_allocations();
+  // A same-shaped reuse cycle must be heap-free... as long as it fits the
+  // retained high-water chunk.
+  for (int round = 0; round < 10; ++round) {
+    (void)arena.alloc_array<std::int64_t>(4096);
+    arena.reset();
+  }
+  EXPECT_EQ(arena.chunk_allocations(), warmed);
+}
+
+TEST(ArenaTest, ResetTrimsToSingleChunk) {
+  Arena arena;
+  for (int i = 0; i < 32; ++i) (void)arena.alloc_array<std::int64_t>(8192);
+  const std::size_t peak = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_LT(arena.bytes_reserved(), peak);
+  EXPECT_GT(arena.bytes_reserved(), 0u);  // high-water chunk retained
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(ArenaTest, MarkRewindRecyclesWithoutFreeing) {
+  Arena arena;
+  (void)arena.alloc_array<std::int64_t>(100);
+  const Arena::Mark m = arena.mark();
+  const std::size_t used_at_mark = arena.bytes_used();
+  for (int i = 0; i < 16; ++i) (void)arena.alloc_array<std::int64_t>(8192);
+  const std::int64_t chunks_at_peak = arena.chunk_allocations();
+  arena.rewind(m);
+  EXPECT_EQ(arena.bytes_used(), used_at_mark);
+  // Re-running the same allocation pattern reuses the rewound chunks.
+  for (int i = 0; i < 16; ++i) (void)arena.alloc_array<std::int64_t>(8192);
+  EXPECT_EQ(arena.chunk_allocations(), chunks_at_peak);
+}
+
+TEST(ArenaTest, ArenaScopeRewindsOnExit) {
+  Arena arena;
+  (void)arena.alloc_array<std::int64_t>(10);
+  const std::size_t before = arena.bytes_used();
+  {
+    ArenaScope scope(arena);
+    (void)arena.alloc_array<std::int64_t>(5000);
+    EXPECT_GT(arena.bytes_used(), before);
+  }
+  EXPECT_EQ(arena.bytes_used(), before);
+}
+
+TEST(ArenaTest, HugeArrayRequestThrowsInsteadOfOverflowing) {
+  Arena arena;
+  EXPECT_THROW((void)arena.alloc_array<std::int64_t>(std::size_t{1} << 61),
+               std::bad_alloc);
+}
+
+TEST(ArenaTest, ChunkAcquisitionIsCounted) {
+  TelemetryReport report;
+  {
+    TelemetrySession session(&report);
+    Arena arena;
+    (void)arena.alloc_array<std::int64_t>(100);
+  }
+  EXPECT_GE(report.count("alloc.arena.chunks"), 1);
+  EXPECT_GE(report.count("alloc.arena.chunk_bytes"),
+            static_cast<std::int64_t>(100 * sizeof(std::int64_t)));
+}
+
+// TSan lane: one arena per thread (the thread_arena() model) must be
+// race-free by construction — distinct threads bump distinct arenas.
+TEST(ArenaConcurrencyTest, ThreadArenasAreIndependent) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::int64_t> sums(kThreads, 0);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &sums] {
+      Arena& arena = thread_arena();
+      for (int round = 0; round < 50; ++round) {
+        ArenaScope scope(arena);
+        auto* p = arena.alloc_array<std::int64_t>(1000);
+        for (int i = 0; i < 1000; ++i) p[i] = t + i;
+        std::int64_t sum = 0;
+        for (int i = 0; i < 1000; ++i) sum += p[i];
+        sums[static_cast<std::size_t>(t)] = sum;
+      }
+      thread_arena().reset();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)], 1000 * t + 999 * 1000 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace sap

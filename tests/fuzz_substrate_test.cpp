@@ -160,6 +160,86 @@ TEST(SimplexFuzzTest, MatchesVertexEnumerationOn2dProblems) {
   }
 }
 
+// Differential check of the two pricing rules: Dantzig (the default, whose
+// pivot path the golden fixtures lock) vs steepest-edge (the bound-loop
+// rule). They walk different pivot sequences but must reach the same
+// optimum and agree on infeasibility; mixed relations and negative rhs
+// exercise phase 1 (artificials) under both rules.
+TEST(SimplexFuzzTest, SteepestEdgeAgreesWithDantzigOnRandomLps) {
+  Rng rng(499);
+  int optimal_pairs = 0;
+  int infeasible_pairs = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    const int rows = static_cast<int>(rng.uniform_int(1, 8));
+    LpProblem lp;
+    lp.objective.resize(static_cast<std::size_t>(n));
+    for (double& w : lp.objective) {
+      w = static_cast<double>(rng.uniform_int(0, 9));
+    }
+    for (int r = 0; r < rows; ++r) {
+      LpConstraint con;
+      con.coeffs.resize(static_cast<std::size_t>(n));
+      for (double& c : con.coeffs) {
+        c = static_cast<double>(rng.uniform_int(-3, 6));
+      }
+      const std::int64_t roll = rng.uniform_int(0, 9);
+      con.relation = roll <= 6   ? LpRelation::kLessEqual
+                     : roll <= 8 ? LpRelation::kGreaterEqual
+                                 : LpRelation::kEqual;
+      con.rhs = static_cast<double>(rng.uniform_int(-10, 30));
+      lp.constraints.push_back(std::move(con));
+    }
+    // Box every variable so kUnbounded is impossible and the comparison is
+    // always kOptimal vs kOptimal or kInfeasible vs kInfeasible.
+    for (int v = 0; v < n; ++v) {
+      LpConstraint box;
+      box.coeffs.assign(static_cast<std::size_t>(n), 0.0);
+      box.coeffs[static_cast<std::size_t>(v)] = 1.0;
+      box.rhs = 12.0;
+      lp.constraints.push_back(std::move(box));
+    }
+
+    const LpSolution dantzig = solve_lp(lp);
+    LpOptions options;
+    options.pricing = LpPricing::kSteepestEdge;
+    const LpSolution steepest = solve_lp(lp, options);
+    ASSERT_EQ(dantzig.status, steepest.status) << "trial " << trial;
+    if (dantzig.status == LpStatus::kInfeasible) {
+      ++infeasible_pairs;
+      continue;
+    }
+    ASSERT_EQ(dantzig.status, LpStatus::kOptimal) << "trial " << trial;
+    ++optimal_pairs;
+    EXPECT_NEAR(dantzig.objective, steepest.objective, 1e-5)
+        << "trial " << trial;
+    // The steepest-edge vertex must satisfy every constraint (its x can
+    // legitimately differ from Dantzig's on degenerate optima).
+    ASSERT_EQ(steepest.x.size(), static_cast<std::size_t>(n));
+    for (std::size_t r = 0; r < lp.constraints.size(); ++r) {
+      const LpConstraint& con = lp.constraints[r];
+      double lhs = 0.0;
+      for (std::size_t c = 0; c < con.coeffs.size(); ++c) {
+        lhs += con.coeffs[c] * steepest.x[c];
+      }
+      switch (con.relation) {
+        case LpRelation::kLessEqual:
+          EXPECT_LE(lhs, con.rhs + 1e-6) << "trial " << trial << " row " << r;
+          break;
+        case LpRelation::kGreaterEqual:
+          EXPECT_GE(lhs, con.rhs - 1e-6) << "trial " << trial << " row " << r;
+          break;
+        case LpRelation::kEqual:
+          EXPECT_NEAR(lhs, con.rhs, 1e-6) << "trial " << trial << " row " << r;
+          break;
+      }
+    }
+  }
+  // The family must actually exercise both outcomes.
+  EXPECT_GT(optimal_pairs, 50);
+  EXPECT_GT(infeasible_pairs, 10);
+}
+
 // ------------------------------------------------------------------ io --
 
 TEST(IoFuzzTest, MutatedInputsNeverCrash) {

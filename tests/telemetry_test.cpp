@@ -147,6 +147,43 @@ TEST(TelemetrySolveTest, PerSolveReportsAreDisjoint) {
             static_cast<std::int64_t>(a.num_tasks()));
 }
 
+TEST(TelemetryAllocTest, WarmSolveAcquiresNoNewArenaChunks) {
+  // The arena counters fire only on the slow paths (heap chunk acquisition,
+  // spare-list reuse), so they directly observe the allocation contract: a
+  // cold solve may grow the thread arena, but a warm repeat of the same
+  // solve must run entirely out of the recycled footprint. Run on a fresh
+  // thread so the thread-local arena is guaranteed cold at the first solve.
+  PathGenOptions opt;
+  opt.num_edges = 8;
+  opt.num_tasks = 14;
+  opt.max_capacity = 16;
+  Rng rng(77);
+  const PathInstance inst = generate_path_instance(opt, rng);
+
+  TelemetryReport cold;
+  TelemetryReport warm;
+  std::thread worker([&] {
+    {
+      TelemetrySession session(&cold);
+      (void)solve_sap(inst);
+    }
+    {
+      TelemetrySession session(&warm);
+      (void)solve_sap(inst);
+    }
+  });
+  worker.join();
+
+  EXPECT_GT(cold.count("alloc.arena.chunks"), 0);
+  EXPECT_GT(cold.count("alloc.arena.chunk_bytes"), 0);
+  // Geometric chunk growth keeps the heap trip count logarithmic in the
+  // footprint; a solve this size must stay far under this ceiling.
+  EXPECT_LE(cold.count("alloc.arena.chunks"), 32);
+
+  EXPECT_EQ(warm.count("alloc.arena.chunks"), 0);
+  EXPECT_EQ(warm.count("alloc.arena.chunk_bytes"), 0);
+}
+
 TEST(TelemetrySolveTest, ConcurrentSolvesDoNotBleed) {
   // Each thread installs its own session and solves its own instance; every
   // report must describe exactly one solve of the right size.

@@ -17,6 +17,7 @@
 #include "src/core/ring_solver.hpp"
 #include "src/core/sap_solver.hpp"
 #include "src/exact/profile_dp.hpp"
+#include "src/lp/ufpp_lp.hpp"
 #include "src/model/verify.hpp"
 
 namespace sap {
@@ -107,6 +108,44 @@ TEST(TinyDifferentialTest, PathSolverNeverBeatsOrBreaksTheOracle) {
   // Exhaustiveness guard: the family must not silently collapse (the
   // enumeration above yields ~1500 instances; allow slack for tweaks).
   EXPECT_GT(instances, 1000u);
+}
+
+TEST(TinyDifferentialTest, SteepestEdgePricingMatchesDantzigOnRelaxations) {
+  // Every tiny UFPP relaxation is solved under both pricing rules: the
+  // pivot paths differ but the optima must agree to float tolerance, and
+  // the steepest-edge value must still upper-bound the exact integral
+  // optimum — the contract the branch-and-bound bound loop depends on.
+  const std::vector<std::vector<Value>> patterns = {
+      {2},       {4},       {1, 6},    {4, 2},        {6, 6},
+      {1, 6, 1}, {2, 4, 6}, {5, 2, 5}, {3, 1, 4, 1},
+  };
+  std::size_t instances = 0;
+  for (const auto& caps : patterns) {
+    const std::vector<Task> pool = path_task_pool(caps);
+    for_each_window(pool, [&](std::vector<Task> tasks) {
+      const PathInstance inst(caps, std::move(tasks));
+      ++instances;
+
+      const LpProblem relax = build_ufpp_relaxation(inst);
+      const LpSolution dantzig = solve_lp(relax);
+      LpOptions options;
+      options.pricing = LpPricing::kSteepestEdge;
+      const LpSolution steepest = solve_lp(relax, options);
+      ASSERT_EQ(dantzig.status, LpStatus::kOptimal)
+          << "instance " << instances;
+      ASSERT_EQ(steepest.status, LpStatus::kOptimal)
+          << "instance " << instances;
+      EXPECT_NEAR(dantzig.objective, steepest.objective, 1e-6)
+          << "instance " << instances;
+
+      const SapExactResult oracle = sap_exact_profile_dp(inst);
+      ASSERT_TRUE(oracle.proven_optimal) << "instance " << instances;
+      EXPECT_GE(steepest.objective + 1e-6,
+                static_cast<double>(oracle.weight))
+          << "instance " << instances;
+    });
+  }
+  EXPECT_GT(instances, 300u);
 }
 
 /// A ring task plus its enumeration metadata.

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/arena.hpp"
+#include "src/util/flat.hpp"
 #include "src/util/rmq.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/stats.hpp"
@@ -203,6 +205,104 @@ TEST(PercentileTest, MatchesLinearInterpolation) {
   EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
   EXPECT_DOUBLE_EQ(percentile({7.5}, 95.0), 7.5);
   EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+}
+
+TEST(FlatBufTest, CapacityIsSplitFromSize) {
+  Arena arena;
+  FlatBuf<std::int64_t> buf(arena, 16);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 16u);
+  for (std::int64_t i = 0; i < 16; ++i) buf.push_back(i);
+  EXPECT_EQ(buf.size(), 16u);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 16u);  // clear releases no storage
+  buf.resize_within_capacity(8);
+  EXPECT_EQ(buf.size(), 8u);
+}
+
+TEST(FlatBufTest, GrowthPreservesContents) {
+  Arena arena;
+  FlatBuf<std::int64_t> buf(arena);
+  for (std::int64_t i = 0; i < 10000; ++i) buf.push_back(i * 3);
+  ASSERT_EQ(buf.size(), 10000u);
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    ASSERT_EQ(buf[static_cast<std::size_t>(i)], i * 3);
+  }
+}
+
+TEST(FlatBufTest, AppendBulkCopies) {
+  Arena arena;
+  FlatBuf<std::int32_t> buf(arena);
+  const std::vector<std::int32_t> chunk{1, 2, 3, 4, 5};
+  for (int round = 0; round < 100; ++round) {
+    buf.append(chunk.data(), chunk.size());
+  }
+  ASSERT_EQ(buf.size(), 500u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], static_cast<std::int32_t>(i % 5 + 1));
+  }
+}
+
+TEST(FlatBufTest, ResizeZeroedZeroFillsTheTail) {
+  Arena arena;
+  FlatBuf<std::int64_t> buf(arena);
+  buf.push_back(7);
+  buf.resize_zeroed(100);
+  EXPECT_EQ(buf[0], 7);
+  for (std::size_t i = 1; i < 100; ++i) EXPECT_EQ(buf[i], 0);
+}
+
+TEST(FlatBufTest, ViewIsUnmanagedAndShared) {
+  Arena arena;
+  FlatBuf<std::int64_t> buf(arena, 4);
+  buf.push_back(1);
+  buf.push_back(2);
+  BufView<std::int64_t> view = buf.view();
+  view[0] = 42;  // same storage
+  EXPECT_EQ(buf[0], 42);
+  view.push_back(3);  // within capacity, view-local size
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(buf.size(), 2u);  // the owner's size is untouched
+}
+
+TEST(FlatMatTest, ReshapeWithinReservationKeepsStorage) {
+  Arena arena;
+  FlatMat<std::int64_t> mat(arena);
+  mat.reshape_zeroed(4, 6);
+  EXPECT_EQ(mat.rows(), 4u);
+  EXPECT_EQ(mat.cols(), 6u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) EXPECT_EQ(mat(r, c), 0);
+  }
+  mat(2, 3) = 99;
+  // Shrinking the column count within the same stride reshapes in place.
+  const std::size_t stride = mat.stride();
+  mat.reshape_zeroed(4, 5);
+  EXPECT_EQ(mat.stride(), stride);
+  EXPECT_EQ(mat(2, 3), 99);
+}
+
+TEST(FlatMatTest, RowSpanHasLogicalWidth) {
+  Arena arena;
+  FlatMat<std::int64_t> mat(arena);
+  mat.reshape_zeroed(3, 5);
+  auto row = mat.row(1);
+  EXPECT_EQ(row.size(), 5u);
+  row[4] = 11;
+  EXPECT_EQ(mat(1, 4), 11);
+}
+
+TEST(FlatMatTest, GrowthZeroFills) {
+  Arena arena;
+  FlatMat<std::int64_t> mat(arena);
+  mat.reshape_zeroed(2, 2);
+  mat(1, 1) = 5;
+  mat.reshape_zeroed(64, 64);  // forces reallocation
+  for (std::size_t r = 0; r < 64; ++r) {
+    for (std::size_t c = 0; c < 64; ++c) EXPECT_EQ(mat(r, c), 0);
+  }
+  EXPECT_GE(mat.row_capacity(), 64u);
 }
 
 }  // namespace
