@@ -18,10 +18,34 @@
 // back to the budget-capped approximation instead of rejecting, so
 // requests_ok should stay total while p95/p99/max collapse toward B).
 //
+// The remaining sections exercise the scale-out serving core (event loop +
+// shards + solve cache) against a second, cache-enabled server:
+//
+//   --open-loop        paced load at --target-qps for --duration-s: every
+//                      connection fires on a fixed absolute schedule
+//                      regardless of when the previous response arrived, and
+//                      latency is measured from the *scheduled* send time,
+//                      so server-side queueing is charged to the tail
+//                      (no coordinated omission). Small (n=12) instances,
+//                      cache warmed first.
+//   --sweep-clients    closed-loop pass per client count (e.g. 8,...,256)
+//                      over the warmed cache: tail latency should stay flat
+//                      as concurrency grows because hits never queue behind
+//                      a solver.
+//   --cache-sweep      open-loop passes at fixed rate with 100/50/0 percent
+//                      of requests carrying a never-repeating seed (distinct
+//                      cache key, forced miss): throughput and tail vs
+//                      cache-hit rate.
+//
 // Usage: bench_service [--clients C] [--requests N] [--threads T]
 //                      [--certify] [--deadline-ms B1,B2,...]
+//                      [--open-loop] [--target-qps Q] [--duration-s S]
+//                      [--open-clients C] [--sweep-clients C1,C2,...]
+//                      [--cache-sweep] [--shards S] [--cache-entries E]
 //                      [--out FILE.json]
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -165,6 +189,162 @@ PassResult run_pass(service::Server& server,
   return out;
 }
 
+/// The n=12 slice of the pool: the "small cached instance" workload the
+/// scale-out sections use (solves are cheap, so cached vs uncached is the
+/// dominant effect being measured).
+std::vector<PooledInstance> small_pool(
+    const std::vector<PooledInstance>& pool) {
+  std::vector<PooledInstance> out;
+  for (const PooledInstance& entry : pool) {
+    if (entry.name.size() >= 4 &&
+        entry.name.compare(entry.name.size() - 4, 4, "/n12") == 0) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+/// Populate the solve cache: one client solves every pooled instance once.
+void warm_cache(service::Server& server,
+                const std::vector<PooledInstance>& pool) {
+  service::Client client;
+  client.connect("127.0.0.1", server.port());
+  for (const PooledInstance& inst : pool) {
+    service::SolveRequest request;
+    request.eps = 0.5;
+    request.seed = inst.seed;
+    request.instance_text = inst.text;
+    (void)client.solve(request);
+  }
+}
+
+struct OpenLoopResult {
+  std::size_t sent = 0;
+  std::size_t errors = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;       ///< completed-ok per second of scheduled window
+  double target_qps = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0, max_ms = 0.0;
+  std::uint64_t cache_hits = 0;       ///< delta over the pass
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_coalesced = 0;
+  double hit_rate = 0.0;  ///< hits / (hits + misses), coalesced not counted
+  double unique_fraction = 0.0;
+};
+
+/// Open-loop pass: `clients` connections share one absolute schedule firing
+/// at `target_qps` aggregate (thread c owns ticks c, c+clients, ...). A
+/// request whose connection is still busy when its tick arrives is sent
+/// late, and its latency still counts from the tick — saturation shows up
+/// as tail growth instead of silently throttling the load.
+///
+/// `unique_fraction` of requests carry a never-repeating seed, which is part
+/// of the cache key, so those are guaranteed misses; the rest draw from the
+/// (pre-warmed) pool and should hit.
+OpenLoopResult run_open_loop(service::Server& server,
+                             const std::vector<PooledInstance>& pool,
+                             std::size_t clients, double target_qps,
+                             double duration_s, double unique_fraction = 0.0) {
+  const service::ServerStats before = server.stats_snapshot();
+  const std::size_t total =
+      static_cast<std::size_t>(target_qps * duration_s);
+  const std::size_t per_client = total / std::max<std::size_t>(clients, 1);
+  std::vector<std::vector<double>> per_client_ms(clients);
+  std::vector<std::size_t> per_client_errors(clients, 0);
+  std::atomic<std::uint64_t> unique_seed{1ull << 40};
+  // Every request whose global tick index t has (t % 1000) below this
+  // threshold gets a unique seed: deterministic, evenly interleaved.
+  const std::uint64_t unique_per_mille =
+      static_cast<std::uint64_t>(unique_fraction * 1000.0);
+  // Start slightly in the future so every thread connects before tick 0.
+  const auto t0 = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(100);
+  const double tick_ns = 1e9 / target_qps;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        service::Client client;
+        client.connect("127.0.0.1", server.port());
+        per_client_ms[c].reserve(per_client);
+        for (std::size_t k = 0; k < per_client; ++k) {
+          const std::uint64_t tick = k * clients + c;
+          const auto scheduled =
+              t0 + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                       static_cast<double>(tick) * tick_ns));
+          std::this_thread::sleep_until(scheduled);
+          const PooledInstance& inst = pool[tick % pool.size()];
+          service::SolveRequest request;
+          request.eps = 0.5;
+          request.seed = (tick % 1000) < unique_per_mille
+                             ? unique_seed.fetch_add(1)
+                             : inst.seed;
+          request.instance_text = inst.text;
+          const service::Client::SolveOutcome outcome =
+              client.solve(request);
+          const auto done = std::chrono::steady_clock::now();
+          if (outcome.ok) {
+            per_client_ms[c].push_back(
+                1e3 *
+                std::chrono::duration<double>(done - scheduled).count());
+          } else {
+            ++per_client_errors[c];
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  OpenLoopResult out;
+  out.target_qps = target_qps;
+  out.unique_fraction = unique_fraction;
+  out.sent = per_client * clients;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::vector<double> all_ms;
+  for (std::size_t c = 0; c < clients; ++c) {
+    all_ms.insert(all_ms.end(), per_client_ms[c].begin(),
+                  per_client_ms[c].end());
+    out.errors += per_client_errors[c];
+  }
+  out.qps = static_cast<double>(out.sent - out.errors) /
+            std::max(out.wall_seconds, 1e-9);
+  out.p50 = percentile(all_ms, 50.0);
+  out.p95 = percentile(all_ms, 95.0);
+  out.p99 = percentile(all_ms, 99.0);
+  out.max_ms = all_ms.empty() ? 0.0 : *std::max_element(all_ms.begin(),
+                                                        all_ms.end());
+  const service::ServerStats after = server.stats_snapshot();
+  out.cache_hits = after.cache_hits - before.cache_hits;
+  out.cache_misses = after.cache_misses - before.cache_misses;
+  out.cache_coalesced = after.cache_coalesced - before.cache_coalesced;
+  const std::uint64_t keyed = out.cache_hits + out.cache_misses;
+  out.hit_rate = keyed > 0 ? static_cast<double>(out.cache_hits) /
+                                 static_cast<double>(keyed)
+                           : 0.0;
+  return out;
+}
+
+void write_open_loop_json(std::ostream& out, const OpenLoopResult& pass) {
+  out << "{\n";
+  out << "      \"target_qps\": " << pass.target_qps << ",\n";
+  out << "      \"unique_fraction\": " << pass.unique_fraction << ",\n";
+  out << "      \"requests_sent\": " << pass.sent << ",\n";
+  out << "      \"requests_failed\": " << pass.errors << ",\n";
+  out << "      \"wall_seconds\": " << pass.wall_seconds << ",\n";
+  out << "      \"achieved_qps\": " << pass.qps << ",\n";
+  out << "      \"cache\": {\"hits\": " << pass.cache_hits
+      << ", \"misses\": " << pass.cache_misses
+      << ", \"coalesced\": " << pass.cache_coalesced
+      << ", \"hit_rate\": " << pass.hit_rate << "},\n";
+  out << "      \"latency_ms\": {\"p50\": " << pass.p50
+      << ", \"p95\": " << pass.p95 << ", \"p99\": " << pass.p99
+      << ", \"max\": " << pass.max_ms << "}\n";
+  out << "    }";
+}
+
 void write_pass_json(std::ostream& out, const PassResult& pass,
                      std::size_t total) {
   out << "{\n";
@@ -188,6 +368,14 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;
   bool certify = false;
   std::vector<std::int64_t> deadline_budgets;
+  bool open_loop = false;
+  double target_qps = 1500.0;
+  double duration_s = 4.0;
+  std::size_t open_clients = 64;
+  std::vector<std::size_t> sweep_clients;
+  bool cache_sweep = false;
+  std::size_t shards = 4;
+  std::size_t cache_entries = 1024;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -216,12 +404,38 @@ int main(int argc, char** argv) {
         }
         deadline_budgets.push_back(budget);
       }
+    } else if (arg == "--open-loop") {
+      open_loop = true;
+    } else if (arg == "--target-qps") {
+      target_qps = std::stod(next());
+      if (target_qps <= 0) {
+        std::fprintf(stderr, "--target-qps must be positive\n");
+        return 2;
+      }
+    } else if (arg == "--duration-s") {
+      duration_s = std::stod(next());
+    } else if (arg == "--open-clients") {
+      open_clients = std::stoull(next());
+    } else if (arg == "--sweep-clients") {
+      std::stringstream counts(next());
+      for (std::string item; std::getline(counts, item, ',');) {
+        sweep_clients.push_back(std::stoull(item));
+      }
+    } else if (arg == "--cache-sweep") {
+      cache_sweep = true;
+    } else if (arg == "--shards") {
+      shards = std::stoull(next());
+    } else if (arg == "--cache-entries") {
+      cache_entries = std::stoull(next());
     } else if (arg == "--out") {
       out_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: bench_service [--clients C] [--requests N] "
                    "[--threads T] [--certify] [--deadline-ms B1,B2,...] "
+                   "[--open-loop] [--target-qps Q] [--duration-s S] "
+                   "[--open-clients C] [--sweep-clients C1,C2,...] "
+                   "[--cache-sweep] [--shards S] [--cache-entries E] "
                    "[--out FILE]\n");
       return 2;
     }
@@ -324,6 +538,92 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.connections_accepted));
   server.stop();
 
+  // Scale-out sections run against a second, cache-enabled sharded server;
+  // the closed-loop sections above keep the cache off so their numbers stay
+  // comparable with sapkit-bench-service-v2 runs.
+  const bool scale_out = open_loop || cache_sweep || !sweep_clients.empty();
+  std::vector<PooledInstance> cached_pool;
+  OpenLoopResult open_pass;
+  std::vector<std::pair<std::size_t, PassResult>> client_sweep;
+  std::vector<OpenLoopResult> cache_passes;
+  if (scale_out) {
+    service::ServerOptions cached_options;
+    cached_options.solver_threads = threads;
+    cached_options.max_queue = 1024;
+    cached_options.shards = shards;
+    cached_options.cache_entries = cache_entries;
+    service::Server cached_server(std::move(cached_options));
+    cached_server.start();
+    cached_pool = small_pool(pool);
+    warm_cache(cached_server, cached_pool);
+
+    if (open_loop) {
+      std::printf("\n== open loop (%zu shards, %zu cache entries, "
+                  "%zu connections, target %.0f qps, %.1fs) ==\n",
+                  shards, cache_entries, open_clients, target_qps,
+                  duration_s);
+      open_pass = run_open_loop(cached_server, cached_pool, open_clients,
+                                target_qps, duration_s);
+      std::printf("achieved %.1f qps (%zu sent, %zu failed), hit rate "
+                  "%.3f (%llu hits / %llu misses / %llu coalesced)\n"
+                  "scheduled-send latency ms: p50 %.2f p95 %.2f p99 %.2f "
+                  "max %.2f\n",
+                  open_pass.qps, open_pass.sent, open_pass.errors,
+                  open_pass.hit_rate,
+                  static_cast<unsigned long long>(open_pass.cache_hits),
+                  static_cast<unsigned long long>(open_pass.cache_misses),
+                  static_cast<unsigned long long>(open_pass.cache_coalesced),
+                  open_pass.p50, open_pass.p95, open_pass.p99,
+                  open_pass.max_ms);
+    }
+
+    if (!sweep_clients.empty()) {
+      std::printf("\n== client sweep (closed loop over warm cache) ==\n");
+      TablePrinter sweep({"clients", "qps", "p50 ms", "p95 ms", "p99 ms",
+                          "max ms"});
+      for (const std::size_t count : sweep_clients) {
+        const PassResult pass = run_pass(cached_server, cached_pool, count,
+                                         requests_per_client,
+                                         /*certify=*/false);
+        sweep.add_row({std::to_string(count), fmt(pass.qps, 1),
+                       fmt(pass.p50, 2), fmt(pass.p95, 2), fmt(pass.p99, 2),
+                       fmt(pass.latency.max(), 2)});
+        client_sweep.emplace_back(count, pass);
+      }
+      sweep.print(std::cout);
+    }
+
+    if (cache_sweep) {
+      std::printf("\n== cache-hit-rate sweep (open loop, fixed rate) ==\n");
+      TablePrinter sweep({"unique %", "hit rate", "qps", "p50 ms", "p95 ms",
+                          "p99 ms"});
+      // Modest fixed rate so the all-miss pass is not itself saturated:
+      // the variable under test is the hit rate, not the target rate.
+      const double sweep_qps = std::min(target_qps, 400.0);
+      for (const double unique_fraction : {1.0, 0.5, 0.0}) {
+        const OpenLoopResult pass =
+            run_open_loop(cached_server, cached_pool, open_clients,
+                          sweep_qps, duration_s, unique_fraction);
+        sweep.add_row({fmt(1e2 * unique_fraction, 0), fmt(pass.hit_rate, 3),
+                       fmt(pass.qps, 1), fmt(pass.p50, 2), fmt(pass.p95, 2),
+                       fmt(pass.p99, 2)});
+        cache_passes.push_back(pass);
+      }
+      sweep.print(std::cout);
+    }
+
+    const service::ServerStats cached_stats = cached_server.stats_snapshot();
+    std::printf("\ncached server: ok=%llu hits=%llu misses=%llu "
+                "coalesced=%llu evictions=%llu\n",
+                static_cast<unsigned long long>(cached_stats.requests_ok),
+                static_cast<unsigned long long>(cached_stats.cache_hits),
+                static_cast<unsigned long long>(cached_stats.cache_misses),
+                static_cast<unsigned long long>(cached_stats.cache_coalesced),
+                static_cast<unsigned long long>(
+                    cached_stats.cache_evictions));
+    cached_server.stop();
+  }
+
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     if (!out) {
@@ -331,7 +631,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n";
-    out << "  \"schema\": \"sapkit-bench-service-v2\",\n";
+    out << "  \"schema\": \"sapkit-bench-service-v3\",\n";
     out << "  \"config\": {\n";
     out << "    \"clients\": " << clients << ",\n";
     out << "    \"requests_per_client\": " << requests_per_client << ",\n";
@@ -342,6 +642,14 @@ int main(int argc, char** argv) {
       out << (i ? ", " : "") << deadline_passes[i].first;
     }
     out << "],\n";
+    if (scale_out) {
+      out << "    \"scale_out\": {\"shards\": " << shards
+          << ", \"cache_entries\": " << cache_entries
+          << ", \"open_clients\": " << open_clients
+          << ", \"target_qps\": " << target_qps
+          << ", \"duration_s\": " << duration_s
+          << ", \"cached_pool\": " << cached_pool.size() << "},\n";
+    }
     out << "    \"generator\": \"bench_full_solver E6 grid (12 edges, caps "
            "8..48, mixed demand, 5 profiles, n in {12,24,48})\"\n";
     out << "  },\n";
@@ -367,12 +675,41 @@ int main(int argc, char** argv) {
       }
       out << "\n    ]";
     }
+    if (open_loop) {
+      out << ",\n    \"open_loop\": ";
+      write_open_loop_json(out, open_pass);
+    }
+    if (!client_sweep.empty()) {
+      out << ",\n    \"client_sweep\": [";
+      for (std::size_t i = 0; i < client_sweep.size(); ++i) {
+        const auto& [count, pass] = client_sweep[i];
+        out << (i ? ",\n      " : "\n      ");
+        out << "{\"clients\": " << count << ", \"qps\": " << pass.qps
+            << ", \"latency_ms\": {\"p50\": " << pass.p50
+            << ", \"p95\": " << pass.p95 << ", \"p99\": " << pass.p99
+            << ", \"max\": " << pass.latency.max() << "}}";
+      }
+      out << "\n    ]";
+    }
+    if (!cache_passes.empty()) {
+      out << ",\n    \"cache_sweep\": [";
+      for (std::size_t i = 0; i < cache_passes.size(); ++i) {
+        out << (i ? ",\n      " : "\n      ");
+        write_open_loop_json(out, cache_passes[i]);
+      }
+      out << "\n    ]";
+    }
     out << "\n  }\n";
     out << "}\n";
     std::printf("wrote %s\n", out_path.c_str());
   }
   std::size_t sweep_errors = 0;
   for (const auto& [budget, pass] : deadline_passes) {
+    sweep_errors += pass.errors;
+  }
+  sweep_errors += open_pass.errors;
+  for (const auto& [count, pass] : client_sweep) sweep_errors += pass.errors;
+  for (const OpenLoopResult& pass : cache_passes) {
     sweep_errors += pass.errors;
   }
   return plain.errors + certified.errors + sweep_errors == 0 ? 0 : 1;

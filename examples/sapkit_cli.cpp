@@ -13,6 +13,7 @@
 //                      [--tasks N] [--profile P] [--demand D] [--eps X]
 //                      [--ring] [--no-timings] [--cases] [--out FILE]
 //   sapkit_cli serve   [--host H] [--port P] [--threads T] [--queue Q]
+//                      [--shards S] [--cache-entries C]
 //                      [--default-deadline-ms B]
 //   sapkit_cli request [--host H] [--port P] [--stats] [--ring] [--certify]
 //                      [--cert-out FILE] [--algo A] [--eps X] [--seed N]
@@ -74,6 +75,7 @@ void print_usage(std::ostream& os) {
         "          --demand small|medium|large|mixed --eps X [--certify]\n"
         "          [--ring] [--no-timings] [--cases] [--out FILE]\n"
         "  serve   --host H --port P --threads T --queue Q\n"
+        "          [--shards S] [--cache-entries C]\n"
         "          [--default-deadline-ms B]\n"
         "  request --host H --port P [--stats] [--ring] [--certify]\n"
         "          [--cert-out FILE] --algo A --eps X --seed N\n"
@@ -149,6 +151,8 @@ struct Options {
   std::size_t count = 100;
   std::size_t threads = 0;
   std::size_t queue = 64;
+  std::size_t shards = 1;         // serve: independent admission shards
+  std::size_t cache_entries = 0;  // serve: solve-cache capacity (0 = off)
   std::string profile = "uniform";
   std::string demand = "mixed";
   std::string host = "127.0.0.1";
@@ -213,6 +217,11 @@ Options parse_options(int argc, char** argv) {
       opt.threads = next_u64();
     } else if (arg == "--queue") {
       opt.queue = next_u64();
+    } else if (arg == "--shards") {
+      opt.shards = next_u64();
+      if (opt.shards == 0) throw UsageError("--shards must be at least 1");
+    } else if (arg == "--cache-entries") {
+      opt.cache_entries = next_u64();
     } else if (arg == "--profile") {
       opt.profile = next();
     } else if (arg == "--demand") {
@@ -335,6 +344,8 @@ int run_serve(const Options& opt) {
   options.port = opt.port;
   options.solver_threads = opt.threads;
   options.max_queue = opt.queue;
+  options.shards = opt.shards;
+  options.cache_entries = opt.cache_entries;
   options.default_deadline_ms = opt.default_deadline_ms;
   service::Server server(std::move(options));
   server.start();
@@ -355,6 +366,11 @@ int run_serve(const Options& opt) {
             << stats.requests_deadline_exceeded
             << " deadline-exceeded) over " << stats.connections_accepted
             << " connections in " << stats.uptime_seconds << "s\n";
+  if (opt.cache_entries > 0) {
+    std::cerr << "sapd: cache " << stats.cache_hits << " hits, "
+              << stats.cache_misses << " misses, " << stats.cache_coalesced
+              << " coalesced\n";
+  }
   return 0;
 }
 

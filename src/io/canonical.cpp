@@ -1,0 +1,99 @@
+#include "src/io/canonical.hpp"
+
+namespace sap {
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr bool is_blank(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r';
+}
+
+}  // namespace
+
+std::string canonical_instance_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t line_start = out.size();
+  bool pending_space = false;
+  bool in_comment = false;
+  for (const char c : text) {
+    if (c == '\n') {
+      if (out.size() > line_start) {
+        out += '\n';
+        line_start = out.size();
+      }
+      pending_space = false;
+      in_comment = false;
+      continue;
+    }
+    if (in_comment) continue;
+    if (c == '#') {
+      in_comment = true;
+      continue;
+    }
+    if (is_blank(c)) {
+      // Collapse a run of blanks to one separator — emitted lazily so
+      // leading/trailing blanks vanish instead of becoming spaces.
+      pending_space = out.size() > line_start;
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += c;
+  }
+  if (out.size() > line_start) out += '\n';
+  return out;
+}
+
+void InstanceHasher::update(std::string_view bytes) noexcept {
+  // Pack bytes into 64-bit words (tail zero-padded; the running length
+  // disambiguates pad bytes from real zeros) and run each word through
+  // splitmix64, alternating lanes with cross-feed so the two lanes observe
+  // different functions of the same stream.
+  std::uint64_t word = 0;
+  unsigned filled = 0;
+  for (const char c : bytes) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << (8 * filled);
+    if (++filled == 8) {
+      lane0_ = splitmix64(lane0_ ^ word);
+      lane1_ = splitmix64(lane1_ + (word ^ lane0_));
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) {
+    lane0_ = splitmix64(lane0_ ^ word);
+    lane1_ = splitmix64(lane1_ + (word ^ lane0_));
+  }
+  length_ += bytes.size();
+}
+
+void InstanceHasher::update_u64(std::uint64_t value) noexcept {
+  lane0_ = splitmix64(lane0_ ^ value);
+  lane1_ = splitmix64(lane1_ + (value ^ lane0_));
+  length_ += 8;
+}
+
+InstanceDigest InstanceHasher::digest() const noexcept {
+  InstanceDigest d;
+  d.hi = splitmix64(lane0_ ^ splitmix64(length_));
+  d.lo = splitmix64(lane1_ + splitmix64(length_ ^ d.hi));
+  return d;
+}
+
+InstanceDigest canonical_digest(std::string_view text) {
+  InstanceHasher hasher;
+  hasher.update(canonical_instance_text(text));
+  return hasher.digest();
+}
+
+}  // namespace sap

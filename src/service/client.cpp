@@ -2,6 +2,8 @@
 
 #include <fcntl.h>
 #include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -143,6 +145,11 @@ void Client::connect(const std::string& host, std::uint16_t port) {
                              port_text + ": " +
                              std::string(std::strerror(last_errno)));
   }
+  // The frame layer writes header and payload as separate write(2)s; with
+  // Nagle on, the payload would stall behind the peer's delayed ACK (~40ms
+  // per request on loopback), dwarfing a cached solve.
+  const int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   apply_io_timeouts();
   last_host_ = host;
   last_port_ = port;
@@ -221,6 +228,62 @@ Client::SolveOutcome Client::solve(const SolveRequest& request) {
   outcome.ok = true;
   outcome.response = parse_solve_response(reply.payload);
   return outcome;
+}
+
+std::vector<Client::SolveOutcome> Client::solve_batch(
+    const std::vector<SolveRequest>& requests) {
+  if (requests.empty()) return {};
+  std::vector<std::string> items;
+  items.reserve(requests.size());
+  for (const SolveRequest& request : requests) {
+    items.push_back(encode_solve_request(request));
+  }
+  Reply reply = round_trip(FrameType::kBatchSolveRequest,
+                           encode_batch_solve_request(items),
+                           FrameType::kBatchSolveResponse);
+  if (reply.is_error) {
+    if (!reply.local_timeout && reply.error.code == ErrorCode::kBadRequest &&
+        reply.error.message.find("unknown frame type") != std::string::npos) {
+      // Old server: it answered the probe with a typed error and kept the
+      // connection usable, so fall back to sequential round trips.
+      std::vector<SolveOutcome> outcomes;
+      outcomes.reserve(requests.size());
+      for (const SolveRequest& request : requests) {
+        outcomes.push_back(solve(request));
+      }
+      return outcomes;
+    }
+    // Whole-frame rejection (malformed outer envelope, item limit, local
+    // timeout): every slot shares the same fate.
+    SolveOutcome failed;
+    failed.ok = false;
+    failed.error_code = reply.error.code;
+    failed.error_message = reply.error.message;
+    failed.local_timeout = reply.local_timeout;
+    return std::vector<SolveOutcome>(requests.size(), failed);
+  }
+  const std::vector<BatchItemResult> slots =
+      parse_batch_solve_response(reply.payload, requests.size());
+  if (slots.size() != requests.size()) {
+    close();
+    throw std::runtime_error(
+        "sapd client: batch response count mismatch (sent " +
+        std::to_string(requests.size()) + ", got " +
+        std::to_string(slots.size()) + ")");
+  }
+  std::vector<SolveOutcome> outcomes(requests.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].ok) {
+      outcomes[i].ok = true;
+      outcomes[i].response = parse_solve_response(slots[i].payload);
+    } else {
+      const ErrorResponse error = parse_error_response(slots[i].payload);
+      outcomes[i].ok = false;
+      outcomes[i].error_code = error.code;
+      outcomes[i].error_message = error.message;
+    }
+  }
+  return outcomes;
 }
 
 std::int64_t Client::backoff_ms(const RetryPolicy& policy, int attempt,

@@ -2,7 +2,6 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,18 +11,17 @@
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "src/core/ring_solver.hpp"
 #include "src/core/sap_solver.hpp"
 #include "src/sapu/sapu_solver.hpp"
-#include "src/service/frame.hpp"
-#include "src/util/stats.hpp"
 #include "src/util/telemetry.hpp"
 
 namespace sap::service {
 namespace {
 
-constexpr std::size_t kLatencyRingCapacity = 4096;
+constexpr std::size_t kLatencyReservoirCapacity = 4096;
 
 /// One-line {"name": value, ...} over the (deterministic) counters only;
 /// timer seconds are scheduling noise a service client rarely wants.
@@ -48,16 +46,6 @@ std::vector<TaskId> all_task_ids(const PathInstance& inst) {
   return ids;
 }
 
-void set_send_timeout(int fd, std::chrono::milliseconds timeout) {
-  // A worker must never block forever writing to a dead or half-open peer.
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  const int one = 1;
-  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-}
-
 /// Budget-capped heuristic configuration used when a deadline expires and
 /// the server degrades instead of rejecting: every stage runs with small
 /// polynomial caps, so the fallback completes promptly with no deadline of
@@ -74,50 +62,17 @@ SolverParams degraded_params(double eps, std::uint64_t seed) {
 
 }  // namespace
 
-/// Shared between the reader thread and solver workers; the fd closes when
-/// the last holder lets go, so a response can always be flushed.
-struct Server::Connection {
-  explicit Connection(int fd_in) : fd(fd_in) {}
-  ~Connection() {
-    if (fd >= 0) ::close(fd);
-  }
-  Connection(const Connection&) = delete;
-  Connection& operator=(const Connection&) = delete;
+/// Aggregation state for one kBatchSolveRequest frame. Each item's solve
+/// writes its own slot (distinct indices, so no lock is needed); the solve
+/// that decrements `remaining` to zero encodes and sends the response —
+/// the acq_rel decrement orders every slot write before that encode.
+struct Server::BatchContext {
+  BatchContext(ConnPtr conn_in, std::size_t n)
+      : conn(std::move(conn_in)), slots(n), remaining(n) {}
 
-  int fd;
-  std::mutex write_mutex;
-  std::atomic<bool> reader_done{false};
-  // Set on the first failed response write (send timeout or hard error): a
-  // partial frame may be on the wire, so nothing sent afterwards could be
-  // framed correctly. Poisoning shuts the socket down, which also unblocks
-  // the reader and makes every later write on this connection fail fast
-  // instead of re-paying the send timeout per queued response.
-  std::atomic<bool> poisoned{false};
-
-  void poison() {
-    if (!poisoned.exchange(true)) ::shutdown(fd, SHUT_RDWR);
-  }
-
-  // Solves admitted from this connection whose responses are not yet
-  // written. The reader waits for zero before shutting the socket down, so
-  // an exiting connection never swallows a response in flight.
-  std::mutex inflight_mutex;
-  std::condition_variable inflight_done;
-  int inflight = 0;
-
-  void job_admitted() {
-    std::lock_guard lock(inflight_mutex);
-    ++inflight;
-  }
-  void job_responded() {
-    std::lock_guard lock(inflight_mutex);
-    --inflight;
-    if (inflight == 0) inflight_done.notify_all();
-  }
-  void wait_for_inflight() {
-    std::unique_lock lock(inflight_mutex);
-    inflight_done.wait(lock, [this] { return inflight == 0; });
-  }
+  ConnPtr conn;
+  std::vector<BatchItemResult> slots;
+  std::atomic<std::size_t> remaining;
 };
 
 std::string stats_to_json(const ServerStats& stats) {
@@ -135,10 +90,28 @@ std::string stats_to_json(const ServerStats& stats) {
   os << "    \"deadline_exceeded\": " << stats.requests_deadline_exceeded
      << ",\n";
   os << "    \"degraded\": " << stats.requests_degraded << ",\n";
-  os << "    \"stats\": " << stats.stats_requests << "\n";
+  os << "    \"stats\": " << stats.stats_requests << ",\n";
+  os << "    \"batch\": " << stats.batch_requests << "\n";
   os << "  },\n";
   os << "  \"queue_depth\": " << stats.queue_depth << ",\n";
   os << "  \"active_solves\": " << stats.active_solves << ",\n";
+  os << "  \"shards\": [";
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    if (s != 0) os << ", ";
+    os << "{\"queue_depth\": " << stats.shards[s].queue_depth
+       << ", \"active\": " << stats.shards[s].active << "}";
+  }
+  os << "],\n";
+  os << "  \"cache\": {\n";
+  os << "    \"hits\": " << stats.cache_hits << ",\n";
+  os << "    \"misses\": " << stats.cache_misses << ",\n";
+  os << "    \"coalesced\": " << stats.cache_coalesced << ",\n";
+  os << "    \"evictions\": " << stats.cache_evictions << ",\n";
+  os << "    \"entries\": " << stats.cache_entries << "\n";
+  os << "  },\n";
+  os << "  \"event_loop\": {\n";
+  os << "    \"wakeups\": " << stats.loop_wakeups << "\n";
+  os << "  },\n";
   os << "  \"latency_ms\": {\n";
   os << "    \"samples\": " << stats.latency_samples << ",\n";
   os << "    \"p50\": " << stats.latency_p50_ms << ",\n";
@@ -196,202 +169,286 @@ void Server::start() {
     bound_port_ = ntohs(bound.sin_port);
   }
 
-  pool_ = std::make_unique<ThreadPool>(options_.solver_threads);
+  cache_ = std::make_unique<SolveCache>(options_.cache_entries);
+
+  ShardPool::Options pool_options;
+  pool_options.shards = options_.shards == 0 ? 1 : options_.shards;
+  pool_options.threads = options_.solver_threads;
+  pool_options.queue_capacity = options_.max_queue;
+  pool_options.pin_cpus = options_.pin_cpus;
+  shards_ = std::make_unique<ShardPool>(pool_options);
+
+  latency_ = std::make_unique<LatencyReservoir>(kLatencyReservoirCapacity,
+                                                shards_->shard_count());
+
+  EventLoopOptions loop_options;
+  loop_options.max_frame_payload = options_.max_frame_payload;
+  loop_options.write_stall_timeout = options_.send_timeout;
+  EventLoopHandlers handlers;
+  handlers.on_accept = [this](const ConnPtr&) {
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  };
+  handlers.on_frame = [this](const ConnPtr& conn, std::uint32_t type,
+                             std::string payload) {
+    on_frame(conn, type, std::move(payload));
+  };
+  handlers.on_protocol_error = [this](const ConnPtr& conn, ReadStatus status,
+                                      std::uint32_t declared_length) {
+    on_protocol_error(conn, status, declared_length);
+  };
+  loop_ = std::make_unique<EventLoop>(loop_options, std::move(handlers));
+
   started_at_ = std::chrono::steady_clock::now();
   stopping_ = false;
   running_ = true;
-  listener_ = std::thread([this] { listener_loop(); });
+  loop_->start(listen_fd_);
 }
 
 void Server::stop() {
   if (!running_.exchange(false)) return;
 
-  {
-    // stopping_ flips inside the admission lock: after this block no new
-    // solve can enter the queue, so the drain below terminates.
-    std::lock_guard lock(jobs_mutex_);
-    stopping_ = true;
-  }
+  // After this, every new dispatch (loop thread) rejects with SHUTTING_DOWN,
+  // so the shard drain below terminates.
+  stopping_.store(true, std::memory_order_release);
 
-  // 1. Stop accepting: wake the listener out of accept() and join it.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (listener_.joinable()) listener_.join();
+  // 1. Stop accepting, then close the listen socket.
+  loop_->stop_listening();
   ::close(listen_fd_);
   listen_fd_ = -1;
 
-  // 2. Drain: every admitted solve finishes and flushes its response.
-  {
-    std::unique_lock lock(jobs_mutex_);
-    jobs_done_.wait(lock, [this] { return queued_ + active_ == 0; });
-  }
+  // 2. Every admitted solve finishes and enqueues its response (coalesced
+  //    waiters re-dispatched by an abandoning owner extend the drain; they
+  //    run cache-less, so the drain cannot cascade).
+  shards_->drain();
 
-  // 3. Unblock and join connection readers.
-  {
-    std::lock_guard lock(conn_mutex_);
-    for (auto& [thread, conn] : conns_) ::shutdown(conn->fd, SHUT_RD);
-  }
-  for (;;) {
-    std::pair<std::thread, std::shared_ptr<Connection>> entry;
-    {
-      std::lock_guard lock(conn_mutex_);
-      if (conns_.empty()) break;
-      entry = std::move(conns_.back());
-      conns_.pop_back();
-    }
-    if (entry.first.joinable()) entry.first.join();
-  }
+  // 3. Flush buffered responses (bounded by the write-stall timeout for
+  //    wedged peers) and join the loop. All response promises were
+  //    fulfilled in step 2, so the loop's drain terminates.
+  loop_->drain_and_stop();
 
-  // 4. The pool has no pending work left; joining it is immediate.
-  pool_.reset();
+  // 4. No work left; joining the workers is immediate.
+  shards_->stop();
 }
 
-void Server::listener_loop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // listener shut down (stop()) or unrecoverable
-    }
-    if (stopping_) {
-      ::close(fd);
-      continue;
-    }
-    set_send_timeout(fd, options_.send_timeout);
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    auto conn = std::make_shared<Connection>(fd);
-    std::thread reader([this, conn] { connection_loop(conn); });
-    {
-      std::lock_guard lock(conn_mutex_);
-      conns_.emplace_back(std::move(reader), conn);
-    }
-    reap_finished_connections();
-  }
-}
-
-void Server::reap_finished_connections() {
-  std::vector<std::thread> finished;
-  {
-    std::lock_guard lock(conn_mutex_);
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if (it->second->reader_done.load()) {
-        finished.push_back(std::move(it->first));
-        it = conns_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  for (auto& thread : finished) {
-    if (thread.joinable()) thread.join();
-  }
-}
-
-void Server::connection_loop(std::shared_ptr<Connection> conn) {
-  for (;;) {
-    Frame frame;
-    const ReadStatus status =
-        read_frame(conn->fd, &frame, options_.max_frame_payload);
-    if (status == ReadStatus::kEof) break;
-    if (status == ReadStatus::kBadMagic || status == ReadStatus::kTooLarge) {
+void Server::on_frame(const ConnPtr& conn, std::uint32_t type,
+                      std::string payload) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kSolveRequest:
+      handle_solve_frame(conn, std::move(payload));
+      break;
+    case FrameType::kBatchSolveRequest:
+      handle_batch_frame(conn, std::move(payload));
+      break;
+    case FrameType::kStatsRequest:
+      stats_requests_.fetch_add(1, std::memory_order_relaxed);
+      loop_->send(conn, FrameType::kStatsResponse,
+                  stats_to_json(stats_snapshot()));
+      break;
+    default:
+      // Frame boundary intact; answer and keep the connection. This is also
+      // what an old server sends a new client probing kBatchSolveRequest,
+      // so the client can fall back to sequential frames.
       requests_bad_.fetch_add(1, std::memory_order_relaxed);
-      send_error(conn, ErrorCode::kBadRequest,
-                 status == ReadStatus::kTooLarge
-                     ? "frame payload exceeds server limit of " +
-                           std::to_string(options_.max_frame_payload) +
-                           " bytes"
-                     : "bad frame magic");
-      break;  // the stream is poisoned mid-frame; close it
-    }
-    if (status != ReadStatus::kOk) break;  // truncated / io error
-
-    switch (static_cast<FrameType>(frame.type)) {
-      case FrameType::kSolveRequest:
-        handle_solve_frame(conn, std::move(frame.payload));
-        break;
-      case FrameType::kStatsRequest: {
-        stats_requests_.fetch_add(1, std::memory_order_relaxed);
-        const std::string json = stats_to_json(stats_snapshot());
-        std::lock_guard lock(conn->write_mutex);
-        if (!write_frame(conn->fd, FrameType::kStatsResponse, json)) {
-          conn->reader_done = true;
-          return;
-        }
-        break;
-      }
-      default:
-        requests_bad_.fetch_add(1, std::memory_order_relaxed);
-        send_error(conn, ErrorCode::kBadRequest,
-                   "unknown frame type " + std::to_string(frame.type));
-        break;  // frame boundary intact; keep the connection
-    }
+      loop_->send(conn, FrameType::kErrorResponse,
+                  encode_error_response(
+                      {ErrorCode::kBadRequest,
+                       "unknown frame type " + std::to_string(type)}));
+      break;
   }
-  // Flush every admitted solve's response, then FIN the peer; the fd itself
-  // closes when the last shared_ptr (possibly a worker's) lets go.
-  conn->wait_for_inflight();
-  ::shutdown(conn->fd, SHUT_RDWR);
-  conn->reader_done = true;
 }
 
-void Server::handle_solve_frame(const std::shared_ptr<Connection>& conn,
-                                std::string payload) {
-  enum class Rejection { kNone, kShuttingDown, kOverloaded };
-  Rejection rejection = Rejection::kNone;
-  {
-    std::lock_guard lock(jobs_mutex_);
-    if (stopping_) {
-      requests_shutting_down_.fetch_add(1, std::memory_order_relaxed);
-      rejection = Rejection::kShuttingDown;
-    } else if (queued_ >= options_.max_queue) {
-      requests_overloaded_.fetch_add(1, std::memory_order_relaxed);
-      rejection = Rejection::kOverloaded;
-    } else {
-      ++queued_;
-      conn->job_admitted();
-      const auto admitted_at = std::chrono::steady_clock::now();
-      pool_->submit([this, conn, admitted_at,
-                     payload = std::move(payload)]() mutable {
-        {
-          std::lock_guard job_lock(jobs_mutex_);
-          --queued_;
-          ++active_;
-        }
-        if (options_.fault_injector) {
-          options_.fault_injector(FaultPoint::kPreSolve);
-        }
-        const bool served = run_solve_job(conn, payload);
-        conn->job_responded();
-        if (served) {
-          record_latency(
-              1e3 * std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - admitted_at)
-                        .count());
-        }
-        {
-          std::lock_guard job_lock(jobs_mutex_);
-          --active_;
-          if (queued_ + active_ == 0) jobs_done_.notify_all();
-        }
-      });
+void Server::on_protocol_error(const ConnPtr& conn, ReadStatus status,
+                               std::uint32_t declared_length) {
+  (void)declared_length;
+  requests_bad_.fetch_add(1, std::memory_order_relaxed);
+  const std::string message =
+      status == ReadStatus::kTooLarge
+          ? "frame payload exceeds server limit of " +
+                std::to_string(options_.max_frame_payload) + " bytes"
+          : "bad frame magic";
+  // The stream is poisoned mid-frame; flush the rejection, then close.
+  loop_->send(conn, FrameType::kErrorResponse,
+              encode_error_response({ErrorCode::kBadRequest, message}),
+              /*close_after_flush=*/true);
+}
+
+void Server::handle_solve_frame(const ConnPtr& conn, std::string payload) {
+  ResponseTarget target;
+  target.conn = conn;
+  target.counts_pending = true;
+  target.admitted_at = std::chrono::steady_clock::now();
+  // Promise the response before any other thread can get involved, so the
+  // loop keeps the connection alive until this request is answered.
+  conn->add_pending_response();
+  dispatch_payload(std::move(target), payload);
+}
+
+void Server::handle_batch_frame(const ConnPtr& conn, std::string payload) {
+  batch_requests_.fetch_add(1, std::memory_order_relaxed);
+  // One promise for the whole frame, fulfilled by the aggregated response.
+  conn->add_pending_response();
+
+  std::vector<std::string> items;
+  try {
+    items = parse_batch_solve_request(payload, options_.max_batch_items);
+  } catch (const std::invalid_argument& error) {
+    // Malformed *outer* envelope: reject the frame as a whole. (A malformed
+    // inner item only rejects that slot, below.)
+    requests_bad_.fetch_add(1, std::memory_order_relaxed);
+    ResponseTarget target;
+    target.conn = conn;
+    target.counts_pending = true;
+    complete_error(target, ErrorCode::kBadRequest, error.what());
+    return;
+  }
+
+  const auto batch = std::make_shared<BatchContext>(conn, items.size());
+  const auto admitted_at = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ResponseTarget target;
+    target.conn = conn;
+    target.batch = batch;
+    target.slot = i;
+    // The batch's single pending promise is consumed by the aggregated
+    // send in finish_batch_slot, not by the per-item completions.
+    target.counts_pending = false;
+    target.admitted_at = admitted_at;
+    dispatch_payload(std::move(target), items[i]);
+  }
+}
+
+void Server::dispatch_payload(ResponseTarget target,
+                              const std::string& payload) {
+  SolveRequest request;
+  try {
+    request = parse_solve_request(payload);
+  } catch (const std::invalid_argument& error) {
+    requests_bad_.fetch_add(1, std::memory_order_relaxed);
+    complete_error(target, ErrorCode::kBadRequest, error.what());
+    return;
+  }
+  dispatch_request(std::move(target), std::move(request),
+                   /*allow_cache=*/true);
+}
+
+void Server::dispatch_request(ResponseTarget target, SolveRequest request,
+                              bool allow_cache) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    count_rejection(ErrorCode::kShuttingDown);
+    complete_error(target, ErrorCode::kShuttingDown, "server is draining");
+    return;
+  }
+
+  // The digest costs a canonicalization pass on the loop thread; skip it
+  // when nothing consumes it (cache off, single shard).
+  InstanceDigest key{};
+  if ((allow_cache && cache_->enabled()) || shards_->shard_count() > 1) {
+    key = request_digest(request);
+  }
+  target.shard = shards_->shard_of(key.hi);
+
+  std::optional<InstanceDigest> cache_key;
+  if (allow_cache && cache_->enabled()) {
+    // Park the record *before* acquire: a concurrent publish can then never
+    // return a waiter id that settle_waiters cannot find.
+    std::uint64_t waiter_id = 0;
+    {
+      std::lock_guard lock(waiters_mutex_);
+      waiter_id = next_waiter_id_++;
+      waiters_.emplace(waiter_id, WaiterRecord{target, request});
+    }
+    const SolveCache::Acquired acquired = cache_->acquire(key, waiter_id);
+    if (acquired.role == SolveCache::Role::kWaiter) {
+      return;  // the in-flight owner will settle this record
+    }
+    {
+      std::lock_guard lock(waiters_mutex_);
+      waiters_.erase(waiter_id);
+    }
+    if (acquired.role == SolveCache::Role::kHit) {
+      requests_ok_.fetch_add(1, std::memory_order_relaxed);
+      // Record before enqueueing the response: once a client holds the
+      // reply, a stats snapshot must already include its sample.
+      record_latency(target);
+      complete_ok(target, acquired.payload);
       return;
     }
+    if (acquired.role == SolveCache::Role::kOwner) cache_key = key;
   }
-  // Rejected: say so immediately — backpressure must be visible, not a hang.
-  if (rejection == Rejection::kShuttingDown) {
-    send_error(conn, ErrorCode::kShuttingDown, "server is draining");
+
+  const ShardPool::Submit admitted = shards_->submit(
+      key.hi, [this, target, request = std::move(request), cache_key] {
+        run_and_respond(target, request, cache_key);
+      });
+  if (admitted == ShardPool::Submit::kOk) return;
+
+  if (cache_key) {
+    // Drop the in-flight marker we own; acquire() only runs on the loop
+    // thread, so no waiter can have parked behind it yet.
+    settle_waiters(cache_->abandon(*cache_key), nullptr);
+  }
+  if (admitted == ShardPool::Submit::kFull) {
+    count_rejection(ErrorCode::kOverloaded);
+    complete_error(target, ErrorCode::kOverloaded,
+                   "admission queue full (" +
+                       std::to_string(options_.max_queue) + " pending)");
   } else {
-    send_error(conn, ErrorCode::kOverloaded,
-               "admission queue full (" +
-                   std::to_string(options_.max_queue) + " pending)");
+    count_rejection(ErrorCode::kShuttingDown);
+    complete_error(target, ErrorCode::kShuttingDown, "server is draining");
   }
 }
 
-bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
-                           const std::string& payload) {
+void Server::run_and_respond(const ResponseTarget& target,
+                             const SolveRequest& request,
+                             const std::optional<InstanceDigest>& cache_key) {
+  if (options_.fault_injector) options_.fault_injector(FaultPoint::kPreSolve);
+
   SolveResponse response;
   ErrorResponse rejection;
-  bool ok = false;
+  const bool served = run_solve_request(request, &response, &rejection);
+
+  if (served) {
+    const std::string payload = encode_solve_response(response);
+    requests_ok_.fetch_add(1, std::memory_order_relaxed);
+    if (response.degraded) {
+      requests_degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (options_.fault_injector) {
+      options_.fault_injector(FaultPoint::kPreResponse);
+    }
+    // Settle the cache BEFORE enqueueing our own response: once any client
+    // holds a reply, the published entry must already be visible (a
+    // sequential identical request must hit, not re-solve or park).
+    if (cache_key) {
+      if (response.degraded) {
+        // A degraded result is shaped by this request's deadline, not by
+        // the instance — never cache it; re-dispatch the waiters instead.
+        settle_waiters(cache_->abandon(*cache_key), nullptr);
+      } else {
+        const auto waiters = cache_->publish(*cache_key, payload);
+        settle_waiters(waiters, &payload);
+      }
+    }
+    // Likewise record before enqueueing: a stats snapshot taken by a client
+    // that holds the reply must already include its latency sample.
+    record_latency(target);
+    complete_ok(target, payload);
+  } else {
+    count_rejection(rejection.code);
+    if (cache_key) {
+      // An error is not a property of the instance either (a transient
+      // overload or this request's deadline); waiters each get their own
+      // attempt.
+      settle_waiters(cache_->abandon(*cache_key), nullptr);
+    }
+    complete_error(target, rejection.code, rejection.message);
+  }
+}
+
+bool Server::run_solve_request(const SolveRequest& request,
+                               SolveResponse* response,
+                               ErrorResponse* rejection) {
   try {
-    const SolveRequest request = parse_solve_request(payload);
     TelemetryReport telemetry;
     std::ostringstream solution_os;
     const auto solve_start = std::chrono::steady_clock::now();
@@ -406,10 +463,10 @@ bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
     // to the budget-capped approximation (degraded response, `skipped`
     // names the stages cut short) or rethrow into a DEADLINE_EXCEEDED
     // rejection, per options_.degrade_on_deadline.
-    auto note_skipped = [&response](const std::string& stage) {
-      response.degraded = true;
-      if (!response.skipped.empty()) response.skipped += ',';
-      response.skipped += stage;
+    auto note_skipped = [response](const std::string& stage) {
+      response->degraded = true;
+      if (!response->skipped.empty()) response->skipped += ',';
+      response->skipped += stage;
     };
     if (request.kind == SolveRequest::Kind::kPath) {
       std::istringstream is(request.instance_text);
@@ -471,13 +528,13 @@ bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
           if (outcome.certified) {
             std::ostringstream cert_os;
             write_certificate(cert_os, outcome.cert);
-            response.certificate_text = cert_os.str();
+            response->certificate_text = cert_os.str();
           }
         }
       }
-      response.weight = sol.weight(inst);
-      response.placed = sol.size();
-      response.total_tasks = inst.num_tasks();
+      response->weight = sol.weight(inst);
+      response->placed = sol.size();
+      response->total_tasks = inst.num_tasks();
       write_sap_solution(solution_os, sol);
     } else {
       std::istringstream is(request.instance_text);
@@ -516,84 +573,149 @@ bool Server::run_solve_job(const std::shared_ptr<Connection>& conn,
           if (outcome.certified) {
             std::ostringstream cert_os;
             write_certificate(cert_os, outcome.cert);
-            response.certificate_text = cert_os.str();
+            response->certificate_text = cert_os.str();
           }
         }
       }
-      response.weight = inst.solution_weight(sol);
-      response.placed = sol.size();
-      response.total_tasks = inst.num_tasks();
+      response->weight = inst.solution_weight(sol);
+      response->placed = sol.size();
+      response->total_tasks = inst.num_tasks();
       write_ring_solution(solution_os, sol);
     }
-    response.wall_micros =
+    response->wall_micros =
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - solve_start)
             .count();
-    response.telemetry_json = compact_counters_json(telemetry);
-    response.solution_text = solution_os.str();
-    ok = true;
+    response->telemetry_json = compact_counters_json(telemetry);
+    response->solution_text = solution_os.str();
+    return true;
   } catch (const std::invalid_argument& error) {
-    rejection = {ErrorCode::kBadRequest, error.what()};
+    *rejection = {ErrorCode::kBadRequest, error.what()};
   } catch (const DeadlineExceeded& error) {
     // Reached only with degrade_on_deadline == false (otherwise the inner
     // handler already served the fallback). Must precede std::exception:
     // DeadlineExceeded derives from std::runtime_error.
-    rejection = {ErrorCode::kDeadlineExceeded, error.what()};
+    *rejection = {ErrorCode::kDeadlineExceeded, error.what()};
   } catch (const std::exception& error) {
-    rejection = {ErrorCode::kInternal, error.what()};
+    *rejection = {ErrorCode::kInternal, error.what()};
   } catch (...) {
-    rejection = {ErrorCode::kInternal, "unknown solver failure"};
+    *rejection = {ErrorCode::kInternal, "unknown solver failure"};
   }
+  return false;
+}
 
-  if (ok) {
-    requests_ok_.fetch_add(1, std::memory_order_relaxed);
-    if (response.degraded) {
-      requests_degraded_.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (options_.fault_injector) {
-      options_.fault_injector(FaultPoint::kPreResponse);
-    }
-    std::lock_guard lock(conn->write_mutex);
-    if (conn->poisoned.load() ||
-        write_frame_status(conn->fd, FrameType::kSolveResponse,
-                           encode_solve_response(response)) !=
-            WriteStatus::kOk) {
-      conn->poison();
-    }
+void Server::complete_ok(const ResponseTarget& target,
+                         const std::string& payload) {
+  if (target.batch) {
+    finish_batch_slot(target, true, payload);
   } else {
-    if (rejection.code == ErrorCode::kBadRequest) {
+    loop_->send(target.conn, FrameType::kSolveResponse, payload,
+                /*close_after_flush=*/false,
+                /*completes_pending=*/target.counts_pending);
+  }
+}
+
+void Server::complete_error(const ResponseTarget& target, ErrorCode code,
+                            const std::string& message) {
+  const std::string payload = encode_error_response({code, message});
+  if (target.batch) {
+    finish_batch_slot(target, false, payload);
+  } else {
+    loop_->send(target.conn, FrameType::kErrorResponse, payload,
+                /*close_after_flush=*/false,
+                /*completes_pending=*/target.counts_pending);
+  }
+}
+
+void Server::finish_batch_slot(const ResponseTarget& target, bool ok,
+                               std::string payload) {
+  BatchContext& batch = *target.batch;
+  batch.slots[target.slot] = {ok, std::move(payload)};
+  if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    loop_->send(batch.conn, FrameType::kBatchSolveResponse,
+                encode_batch_solve_response(batch.slots),
+                /*close_after_flush=*/false, /*completes_pending=*/true);
+  }
+}
+
+void Server::count_rejection(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest:
       requests_bad_.fetch_add(1, std::memory_order_relaxed);
-    } else if (rejection.code == ErrorCode::kDeadlineExceeded) {
+      break;
+    case ErrorCode::kOverloaded:
+      requests_overloaded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ErrorCode::kShuttingDown:
+      requests_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ErrorCode::kDeadlineExceeded:
       requests_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-    } else {
+      break;
+    case ErrorCode::kInternal:
       requests_internal_error_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void Server::settle_waiters(const std::vector<std::uint64_t>& ids,
+                            const std::string* published_payload) {
+  for (const std::uint64_t id : ids) {
+    WaiterRecord record;
+    {
+      std::lock_guard lock(waiters_mutex_);
+      const auto it = waiters_.find(id);
+      if (it == waiters_.end()) continue;
+      record = std::move(it->second);
+      waiters_.erase(it);
     }
-    send_error(conn, rejection.code, rejection.message);
+    if (published_payload != nullptr) {
+      requests_ok_.fetch_add(1, std::memory_order_relaxed);
+      record_latency(record.target);
+      complete_ok(record.target, *published_payload);
+      continue;
+    }
+    // The owner's computation degraded or failed: its outcome reflects that
+    // request's deadline, not the instance, so each waiter gets its own
+    // cache-less solve. The waiter was admitted once already; bypass the
+    // capacity check so backpressure cannot turn coalescing into a drop.
+    const InstanceDigest key = request_digest(record.request);
+    const ShardPool::Submit admitted = shards_->submit_admitted(
+        key.hi, [this, target = record.target, request = record.request] {
+          run_and_respond(target, request, std::nullopt);
+        });
+    if (admitted != ShardPool::Submit::kOk) {
+      count_rejection(ErrorCode::kShuttingDown);
+      complete_error(record.target, ErrorCode::kShuttingDown,
+                     "server is draining");
+    }
   }
-  return ok;
 }
 
-void Server::send_error(const std::shared_ptr<Connection>& conn,
-                        ErrorCode code, const std::string& message) {
-  std::lock_guard lock(conn->write_mutex);
-  if (conn->poisoned.load() ||
-      write_frame_status(conn->fd, FrameType::kErrorResponse,
-                         encode_error_response({code, message})) !=
-          WriteStatus::kOk) {
-    conn->poison();
-  }
+InstanceDigest Server::request_digest(const SolveRequest& request) const {
+  // Everything that shapes the response bytes participates in the key
+  // EXCEPT the deadline: a published (necessarily non-degraded) response is
+  // a full-quality answer valid under any budget, and degraded responses
+  // are never published. eps and seed are mixed bit-exactly.
+  InstanceHasher hasher;
+  hasher.update_u64(request.kind == SolveRequest::Kind::kPath ? 1 : 2);
+  hasher.update(request.algo);
+  std::uint64_t eps_bits = 0;
+  static_assert(sizeof(eps_bits) == sizeof(request.eps));
+  std::memcpy(&eps_bits, &request.eps, sizeof(eps_bits));
+  hasher.update_u64(eps_bits);
+  hasher.update_u64(request.seed);
+  hasher.update_u64(request.want_certificate ? 1 : 0);
+  hasher.update(canonical_instance_text(request.instance_text));
+  return hasher.digest();
 }
 
-void Server::record_latency(double ms) {
-  std::lock_guard lock(latency_mutex_);
-  if (latency_ring_.size() < kLatencyRingCapacity) {
-    latency_ring_.push_back(ms);
-  } else {
-    latency_ring_[latency_next_] = ms;
-    latency_next_ = (latency_next_ + 1) % kLatencyRingCapacity;
-  }
-  ++latency_total_;
-  if (ms > latency_max_) latency_max_ = ms;
+void Server::record_latency(const ResponseTarget& target) {
+  const double ms = 1e3 * std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              target.admitted_at)
+                              .count();
+  latency_->record(ms, target.shard);
 }
 
 ServerStats Server::stats_snapshot() const {
@@ -616,22 +738,30 @@ ServerStats Server::stats_snapshot() const {
       requests_deadline_exceeded_.load(std::memory_order_relaxed);
   stats.requests_degraded = requests_degraded_.load(std::memory_order_relaxed);
   stats.stats_requests = stats_requests_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard lock(jobs_mutex_);
-    stats.queue_depth = queued_;
-    stats.active_solves = active_;
+  stats.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  if (shards_) {
+    stats.shards = shards_->gauges();
+    for (const ShardPool::ShardGauges& shard : stats.shards) {
+      stats.queue_depth += shard.queue_depth;
+      stats.active_solves += shard.active;
+    }
   }
-  std::vector<double> sample;
-  {
-    std::lock_guard lock(latency_mutex_);
-    sample = latency_ring_;
-    stats.latency_samples = latency_total_;
-    stats.latency_max_ms = latency_max_;
+  if (cache_) {
+    const SolveCache::Stats cache = cache_->stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+    stats.cache_coalesced = cache.coalesced;
+    stats.cache_evictions = cache.evictions;
+    stats.cache_entries = cache.entries;
   }
-  if (!sample.empty()) {
-    stats.latency_p50_ms = percentile(sample, 50.0);
-    stats.latency_p95_ms = percentile(sample, 95.0);
-    stats.latency_p99_ms = percentile(sample, 99.0);
+  if (loop_) stats.loop_wakeups = loop_->wakeups();
+  if (latency_) {
+    const LatencyReservoir::Snapshot latency = latency_->snapshot();
+    stats.latency_samples = latency.samples;
+    stats.latency_p50_ms = latency.p50_ms;
+    stats.latency_p95_ms = latency.p95_ms;
+    stats.latency_p99_ms = latency.p99_ms;
+    stats.latency_max_ms = latency.max_ms;
   }
   return stats;
 }

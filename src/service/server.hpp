@@ -1,40 +1,53 @@
 // sapd: a long-running SAP solver service over loopback/LAN TCP.
 //
-// Threading model (a miniature inference server):
-//   - one listener thread accepts connections;
-//   - one reader thread per connection parses frames and either answers
-//     inline (stats, rejections) or admits the solve into a *bounded*
-//     admission queue — when the queue is full the request is rejected
-//     immediately with a typed OVERLOADED error (backpressure, never
-//     unbounded buffering, never a silent drop);
-//   - admitted solves run on a shared ThreadPool; the worker writes the
-//     response back on the request's connection under a per-connection
-//     write lock (a connection may have responses from stats and solves
-//     interleaving).
+// Architecture (a miniature inference server, scale-out edition):
+//   - ONE epoll event loop thread (event_loop.hpp) owns every socket:
+//     non-blocking accept/read/write, per-connection framing state
+//     machines, write backpressure and half-open-peer shedding. Stats
+//     requests and typed rejections are answered inline on the loop;
+//   - solves are routed by the canonical instance digest
+//     (io/canonical.hpp) to N sharded worker pools (shard.hpp) with
+//     best-effort CPU affinity — identical instances always land on the
+//     same shard. Each shard's admission queue is *bounded*: when full the
+//     request is rejected immediately with a typed OVERLOADED error
+//     (backpressure, never unbounded buffering, never a silent drop);
+//   - an optional bounded LRU solve cache (solve_cache.hpp), keyed by the
+//     canonical digest, serves repeated instances without solving and
+//     coalesces concurrent identical solves into one computation whose
+//     byte-identical response fans out to every waiter. Degraded or
+//     errored computations are never cached;
+//   - a batched frame (kBatchSolveRequest) carries N independent solve
+//     payloads in one round trip; items are individually admitted, cached
+//     and sharded, and the aggregated response preserves order.
 //
 // Shutdown contract (SIGTERM-friendly, exercised under ASan): stop() closes
-// the listener first, lets every admitted solve finish and flush its
-// response, unblocks connection readers, then joins all threads. New work
-// arriving while draining gets a SHUTTING_DOWN error.
+// the listener first, lets every admitted solve finish, flushes every
+// buffered response (bounded by the write-stall timeout for wedged peers),
+// then joins the loop and the workers. New work arriving while draining
+// gets a SHUTTING_DOWN error.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
-#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cert/certify.hpp"
 #include "src/exact/profile_dp.hpp"
+#include "src/io/canonical.hpp"
 #include "src/io/instance_io.hpp"
+#include "src/service/event_loop.hpp"
 #include "src/service/protocol.hpp"
+#include "src/service/shard.hpp"
+#include "src/service/solve_cache.hpp"
 #include "src/util/deadline.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/util/latency_reservoir.hpp"
 
 namespace sap::service {
 
@@ -53,10 +66,20 @@ struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral; query Server::port() after start
   std::size_t solver_threads = 0;  ///< 0 = hardware_concurrency
-  /// Solves admitted but not yet started. Beyond this, OVERLOADED.
+  /// Worker shards the solver threads are split across; instances route to
+  /// shards by canonical digest. 1 = the classic single-queue behaviour.
+  std::size_t shards = 1;
+  /// Solves admitted but not yet started, per shard. Beyond this,
+  /// OVERLOADED.
   std::size_t max_queue = 64;
+  /// Solve-cache capacity in entries. 0 (default) disables caching AND
+  /// in-flight coalescing — repeated identical requests then consume queue
+  /// slots like distinct ones, which the admission tests rely on.
+  std::size_t cache_entries = 0;
   /// Frame payload ceiling enforced before allocation.
   std::size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Items per kBatchSolveRequest frame, enforced before any inner parse.
+  std::size_t max_batch_items = kDefaultMaxBatchItems;
   /// Caps applied when parsing network-supplied instance text.
   ReadLimits read_limits{.max_edges = 1'000'000,
                          .max_tasks = 1'000'000,
@@ -73,9 +96,14 @@ struct ServerOptions {
   /// budget-capped approximation and marks the response `degraded 1`;
   /// false rejects with a typed DEADLINE_EXCEEDED error instead.
   bool degrade_on_deadline = true;
-  /// SO_SNDTIMEO applied to accepted sockets: a worker must never block
-  /// forever writing to a dead or half-open peer.
+  /// Buffered response bytes making no progress toward a peer for this
+  /// long poison the connection (the event-loop replacement for
+  /// SO_SNDTIMEO): a dead or half-open peer can only pin resources for a
+  /// bounded time.
   std::chrono::milliseconds send_timeout{30'000};
+  /// Pin each shard's workers to distinct CPUs (Linux, best effort; only
+  /// applied when shards > 1).
+  bool pin_cpus = true;
   /// Fault-injection test seam: invoked at the named points on the worker
   /// thread. Production configs leave it empty.
   FaultInjector fault_injector;
@@ -93,8 +121,18 @@ struct ServerStats {
   std::uint64_t requests_deadline_exceeded = 0;
   std::uint64_t requests_degraded = 0;  ///< served ok, but degraded
   std::uint64_t stats_requests = 0;
-  std::size_t queue_depth = 0;    ///< admitted, not yet started
-  std::size_t active_solves = 0;  ///< running on the pool right now
+  std::uint64_t batch_requests = 0;  ///< batch frames (items count above)
+  std::size_t queue_depth = 0;    ///< admitted, not yet started (all shards)
+  std::size_t active_solves = 0;  ///< running on the pools right now
+  /// Per-shard gauges, index = shard id.
+  std::vector<ShardPool::ShardGauges> shards;
+  /// Solve cache counters (all zero when the cache is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_coalesced = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_entries = 0;
+  std::uint64_t loop_wakeups = 0;  ///< eventfd wakeups of the event loop
   std::size_t latency_samples = 0;
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
@@ -113,8 +151,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and spawns the listener + solver pool. Throws
-  /// std::runtime_error when the address cannot be bound.
+  /// Binds, listens and spawns the event loop + sharded solver pools.
+  /// Throws std::runtime_error when the address cannot be bound.
   void start();
 
   /// Bound port (after start()); useful with an ephemeral `port = 0`.
@@ -128,39 +166,75 @@ class Server {
   [[nodiscard]] ServerStats stats_snapshot() const;
 
  private:
-  struct Connection;
+  struct BatchContext;
 
-  void listener_loop();
-  void connection_loop(std::shared_ptr<Connection> conn);
-  void handle_solve_frame(const std::shared_ptr<Connection>& conn,
-                          std::string payload);
-  /// Returns true when a solution was served (latency samples cover only
-  /// successful solves).
-  bool run_solve_job(const std::shared_ptr<Connection>& conn,
-                     const std::string& payload);
-  void send_error(const std::shared_ptr<Connection>& conn, ErrorCode code,
-                  const std::string& message);
-  void record_latency(double ms);
-  void reap_finished_connections();
+  /// Where a finished solve's bytes go: a connection's single-response
+  /// frame, or one slot of a batch aggregate.
+  struct ResponseTarget {
+    ConnPtr conn;
+    std::shared_ptr<BatchContext> batch;  ///< null = standalone response
+    std::size_t slot = 0;
+    bool counts_pending = false;  ///< completion consumes one promise
+    std::size_t shard = 0;        ///< latency-reservoir stripe hint
+    std::chrono::steady_clock::time_point admitted_at{};
+  };
+
+  /// A request parked behind an in-flight identical computation.
+  struct WaiterRecord {
+    ResponseTarget target;
+    SolveRequest request;  ///< kept for re-dispatch if the owner abandons
+  };
+
+  void on_frame(const ConnPtr& conn, std::uint32_t type,
+                std::string payload);
+  void on_protocol_error(const ConnPtr& conn, ReadStatus status,
+                         std::uint32_t declared_length);
+  void handle_solve_frame(const ConnPtr& conn, std::string payload);
+  void handle_batch_frame(const ConnPtr& conn, std::string payload);
+  /// Parses, consults the cache, and routes to a shard (loop thread).
+  void dispatch_payload(ResponseTarget target, const std::string& payload);
+  void dispatch_request(ResponseTarget target, SolveRequest request,
+                        bool allow_cache);
+  /// Runs one solve and fans the outcome out (worker thread). `cache_key`
+  /// is set iff this computation owns an in-flight cache slot.
+  void run_and_respond(const ResponseTarget& target,
+                       const SolveRequest& request,
+                       const std::optional<InstanceDigest>& cache_key);
+  /// Pure solve: fills response or rejection; true = served.
+  bool run_solve_request(const SolveRequest& request, SolveResponse* response,
+                         ErrorResponse* rejection);
+  void complete_ok(const ResponseTarget& target, const std::string& payload);
+  void complete_error(const ResponseTarget& target, ErrorCode code,
+                      const std::string& message);
+  void finish_batch_slot(const ResponseTarget& target, bool ok,
+                         std::string payload);
+  void count_rejection(ErrorCode code);
+  /// Pops parked waiters and either completes them with the published
+  /// payload or re-dispatches them cache-less after an abandon.
+  void settle_waiters(const std::vector<std::uint64_t>& ids,
+                      const std::string* published_payload);
+  [[nodiscard]] InstanceDigest request_digest(
+      const SolveRequest& request) const;
+  void record_latency(const ResponseTarget& target);
 
   ServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  std::thread listener_;
-  std::unique_ptr<ThreadPool> pool_;
   std::chrono::steady_clock::time_point started_at_;
 
-  mutable std::mutex conn_mutex_;
-  std::vector<std::pair<std::thread, std::shared_ptr<Connection>>> conns_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<ShardPool> shards_;
+  std::unique_ptr<SolveCache> cache_;
+  std::unique_ptr<LatencyReservoir> latency_;
 
-  // Admission accounting: queued_ + active_ is the in-flight total that
-  // stop() drains to zero.
-  mutable std::mutex jobs_mutex_;
-  std::condition_variable jobs_done_;
-  std::size_t queued_ = 0;
-  std::size_t active_ = 0;
+  // Parked coalesced waiters, keyed by the id the cache holds. Records are
+  // inserted *before* SolveCache::acquire so a publish can never return an
+  // id that is not yet here.
+  mutable std::mutex waiters_mutex_;
+  std::uint64_t next_waiter_id_ = 1;
+  std::unordered_map<std::uint64_t, WaiterRecord> waiters_;
 
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> requests_ok_{0};
@@ -171,13 +245,7 @@ class Server {
   std::atomic<std::uint64_t> requests_deadline_exceeded_{0};
   std::atomic<std::uint64_t> requests_degraded_{0};
   std::atomic<std::uint64_t> stats_requests_{0};
-
-  // Bounded reservoir of recent solve latencies for the percentiles.
-  mutable std::mutex latency_mutex_;
-  std::vector<double> latency_ring_;
-  std::size_t latency_next_ = 0;
-  std::size_t latency_total_ = 0;
-  double latency_max_ = 0.0;
+  std::atomic<std::uint64_t> batch_requests_{0};
 };
 
 }  // namespace sap::service

@@ -1,0 +1,169 @@
+#include "src/service/shard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace sap::service {
+namespace {
+
+void pin_to_cpu(std::thread& thread, std::size_t cpu) {
+#ifdef __linux__
+  // Best effort: a failed pin (cpuset restrictions, fewer CPUs than
+  // shards*workers) degrades to the scheduler's placement, never an error.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % CPU_SETSIZE, &set);
+  (void)::pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#else
+  (void)thread;
+  (void)cpu;
+#endif
+}
+
+}  // namespace
+
+ShardPool::ShardPool(const Options& options)
+    : queue_capacity_(std::max<std::size_t>(1, options.queue_capacity)) {
+  const std::size_t shard_count = std::max<std::size_t>(1, options.shards);
+  const std::size_t threads_total =
+      options.threads != 0
+          ? options.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, threads_total / shard_count);
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    Shard& shard = *shards_[s];
+    shard.workers.reserve(per_shard);
+    for (std::size_t w = 0; w < per_shard; ++w) {
+      shard.workers.emplace_back([this, &shard] { worker_loop(shard); });
+      if (options.pin_cpus && shard_count > 1) {
+        pin_to_cpu(shard.workers.back(), (s * per_shard + w) % hw);
+      }
+    }
+  }
+}
+
+ShardPool::~ShardPool() { stop(); }
+
+ShardPool::Submit ShardPool::enqueue(std::uint64_t route_hash,
+                                     std::function<void()> job,
+                                     bool enforce_capacity) {
+  Shard& shard = *shards_[shard_of(route_hash)];
+  {
+    std::lock_guard lock(shard.mutex);
+    if (stopping_.load(std::memory_order_relaxed)) return Submit::kStopped;
+    if (enforce_capacity && shard.queue.size() >= queue_capacity_) {
+      return Submit::kFull;
+    }
+    shard.queue.push_back(std::move(job));
+  }
+  shard.work_ready.notify_one();
+  return Submit::kOk;
+}
+
+ShardPool::Submit ShardPool::submit(std::uint64_t route_hash,
+                                    std::function<void()> job) {
+  return enqueue(route_hash, std::move(job), /*enforce_capacity=*/true);
+}
+
+ShardPool::Submit ShardPool::submit_admitted(std::uint64_t route_hash,
+                                             std::function<void()> job) {
+  return enqueue(route_hash, std::move(job), /*enforce_capacity=*/false);
+}
+
+void ShardPool::worker_loop(Shard& shard) {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(shard.mutex);
+      shard.work_ready.wait(lock, [this, &shard] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               !shard.queue.empty();
+      });
+      if (shard.queue.empty()) return;  // stopping, nothing left
+      job = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      ++shard.active;
+    }
+    job();
+    {
+      std::lock_guard lock(shard.mutex);
+      --shard.active;
+      if (shard.queue.empty() && shard.active == 0) shard.idle.notify_all();
+    }
+  }
+}
+
+void ShardPool::drain() {
+  // A running job may re-dispatch onto *another* shard (coalesced-waiter
+  // hand-off), so one pass per shard is not enough: loop until a verify
+  // pass over all shards observes simultaneous quiescence. Terminates
+  // because re-dispatched jobs run with coalescing disabled and thus never
+  // spawn further work.
+  for (;;) {
+    for (const auto& shard : shards_) {
+      std::unique_lock lock(shard->mutex);
+      shard->idle.wait(lock, [&shard] {
+        return shard->queue.empty() && shard->active == 0;
+      });
+    }
+    bool all_idle = true;
+    for (const auto& shard : shards_) {
+      std::lock_guard lock(shard->mutex);
+      if (!shard->queue.empty() || shard->active != 0) {
+        all_idle = false;
+        break;
+      }
+    }
+    if (all_idle) return;
+  }
+}
+
+void ShardPool::stop() {
+  stopping_.store(true);
+  for (const auto& shard : shards_) {
+    // Taking the mutex before notifying closes the race with a worker that
+    // checked the predicate just before stopping_ flipped.
+    std::lock_guard lock(shard->mutex);
+    shard->work_ready.notify_all();
+  }
+  for (const auto& shard : shards_) {
+    for (std::thread& worker : shard->workers) {
+      if (worker.joinable()) worker.join();
+    }
+    shard->workers.clear();
+  }
+}
+
+std::vector<ShardPool::ShardGauges> ShardPool::gauges() const {
+  std::vector<ShardGauges> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    out.push_back(ShardGauges{shard->queue.size(), shard->active});
+  }
+  return out;
+}
+
+ShardPool::ShardGauges ShardPool::totals() const {
+  ShardGauges total;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total.queue_depth += shard->queue.size();
+    total.active += shard->active;
+  }
+  return total;
+}
+
+}  // namespace sap::service

@@ -1,0 +1,67 @@
+#include "src/service/solve_cache.hpp"
+
+#include <utility>
+
+namespace sap::service {
+
+SolveCache::Acquired SolveCache::acquire(const InstanceDigest& key,
+                                         std::uint64_t waiter_id) {
+  if (!enabled()) return {Role::kDisabled, {}};
+  std::lock_guard lock(mutex_);
+  if (const auto hit = entries_.find(key); hit != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, hit->second);  // refresh recency
+    return {Role::kHit, hit->second->payload};
+  }
+  if (const auto flight = in_flight_.find(key); flight != in_flight_.end()) {
+    ++coalesced_;
+    flight->second.push_back(waiter_id);
+    return {Role::kWaiter, {}};
+  }
+  ++misses_;
+  in_flight_.emplace(key, std::vector<std::uint64_t>{});
+  return {Role::kOwner, {}};
+}
+
+std::vector<std::uint64_t> SolveCache::publish(const InstanceDigest& key,
+                                               std::string payload) {
+  if (!enabled()) return {};
+  std::lock_guard lock(mutex_);
+  const auto flight = in_flight_.find(key);
+  if (flight == in_flight_.end()) return {};
+  std::vector<std::uint64_t> waiters = std::move(flight->second);
+  in_flight_.erase(flight);
+  if (entries_.find(key) == entries_.end()) {
+    lru_.push_front(Entry{key, std::move(payload)});
+    entries_.emplace(key, lru_.begin());
+    while (entries_.size() > max_entries_) {
+      entries_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+  return waiters;
+}
+
+std::vector<std::uint64_t> SolveCache::abandon(const InstanceDigest& key) {
+  if (!enabled()) return {};
+  std::lock_guard lock(mutex_);
+  const auto flight = in_flight_.find(key);
+  if (flight == in_flight_.end()) return {};
+  std::vector<std::uint64_t> waiters = std::move(flight->second);
+  in_flight_.erase(flight);
+  return waiters;
+}
+
+SolveCache::Stats SolveCache::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.coalesced = coalesced_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+}  // namespace sap::service

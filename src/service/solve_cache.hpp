@@ -1,0 +1,117 @@
+// Bounded LRU cache of encoded solve responses, keyed by the canonical
+// instance digest (src/io/canonical.hpp), with in-flight request
+// coalescing: concurrent identical solves share one computation and every
+// participant receives the byte-identical stored payload.
+//
+// Lifecycle of one key:
+//   acquire(k)  -> kHit      the payload is cached; serve it immediately.
+//               -> kOwner    nobody is computing k; the caller must solve
+//                            and then publish() or abandon().
+//               -> kWaiter   an owner is already solving k; the caller's
+//                            waiter id was parked and will be returned by
+//                            that owner's publish()/abandon().
+//   publish(k)  stores the payload in the LRU (evicting beyond capacity)
+//               and returns the parked waiter ids — the caller completes
+//               them OUTSIDE the cache lock with the same bytes.
+//   abandon(k)  drops the in-flight marker without storing anything and
+//               returns the parked waiter ids for individual re-dispatch.
+//               Degraded, errored, or deadline-expired computations MUST
+//               abandon: a partial or budget-shaped result is a property of
+//               one request's deadline, not of the instance, and must never
+//               be served to a future request (docs/SERVICE.md).
+//
+// The cache never invokes callbacks and never blocks on solves — it only
+// moves ids and strings under one mutex — so any thread (event loop or
+// solver worker) may call any method without lock-ordering concerns.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/io/canonical.hpp"
+
+namespace sap::service {
+
+class SolveCache {
+ public:
+  enum class Role {
+    kHit,       ///< payload returned; nothing to publish
+    kOwner,     ///< caller computes, then publish() or abandon()
+    kWaiter,    ///< parked behind an in-flight owner
+    kDisabled,  ///< capacity 0: caller solves; no publish/abandon needed
+  };
+
+  struct Acquired {
+    Role role = Role::kDisabled;
+    std::string payload;  ///< valid when role == kHit
+  };
+
+  /// Monotonic counters + the entry-count gauge for the stats endpoint.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  /// `max_entries == 0` disables the cache: acquire() always returns
+  /// kDisabled and records nothing.
+  explicit SolveCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return max_entries_ > 0; }
+
+  /// Looks `key` up; on kWaiter the caller-supplied `waiter_id` is parked
+  /// under the in-flight owner. A hit refreshes the entry's LRU position.
+  [[nodiscard]] Acquired acquire(const InstanceDigest& key,
+                                 std::uint64_t waiter_id);
+
+  /// Resolves an owned in-flight computation with `payload`, storing it and
+  /// evicting least-recently-used entries beyond capacity. Returns the
+  /// parked waiter ids (possibly empty). No-op (returning {}) when the
+  /// cache is disabled or the key is not in flight.
+  [[nodiscard]] std::vector<std::uint64_t> publish(const InstanceDigest& key,
+                                                   std::string payload);
+
+  /// Drops an owned in-flight computation without caching anything and
+  /// returns the parked waiter ids so the caller can re-dispatch each one.
+  [[nodiscard]] std::vector<std::uint64_t> abandon(const InstanceDigest& key);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const InstanceDigest& d) const noexcept {
+      return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  struct Entry {
+    InstanceDigest key;
+    std::string payload;
+  };
+
+  const std::size_t max_entries_;
+
+  mutable std::mutex mutex_;
+  // LRU order: front = most recent. The map indexes into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<InstanceDigest, std::list<Entry>::iterator, DigestHash>
+      entries_;
+  std::unordered_map<InstanceDigest, std::vector<std::uint64_t>, DigestHash>
+      in_flight_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace sap::service

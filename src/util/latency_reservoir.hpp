@@ -1,0 +1,59 @@
+// Thread-safe bounded reservoir of recent latency samples with percentile
+// snapshots, striped to keep recording cheap when many shards/workers report
+// concurrently. Extracted from the sapd server (which used a single
+// mutex+ring) so the sharded path records without a global hot lock and the
+// whole structure is testable — and TSan-checkable — in isolation.
+//
+// Each stripe is an independent mutex-guarded ring; record() touches exactly
+// one stripe chosen by the caller's hint (shard index), so recorders on
+// different shards never contend. snapshot() locks the stripes one at a time
+// — percentiles over a merged reservoir are approximate under concurrent
+// writes, which is fine for an observability endpoint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sap {
+
+class LatencyReservoir {
+ public:
+  struct Snapshot {
+    std::size_t samples = 0;  ///< total ever recorded (not just retained)
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
+  /// `capacity` bounds the *total* retained samples across all stripes;
+  /// each of the `stripes` rings holds capacity/stripes (min 1).
+  explicit LatencyReservoir(std::size_t capacity = 4096,
+                            std::size_t stripes = 1);
+
+  LatencyReservoir(const LatencyReservoir&) = delete;
+  LatencyReservoir& operator=(const LatencyReservoir&) = delete;
+
+  /// Records one sample; `stripe_hint` picks the stripe (mod stripe count),
+  /// so callers pass their shard index for contention-free recording.
+  void record(double ms, std::size_t stripe_hint = 0);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::vector<double> ring;
+    std::size_t next = 0;
+    std::uint64_t total = 0;
+    double max_ms = 0.0;
+  };
+
+  std::size_t stripe_capacity_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace sap

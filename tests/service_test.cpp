@@ -9,7 +9,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <numeric>
 #include <semaphore>
@@ -775,6 +778,312 @@ TEST(ServiceTest, SolveWithRetryGivesUpAfterMaxAttemptsOnDeadServer) {
               std::string::npos)
         << error.what();
   }
+}
+
+TEST(ServiceBatchTest, BatchFrameSolvesItemsIndividuallyAndPreservesOrder) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest path_request;
+  path_request.instance_text =
+      "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n0 0 2 5\n";
+  SolveRequest bad_request;
+  bad_request.instance_text = "sap-path v1\nedges NOT_A_NUMBER\n";
+  SolveRequest ring_request;
+  ring_request.kind = SolveRequest::Kind::kRing;
+  {
+    RingGenOptions gen;
+    gen.num_edges = 6;
+    gen.num_tasks = 8;
+    Rng rng(5);
+    ring_request.instance_text = ring_to_string(generate_ring_instance(gen, rng));
+  }
+
+  const std::vector<Client::SolveOutcome> outcomes =
+      client.solve_batch({path_request, bad_request, ring_request});
+  ASSERT_EQ(outcomes.size(), 3u);
+
+  // Slot 0 and 2 match the equivalent sequential round trips; the bad item
+  // rejects only its own slot.
+  ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error_message;
+  ASSERT_FALSE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].error_code, ErrorCode::kBadRequest);
+  ASSERT_TRUE(outcomes[2].ok) << outcomes[2].error_message;
+
+  const Client::SolveOutcome path_alone = client.solve(path_request);
+  const Client::SolveOutcome ring_alone = client.solve(ring_request);
+  ASSERT_TRUE(path_alone.ok);
+  ASSERT_TRUE(ring_alone.ok);
+  EXPECT_EQ(outcomes[0].response.solution_text,
+            path_alone.response.solution_text);
+  EXPECT_EQ(outcomes[0].response.weight, path_alone.response.weight);
+  EXPECT_EQ(outcomes[2].response.solution_text,
+            ring_alone.response.solution_text);
+  EXPECT_EQ(outcomes[2].response.weight, ring_alone.response.weight);
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.batch_requests, 1u);
+  EXPECT_EQ(stats.requests_ok, 4u);  // 2 batch slots + 2 sequential
+  EXPECT_EQ(stats.requests_bad, 1u);
+  server.stop();
+}
+
+TEST(ServiceBatchTest, BatchOverItemLimitRejectedBeforeAnyInnerParse) {
+  ServerOptions options;
+  options.max_batch_items = 2;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest request;
+  request.instance_text =
+      "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n0 0 2 5\n";
+  const std::vector<Client::SolveOutcome> outcomes =
+      client.solve_batch({request, request, request});
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const Client::SolveOutcome& outcome : outcomes) {
+    ASSERT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error_code, ErrorCode::kBadRequest);
+    EXPECT_NE(outcome.error_message.find("exceeds receiver limit"),
+              std::string::npos)
+        << outcome.error_message;
+  }
+  // The connection survives the rejection (frame boundary intact).
+  const Client::SolveOutcome after = client.solve(request);
+  EXPECT_TRUE(after.ok) << after.error_message;
+  server.stop();
+}
+
+/// Extracts the `-- instance` section of a sap-golden v1 fixture.
+std::string golden_instance_text(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::string line, instance;
+  bool in_instance = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("--", 0) == 0) {
+      in_instance = line == "-- instance";
+      continue;
+    }
+    if (in_instance) {
+      instance += line;
+      instance += '\n';
+    }
+  }
+  return instance;
+}
+
+TEST(ServiceCacheTest, CachedResponsesMatchFreshSolvesAcrossGoldenSuite) {
+  // Differential: for every checked-in golden fixture, the answer served
+  // from the cache must match both the first (fresh) serve and a
+  // cache-disabled server's serve.
+  ServerOptions cached_options;
+  cached_options.cache_entries = 64;
+  Server cached_server(cached_options);
+  cached_server.start();
+  Server plain_server(ServerOptions{});  // cache off
+  plain_server.start();
+
+  Client cached_client, plain_client;
+  cached_client.connect("127.0.0.1", cached_server.port());
+  plain_client.connect("127.0.0.1", plain_server.port());
+
+  std::vector<std::string> fixtures;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SAPKIT_GOLDEN_DIR)) {
+    fixtures.push_back(entry.path().string());
+  }
+  std::sort(fixtures.begin(), fixtures.end());
+  ASSERT_GE(fixtures.size(), 25u);
+
+  std::size_t cases = 0;
+  for (const std::string& path : fixtures) {
+    SolveRequest request;
+    request.instance_text = golden_instance_text(path);
+    if (request.instance_text.rfind("sap-ring", 0) == 0) {
+      request.kind = SolveRequest::Kind::kRing;
+    } else if (request.instance_text.rfind("sap-path", 0) != 0) {
+      continue;  // not an instance-bearing fixture
+    }
+    ++cases;
+
+    const Client::SolveOutcome fresh = cached_client.solve(request);
+    const Client::SolveOutcome cached = cached_client.solve(request);
+    const Client::SolveOutcome plain = plain_client.solve(request);
+    ASSERT_TRUE(fresh.ok) << path << ": " << fresh.error_message;
+    ASSERT_TRUE(cached.ok) << path << ": " << cached.error_message;
+    ASSERT_TRUE(plain.ok) << path << ": " << plain.error_message;
+
+    // The cached serve replays the stored payload byte-for-byte, so even
+    // wall_micros matches the fresh serve it was stored from.
+    EXPECT_EQ(cached.response.solution_text, fresh.response.solution_text)
+        << path;
+    EXPECT_EQ(cached.response.weight, fresh.response.weight) << path;
+    EXPECT_EQ(cached.response.wall_micros, fresh.response.wall_micros)
+        << path;
+    EXPECT_FALSE(cached.response.degraded) << path;
+    // And a server with no cache at all computes the same answer.
+    EXPECT_EQ(cached.response.solution_text, plain.response.solution_text)
+        << path;
+    EXPECT_EQ(cached.response.weight, plain.response.weight) << path;
+  }
+  ASSERT_GE(cases, 25u);
+
+  // Some fixtures pin the same instance under different solver configs, so
+  // distinct cache keys can number fewer than fixtures: every serve is
+  // accounted a hit or a miss, every fixture's second serve hit, and each
+  // miss published exactly one entry.
+  const ServerStats stats = cached_server.stats_snapshot();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 2 * cases);
+  EXPECT_GE(stats.cache_hits, cases);
+  EXPECT_EQ(stats.cache_misses, stats.cache_entries);
+  EXPECT_LE(stats.cache_entries, 64u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+  const ServerStats plain_stats = plain_server.stats_snapshot();
+  EXPECT_EQ(plain_stats.cache_hits, 0u);
+  EXPECT_EQ(plain_stats.cache_misses, 0u);
+  cached_server.stop();
+  plain_server.stop();
+}
+
+TEST(ServiceCacheTest, ConcurrentIdenticalRequestsCoalesceIntoOneSolve) {
+  std::counting_semaphore<64> gate(0);
+  ServerOptions options;
+  options.solver_threads = 1;
+  options.cache_entries = 8;
+  options.fault_injector = [&gate](FaultPoint point) {
+    if (point == FaultPoint::kPreSolve) gate.acquire();
+  };
+  Server server(options);
+  server.start();
+
+  SolveRequest request;
+  request.instance_text =
+      "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n0 0 2 5\n";
+
+  // The first request becomes the owner and blocks in the hook; the other
+  // two coalesce behind it without consuming queue slots or workers.
+  constexpr std::size_t kClients = 3;
+  Client::SolveOutcome outcomes[kClients];
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      client.connect("127.0.0.1", server.port());
+      outcomes[c] = client.solve(request);
+    });
+    if (c == 0) {
+      spin_until([&] { return server.stats_snapshot().active_solves == 1; });
+    }
+  }
+  spin_until([&] { return server.stats_snapshot().cache_coalesced == 2; });
+  EXPECT_EQ(server.stats_snapshot().queue_depth, 0u);
+
+  gate.release(1);  // only the owner ever reaches the hook
+  for (auto& thread : clients) thread.join();
+
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(outcomes[c].ok) << outcomes[c].error_message;
+    // Byte-identical fan-out: every waiter got the owner's stored payload.
+    EXPECT_EQ(outcomes[c].response.solution_text,
+              outcomes[0].response.solution_text);
+    EXPECT_EQ(outcomes[c].response.wall_micros,
+              outcomes[0].response.wall_micros);
+  }
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_ok, 3u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_coalesced, 2u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+  server.stop();
+}
+
+TEST(ServiceCacheTest, DegradedResponseIsNeverCached) {
+  ServerOptions options;
+  options.cache_entries = 8;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest request;
+  request.algo = "exact";
+  request.deadline_ms = 1;
+  request.instance_text = adversarial_exact_instance();
+
+  const Client::SolveOutcome first = client.solve(request);
+  ASSERT_TRUE(first.ok) << first.error_message;
+  EXPECT_TRUE(first.response.degraded);
+
+  // A degraded result reflects the request's budget, not the instance: it
+  // must not have been published, so the identical request solves again
+  // (and degrades again) instead of replaying the partial answer.
+  const ServerStats between = server.stats_snapshot();
+  EXPECT_EQ(between.cache_entries, 0u);
+  EXPECT_EQ(between.cache_hits, 0u);
+
+  const Client::SolveOutcome second = client.solve(request);
+  ASSERT_TRUE(second.ok) << second.error_message;
+  EXPECT_TRUE(second.response.degraded);
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_entries, 0u);
+  EXPECT_EQ(stats.requests_degraded, 2u);
+  server.stop();
+}
+
+TEST(ServiceShardTest, ShardedServerServesCorrectlyAndReportsPerShardGauges) {
+  ServerOptions options;
+  options.shards = 4;
+  options.solver_threads = 4;
+  options.pin_cpus = false;  // CI runners dislike affinity asserts
+  Server server(options);
+  server.start();
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRequestsPerClient = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, port = server.port(), &failures] {
+      Client client;
+      client.connect("127.0.0.1", port);
+      for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
+        const std::uint64_t seed = 31 * c + r;
+        Rng rng(seed);
+        PathGenOptions gen;
+        gen.num_edges = 8;
+        gen.num_tasks = 10;
+        SolveRequest request;
+        request.seed = seed;
+        request.instance_text = to_string(generate_path_instance(gen, rng));
+        const Client::SolveOutcome outcome = client.solve(request);
+        if (!outcome.ok) {
+          ++failures;
+          continue;
+        }
+        const std::string expected = reference_path_solution(
+            request.instance_text, request.eps, request.seed);
+        if (outcome.response.solution_text != expected) ++failures;
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_ok, kClients * kRequestsPerClient);
+  ASSERT_EQ(stats.shards.size(), 4u);
+  for (const ShardPool::ShardGauges& shard : stats.shards) {
+    EXPECT_EQ(shard.queue_depth, 0u);
+    EXPECT_EQ(shard.active, 0u);
+  }
+  server.stop();
 }
 
 }  // namespace
