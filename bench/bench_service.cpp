@@ -18,6 +18,13 @@
 // back to the budget-capped approximation instead of rejecting, so
 // requests_ok should stay total while p95/p99/max collapse toward B).
 //
+// With --mixed an additional closed-loop pass interleaves the three request
+// kinds round-robin by request index (path solve, round-ufp, round-sap) on
+// the same pool, measuring the service under a heterogeneous workload where
+// single-round and minimum-round solves share the queue and the cache key
+// space (the kind is a digest lane, so same-instance requests of different
+// kinds never collide).
+//
 // The remaining sections exercise the scale-out serving core (event loop +
 // shards + solve cache) against a second, cache-enabled server:
 //
@@ -38,7 +45,7 @@
 //                      cache-hit rate.
 //
 // Usage: bench_service [--clients C] [--requests N] [--threads T]
-//                      [--certify] [--deadline-ms B1,B2,...]
+//                      [--certify] [--deadline-ms B1,B2,...] [--mixed]
 //                      [--open-loop] [--target-qps Q] [--duration-s S]
 //                      [--open-clients C] [--sweep-clients C1,C2,...]
 //                      [--cache-sweep] [--shards S] [--cache-entries E]
@@ -116,6 +123,7 @@ struct PassResult {
   std::size_t errors = 0;
   std::size_t certificates = 0;  ///< responses carrying a certificate
   std::size_t degraded = 0;      ///< responses marked "degraded 1"
+  std::size_t round_responses = 0;  ///< responses carrying a "rounds" line
   double wall_seconds = 0.0;
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;
   double qps = 0.0;
@@ -124,11 +132,13 @@ struct PassResult {
 PassResult run_pass(service::Server& server,
                     const std::vector<PooledInstance>& pool,
                     std::size_t clients, std::size_t requests_per_client,
-                    bool certify, std::int64_t deadline_ms = 0) {
+                    bool certify, std::int64_t deadline_ms = 0,
+                    bool mixed = false) {
   std::vector<std::vector<double>> per_client_ms(clients);
   std::vector<std::size_t> per_client_errors(clients, 0);
   std::vector<std::size_t> per_client_certs(clients, 0);
   std::vector<std::size_t> per_client_degraded(clients, 0);
+  std::vector<std::size_t> per_client_rounds(clients, 0);
   const auto bench_start = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> workers;
@@ -142,6 +152,17 @@ PassResult run_pass(service::Server& server,
           const PooledInstance& inst =
               pool[(c * requests_per_client + r) % pool.size()];
           service::SolveRequest request;
+          if (mixed) {
+            // Round-robin by global request index: path, round-ufp,
+            // round-sap. Certificates are a single-round concept, so the
+            // mixed pass never requests them.
+            const std::size_t slot = (c * requests_per_client + r) % 3;
+            request.kind = slot == 0
+                               ? service::SolveRequest::Kind::kPath
+                               : slot == 1
+                                     ? service::SolveRequest::Kind::kRoundUfp
+                                     : service::SolveRequest::Kind::kRoundSap;
+          }
           request.eps = 0.5;
           request.seed = inst.seed;
           request.want_certificate = certify;
@@ -158,6 +179,7 @@ PassResult run_pass(service::Server& server,
               ++per_client_certs[c];
             }
             if (outcome.response.degraded) ++per_client_degraded[c];
+            if (outcome.response.is_round) ++per_client_rounds[c];
           } else {
             ++per_client_errors[c];
           }
@@ -179,6 +201,7 @@ PassResult run_pass(service::Server& server,
     out.errors += per_client_errors[c];
     out.certificates += per_client_certs[c];
     out.degraded += per_client_degraded[c];
+    out.round_responses += per_client_rounds[c];
   }
   const std::size_t total = clients * requests_per_client;
   out.qps = static_cast<double>(total - out.errors) /
@@ -221,6 +244,8 @@ void warm_cache(service::Server& server,
 struct OpenLoopResult {
   std::size_t sent = 0;
   std::size_t errors = 0;
+  std::size_t degraded = 0;     ///< ok responses marked "degraded 1"
+  double degraded_rate = 0.0;   ///< degraded / completed-ok
   double wall_seconds = 0.0;
   double qps = 0.0;       ///< completed-ok per second of scheduled window
   double target_qps = 0.0;
@@ -251,6 +276,7 @@ OpenLoopResult run_open_loop(service::Server& server,
   const std::size_t per_client = total / std::max<std::size_t>(clients, 1);
   std::vector<std::vector<double>> per_client_ms(clients);
   std::vector<std::size_t> per_client_errors(clients, 0);
+  std::vector<std::size_t> per_client_degraded(clients, 0);
   std::atomic<std::uint64_t> unique_seed{1ull << 40};
   // Every request whose global tick index t has (t % 1000) below this
   // threshold gets a unique seed: deterministic, evenly interleaved.
@@ -288,6 +314,7 @@ OpenLoopResult run_open_loop(service::Server& server,
             per_client_ms[c].push_back(
                 1e3 *
                 std::chrono::duration<double>(done - scheduled).count());
+            if (outcome.response.degraded) ++per_client_degraded[c];
           } else {
             ++per_client_errors[c];
           }
@@ -308,8 +335,13 @@ OpenLoopResult run_open_loop(service::Server& server,
     all_ms.insert(all_ms.end(), per_client_ms[c].begin(),
                   per_client_ms[c].end());
     out.errors += per_client_errors[c];
+    out.degraded += per_client_degraded[c];
   }
-  out.qps = static_cast<double>(out.sent - out.errors) /
+  const std::size_t completed = out.sent - out.errors;
+  out.degraded_rate = completed > 0 ? static_cast<double>(out.degraded) /
+                                          static_cast<double>(completed)
+                                    : 0.0;
+  out.qps = static_cast<double>(completed) /
             std::max(out.wall_seconds, 1e-9);
   out.p50 = percentile(all_ms, 50.0);
   out.p95 = percentile(all_ms, 95.0);
@@ -333,6 +365,8 @@ void write_open_loop_json(std::ostream& out, const OpenLoopResult& pass) {
   out << "      \"unique_fraction\": " << pass.unique_fraction << ",\n";
   out << "      \"requests_sent\": " << pass.sent << ",\n";
   out << "      \"requests_failed\": " << pass.errors << ",\n";
+  out << "      \"degraded_returned\": " << pass.degraded << ",\n";
+  out << "      \"degraded_rate\": " << pass.degraded_rate << ",\n";
   out << "      \"wall_seconds\": " << pass.wall_seconds << ",\n";
   out << "      \"achieved_qps\": " << pass.qps << ",\n";
   out << "      \"cache\": {\"hits\": " << pass.cache_hits
@@ -352,6 +386,7 @@ void write_pass_json(std::ostream& out, const PassResult& pass,
   out << "      \"requests_failed\": " << pass.errors << ",\n";
   out << "      \"certificates_returned\": " << pass.certificates << ",\n";
   out << "      \"degraded_returned\": " << pass.degraded << ",\n";
+  out << "      \"round_responses\": " << pass.round_responses << ",\n";
   out << "      \"wall_seconds\": " << pass.wall_seconds << ",\n";
   out << "      \"qps\": " << pass.qps << ",\n";
   out << "      \"latency_ms\": {\"p50\": " << pass.p50
@@ -367,6 +402,7 @@ int main(int argc, char** argv) {
   std::size_t requests_per_client = 40;
   std::size_t threads = 0;
   bool certify = false;
+  bool mixed = false;
   std::vector<std::int64_t> deadline_budgets;
   bool open_loop = false;
   double target_qps = 1500.0;
@@ -394,6 +430,8 @@ int main(int argc, char** argv) {
       threads = std::stoull(next());
     } else if (arg == "--certify") {
       certify = true;
+    } else if (arg == "--mixed") {
+      mixed = true;
     } else if (arg == "--deadline-ms") {
       std::stringstream budgets(next());
       for (std::string item; std::getline(budgets, item, ',');) {
@@ -433,6 +471,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_service [--clients C] [--requests N] "
                    "[--threads T] [--certify] [--deadline-ms B1,B2,...] "
+                   "[--mixed] "
                    "[--open-loop] [--target-qps Q] [--duration-s S] "
                    "[--open-clients C] [--sweep-clients C1,C2,...] "
                    "[--cache-sweep] [--shards S] [--cache-entries E] "
@@ -471,6 +510,13 @@ int main(int argc, char** argv) {
         budget, run_pass(server, pool, clients, requests_per_client,
                          /*certify=*/false, budget));
   }
+  // Mixed-workload pass: path / round-ufp / round-sap interleaved 1:1:1.
+  PassResult mixed_pass;
+  if (mixed) {
+    mixed_pass = run_pass(server, pool, clients, requests_per_client,
+                          /*certify=*/false, /*deadline_ms=*/0,
+                          /*mixed=*/true);
+  }
 
   TablePrinter table(certify ? std::vector<std::string>{"metric", "plain",
                                                         "certified"}
@@ -506,6 +552,18 @@ int main(int argc, char** argv) {
                               : 0.0,
                 plain.qps > 0 ? 1e2 * (certified.qps - plain.qps) / plain.qps
                               : 0.0);
+  }
+
+  if (mixed) {
+    std::printf("\n== mixed workload (path : round-ufp : round-sap, "
+                "1:1:1) ==\n");
+    const std::size_t ok = total - mixed_pass.errors;
+    std::printf("requests ok %zu (failed %zu), %zu round responses\n"
+                "achieved %.1f qps, latency ms: p50 %.2f p95 %.2f p99 %.2f "
+                "max %.2f\n",
+                ok, mixed_pass.errors, mixed_pass.round_responses,
+                mixed_pass.qps, mixed_pass.p50, mixed_pass.p95,
+                mixed_pass.p99, mixed_pass.latency.max());
   }
 
   if (!deadline_passes.empty()) {
@@ -567,14 +625,15 @@ int main(int argc, char** argv) {
       std::printf("achieved %.1f qps (%zu sent, %zu failed), hit rate "
                   "%.3f (%llu hits / %llu misses / %llu coalesced)\n"
                   "scheduled-send latency ms: p50 %.2f p95 %.2f p99 %.2f "
-                  "max %.2f\n",
+                  "max %.2f; degraded %zu (rate %.4f)\n",
                   open_pass.qps, open_pass.sent, open_pass.errors,
                   open_pass.hit_rate,
                   static_cast<unsigned long long>(open_pass.cache_hits),
                   static_cast<unsigned long long>(open_pass.cache_misses),
                   static_cast<unsigned long long>(open_pass.cache_coalesced),
                   open_pass.p50, open_pass.p95, open_pass.p99,
-                  open_pass.max_ms);
+                  open_pass.max_ms, open_pass.degraded,
+                  open_pass.degraded_rate);
     }
 
     if (!sweep_clients.empty()) {
@@ -631,12 +690,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n";
-    out << "  \"schema\": \"sapkit-bench-service-v3\",\n";
+    out << "  \"schema\": \"sapkit-bench-service-v4\",\n";
     out << "  \"config\": {\n";
     out << "    \"clients\": " << clients << ",\n";
     out << "    \"requests_per_client\": " << requests_per_client << ",\n";
     out << "    \"instance_pool\": " << pool.size() << ",\n";
     out << "    \"certify\": " << (certify ? "true" : "false") << ",\n";
+    out << "    \"mixed\": " << (mixed ? "true" : "false") << ",\n";
     out << "    \"deadline_budgets_ms\": [";
     for (std::size_t i = 0; i < deadline_passes.size(); ++i) {
       out << (i ? ", " : "") << deadline_passes[i].first;
@@ -663,6 +723,10 @@ int main(int argc, char** argv) {
           << (certified.p50 - plain.p50) << ", \"p95_ms\": "
           << (certified.p95 - plain.p95) << ", \"qps_ratio\": "
           << (plain.qps > 0 ? certified.qps / plain.qps : 0.0) << "}";
+    }
+    if (mixed) {
+      out << ",\n    \"mixed\": ";
+      write_pass_json(out, mixed_pass, total);
     }
     if (!deadline_passes.empty()) {
       out << ",\n    \"deadline_sweep\": [";
@@ -704,6 +768,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", out_path.c_str());
   }
   std::size_t sweep_errors = 0;
+  sweep_errors += mixed_pass.errors;
   for (const auto& [budget, pass] : deadline_passes) {
     sweep_errors += pass.errors;
   }

@@ -8,14 +8,18 @@
 //                      [--seed N] [file]
 //   sapkit_cli exact   [file]            # profile-DP oracle
 //   sapkit_cli bound   [file]            # LP upper bound on OPT
-//   sapkit_cli gen     [--edges M] [--tasks N] [--seed S]   # emit instance
+//   sapkit_cli round   [--kind round-ufp|round-sap] [--algo full|exact]
+//                      [file]            # min-round packing of all tasks
+//   sapkit_cli gen     [--edges M] [--tasks N] [--seed S] [--nba]
 //   sapkit_cli batch   [--count N] [--seed S] [--threads T] [--edges M]
 //                      [--tasks N] [--profile P] [--demand D] [--eps X]
-//                      [--ring] [--no-timings] [--cases] [--out FILE]
+//                      [--ring] [--kind round-ufp|round-sap] [--no-timings]
+//                      [--cases] [--out FILE]
 //   sapkit_cli serve   [--host H] [--port P] [--threads T] [--queue Q]
 //                      [--shards S] [--cache-entries C]
 //                      [--default-deadline-ms B]
-//   sapkit_cli request [--host H] [--port P] [--stats] [--ring] [--certify]
+//   sapkit_cli request [--host H] [--port P] [--stats] [--ring]
+//                      [--kind path|ring|round-ufp|round-sap] [--certify]
 //                      [--cert-out FILE] [--algo A] [--eps X] [--seed N]
 //                      [--deadline-ms B] [file]
 //   sapkit_cli certify --solution SOL [--cert CERT] [--ring] [file]
@@ -50,6 +54,9 @@
 #include "src/io/instance_io.hpp"
 #include "src/lp/ufpp_lp.hpp"
 #include "src/model/verify.hpp"
+#include "src/round/approx.hpp"
+#include "src/round/exact.hpp"
+#include "src/round/verify.hpp"
 #include "src/sapu/sapu_solver.hpp"
 #include "src/service/client.hpp"
 #include "src/service/server.hpp"
@@ -66,18 +73,21 @@ struct UsageError : std::runtime_error {
 
 void print_usage(std::ostream& os) {
   os << "usage: sapkit_cli "
-        "solve|exact|bound|gen|batch|serve|request [options] [file]\n"
+        "solve|exact|bound|round|gen|batch|serve|request [options] [file]\n"
         "  solve   --algo full|uniform|small|medium|large --eps X --seed N\n"
         "          [--certify] [--cert-out FILE]\n"
-        "  gen     --edges M --tasks N --seed S\n"
+        "  round   [--kind round-ufp|round-sap] [--algo full|exact] [file]\n"
+        "  gen     --edges M --tasks N --seed S [--nba]\n"
         "  batch   --count N --seed S --threads T --edges M --tasks N\n"
         "          --profile uniform|valley|mountain|staircase|walk\n"
         "          --demand small|medium|large|mixed --eps X [--certify]\n"
-        "          [--ring] [--no-timings] [--cases] [--out FILE]\n"
+        "          [--ring] [--kind round-ufp|round-sap] [--no-timings]\n"
+        "          [--cases] [--out FILE]\n"
         "  serve   --host H --port P --threads T --queue Q\n"
         "          [--shards S] [--cache-entries C]\n"
         "          [--default-deadline-ms B]\n"
         "  request --host H --port P [--stats] [--ring] [--certify]\n"
+        "          [--kind path|ring|round-ufp|round-sap]\n"
         "          [--cert-out FILE] --algo A --eps X --seed N\n"
         "          [--deadline-ms B] [file]\n"
         "  certify --solution SOL [--cert CERT] [--ring] [file]\n";
@@ -159,7 +169,9 @@ struct Options {
   std::uint16_t port = 7464;  // "SAP" on a phone keypad, sort of
   std::int64_t deadline_ms = 0;          // request: per-solve budget
   std::int64_t default_deadline_ms = 0;  // serve: budget for bare requests
+  std::string kind;  // request/batch/round: problem family (empty = legacy)
   bool ring = false;
+  bool nba = false;  // gen: clamp demands to min capacity
   bool timings = true;
   bool cases = false;
   bool stats = false;
@@ -236,8 +248,12 @@ Options parse_options(int argc, char** argv) {
       opt.deadline_ms = static_cast<std::int64_t>(next_u64());
     } else if (arg == "--default-deadline-ms") {
       opt.default_deadline_ms = static_cast<std::int64_t>(next_u64());
+    } else if (arg == "--kind") {
+      opt.kind = next();
     } else if (arg == "--ring") {
       opt.ring = true;
+    } else if (arg == "--nba") {
+      opt.nba = true;
     } else if (arg == "--no-timings") {
       opt.timings = false;
     } else if (arg == "--cases") {
@@ -330,6 +346,46 @@ int run_certify(const Options& opt) {
   return certify_pair(inst, sol, opt);
 }
 
+/// `round`: minimum-round packing of ALL tasks (Round-UFP / Round-SAP).
+/// `--algo full` runs the approximation pipeline, `--algo exact` the
+/// branch-and-bound oracle. Output is the round-solution v1 text format.
+int run_round(const Options& opt) {
+  const PathInstance inst = load(opt.file);
+  const round::RoundKind kind =
+      round::parse_round_kind(opt.kind.empty() ? "round-ufp" : opt.kind);
+
+  round::RoundAssignment assignment;
+  if (opt.algo == "full") {
+    round::RoundApproxReport report;
+    assignment = kind == round::RoundKind::kUfp
+                     ? round::solve_round_ufp_approx(inst, {}, &report)
+                     : round::solve_round_sap_approx(inst, {}, &report);
+    std::cerr << "rounds " << assignment.num_rounds() << " ("
+              << report.small_rounds << " small, " << report.large_rounds
+              << " large, lower bound " << report.lower_bound << ")";
+    if (report.slab_arm_won) std::cerr << " [slab arm]";
+    std::cerr << "\n";
+  } else if (opt.algo == "exact") {
+    const round::RoundExactResult exact = round::solve_round_exact(inst, kind);
+    assignment = exact.assignment;
+    std::cerr << "optimum " << exact.rounds
+              << (exact.proven_optimal ? "" : " (upper bound: budget hit)")
+              << ", " << exact.nodes << " nodes\n";
+  } else {
+    throw UsageError("unknown algorithm for round: " + opt.algo +
+                     " (want full|exact)");
+  }
+
+  const VerifyResult check = round::verify_round_assignment(inst, assignment);
+  if (!check) {
+    std::cerr << "INTERNAL ERROR: invalid round assignment: " << check.reason
+              << "\n";
+    return 1;
+  }
+  write_round_assignment(std::cout, assignment);
+  return 0;
+}
+
 int run_serve(const Options& opt) {
   // Block the shutdown signals before spawning any server thread so every
   // thread inherits the mask and sigwait below is the only consumer.
@@ -384,8 +440,21 @@ int run_request(const Options& opt) {
   }
 
   service::SolveRequest request;
-  request.kind = opt.ring ? service::SolveRequest::Kind::kRing
-                          : service::SolveRequest::Kind::kPath;
+  if (opt.kind.empty()) {
+    request.kind = opt.ring ? service::SolveRequest::Kind::kRing
+                            : service::SolveRequest::Kind::kPath;
+  } else if (opt.kind == "path") {
+    request.kind = service::SolveRequest::Kind::kPath;
+  } else if (opt.kind == "ring") {
+    request.kind = service::SolveRequest::Kind::kRing;
+  } else if (opt.kind == "round-ufp") {
+    request.kind = service::SolveRequest::Kind::kRoundUfp;
+  } else if (opt.kind == "round-sap") {
+    request.kind = service::SolveRequest::Kind::kRoundSap;
+  } else {
+    throw UsageError("unknown kind: " + opt.kind +
+                     " (want path|ring|round-ufp|round-sap)");
+  }
   request.algo = opt.algo;
   request.eps = opt.eps;
   request.seed = opt.seed;
@@ -409,6 +478,9 @@ int run_request(const Options& opt) {
               << (outcome.response.skipped.empty() ? "-"
                                                    : outcome.response.skipped)
               << ")\n";
+  }
+  if (outcome.response.is_round) {
+    std::cerr << "rounds " << outcome.response.rounds << "\n";
   }
   if (opt.certify) {
     // Trust, but verify: re-check the server's certificate locally through
@@ -443,6 +515,13 @@ int run_request(const Options& opt) {
 int dispatch(const std::string& command, const Options& opt) {
   if (command == "gen") {
     Rng rng(opt.seed);
+    if (opt.nba) {
+      round::RoundGenOptions gen;
+      gen.base.num_edges = opt.edges;
+      gen.base.num_tasks = opt.tasks;
+      write_path_instance(std::cout, round::generate_round_instance(gen, rng));
+      return 0;
+    }
     PathGenOptions gen;
     gen.num_edges = opt.edges;
     gen.num_tasks = opt.tasks;
@@ -450,6 +529,7 @@ int dispatch(const std::string& command, const Options& opt) {
     return 0;
   }
 
+  if (command == "round") return run_round(opt);
   if (command == "serve") return run_serve(opt);
   if (command == "request") return run_request(opt);
   if (command == "certify") return run_certify(opt);
@@ -461,7 +541,18 @@ int dispatch(const std::string& command, const Options& opt) {
     options.keep_cases = opt.cases;
 
     BatchCaseFn fn;
-    if (opt.ring) {
+    if (opt.kind == "round-ufp" || opt.kind == "round-sap") {
+      RoundBatchConfig config;
+      config.gen.base.num_edges = opt.edges;
+      config.gen.base.num_tasks = opt.tasks;
+      config.gen.base.profile = parse_profile(opt.profile);
+      config.gen.base.demand = parse_demand(opt.demand);
+      config.kind = round::parse_round_kind(opt.kind);
+      fn = make_round_batch_case(config);
+    } else if (!opt.kind.empty()) {
+      throw UsageError("unknown batch kind: " + opt.kind +
+                       " (want round-ufp|round-sap)");
+    } else if (opt.ring) {
       RingBatchConfig config;
       config.gen.num_edges = opt.edges;
       config.gen.num_tasks = opt.tasks;

@@ -299,6 +299,30 @@ BatchCaseFn make_path_batch_case(const PathBatchConfig& config) {
   };
 }
 
+BatchCaseFn make_round_batch_case(const RoundBatchConfig& config) {
+  return [config](std::size_t /*index*/, std::uint64_t seed) {
+    Rng rng(seed);
+    const PathInstance inst = round::generate_round_instance(config.gen, rng);
+    BatchCase out;
+    round::RoundRatioMeasurement m;
+    {
+      ScopedTimer timer("batch.round");
+      m = round::measure_round_ratio(inst, config.kind, config.approx,
+                                     config.exact);
+    }
+    if (!m.approx_valid) return out;
+    out.feasible = true;
+    out.algo_weight = m.approx_rounds;
+    out.bound = static_cast<double>(m.oracle_rounds);
+    out.bound_exact = m.oracle_proven;
+    out.ratio = m.oracle_rounds > 0
+                    ? static_cast<double>(m.approx_rounds) /
+                          static_cast<double>(m.oracle_rounds)
+                    : 1.0;
+    return out;
+  };
+}
+
 BatchCaseFn make_ring_batch_case(const RingBatchConfig& config) {
   return [config](std::size_t /*index*/, std::uint64_t seed) {
     Rng rng(seed);

@@ -25,6 +25,8 @@
 #include "src/core/ring_solver.hpp"
 #include "src/gen/generators.hpp"
 #include "src/harness/ratio_harness.hpp"
+#include "src/round/gen.hpp"
+#include "src/round/ratio.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/telemetry.hpp"
 #include "src/util/thread_pool.hpp"
@@ -172,5 +174,20 @@ struct RingBatchConfig {
   cert::CheckOptions check;
 };
 [[nodiscard]] BatchCaseFn make_ring_batch_case(const RingBatchConfig& config);
+
+/// Round-family sweep: generate_round_instance -> round approximation ->
+/// verify_round_assignment, with the branch-and-bound oracle as the ratio
+/// bound. Round counts map onto the report's weight/bound/ratio fields:
+/// algo_weight = approximation rounds, bound = oracle rounds (bound_exact
+/// iff the oracle proved optimality), ratio = approx / oracle >= 1. An
+/// oracle timeout falls back to the approximation count (ratio 1, not
+/// exact), so a sweep cannot hang on one adversarial case.
+struct RoundBatchConfig {
+  round::RoundGenOptions gen;
+  round::RoundKind kind = round::RoundKind::kUfp;
+  round::RoundApproxOptions approx;
+  round::RoundExactOptions exact;
+};
+[[nodiscard]] BatchCaseFn make_round_batch_case(const RoundBatchConfig& config);
 
 }  // namespace sap

@@ -246,6 +246,54 @@ RingSapSolution read_ring_solution(std::istream& is,
   return sol;
 }
 
+void write_round_assignment(std::ostream& os,
+                            const round::RoundAssignment& assignment) {
+  os << "round-solution v1\n";
+  os << "kind " << round::round_kind_name(assignment.kind) << "\n";
+  os << "rounds " << assignment.rounds.size() << "\n";
+  for (const SapSolution& sol : assignment.rounds) {
+    os << "round " << sol.placements.size() << "\n";
+    for (const Placement& p : sol.placements) {
+      os << p.task << ' ' << p.height << "\n";
+    }
+  }
+}
+
+round::RoundAssignment read_round_assignment(std::istream& is,
+                                             const ReadLimits& limits) {
+  TokenReader reader(is);
+  reader.expect("round-solution");
+  reader.expect("v1");
+  reader.expect("kind");
+  const std::string kind = reader.next("round kind");
+  round::RoundAssignment assignment;
+  if (kind == "round-ufp") {
+    assignment.kind = round::RoundKind::kUfp;
+  } else if (kind == "round-sap") {
+    assignment.kind = round::RoundKind::kSap;
+  } else {
+    reader.fail("expected round kind 'round-ufp' or 'round-sap', got '" +
+                kind + "'");
+  }
+  reader.expect("rounds");
+  const std::size_t r = reader.count("round count", limits.max_placements);
+  assignment.rounds.resize(r);
+  std::size_t total = 0;
+  for (SapSolution& sol : assignment.rounds) {
+    reader.expect("round");
+    const std::size_t k =
+        reader.count("round placement count", limits.max_placements - total);
+    total += k;
+    sol.placements.resize(k);
+    for (Placement& p : sol.placements) {
+      p.task = static_cast<TaskId>(
+          reader.next_int("placement task", kTaskIdMin, kTaskIdMax));
+      p.height = reader.next_int("placement height");
+    }
+  }
+  return assignment;
+}
+
 void write_certificate(std::ostream& os, const cert::Certificate& cert) {
   os << "sap-cert v1\n";
   os << "kind "

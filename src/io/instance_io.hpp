@@ -22,6 +22,14 @@
 //   placements <k>
 //   <task> <height> <clockwise 0|1>      (k lines)
 //
+//   round-solution v1
+//   kind round-ufp                       (or: round-sap)
+//   rounds <r>
+//   round <k_i>                          (r blocks)
+//   <task> <height>                      (k_i lines; heights 0 for
+//                                         round-ufp — enforced by the
+//                                         verifier, not the reader)
+//
 //   sap-cert v1
 //   kind path                            (or: ring)
 //   weight <w(S)>
@@ -47,6 +55,7 @@
 #include "src/model/path_instance.hpp"
 #include "src/model/ring_instance.hpp"
 #include "src/model/solution.hpp"
+#include "src/round/solution.hpp"
 
 namespace sap {
 
@@ -78,6 +87,14 @@ void write_sap_solution(std::ostream& os, const SapSolution& sol);
 void write_ring_solution(std::ostream& os, const RingSapSolution& sol);
 [[nodiscard]] RingSapSolution read_ring_solution(std::istream& is,
                                                  const ReadLimits& limits = {});
+
+/// Serializes a round assignment (`round-solution v1`). The reader bounds
+/// both the round count and the cumulative placement count by
+/// `ReadLimits::max_placements` before allocating.
+void write_round_assignment(std::ostream& os,
+                            const round::RoundAssignment& assignment);
+[[nodiscard]] round::RoundAssignment read_round_assignment(
+    std::istream& is, const ReadLimits& limits = {});
 
 /// Serializes a certificate (`sap-cert v1`); the dual-price count is bounded
 /// by `ReadLimits::max_edges` on the way back in.

@@ -1,0 +1,23 @@
+#include "src/round/gen.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace sap::round {
+
+PathInstance generate_round_instance(const RoundGenOptions& options,
+                                     Rng& rng) {
+  PathInstance inst = generate_path_instance(options.base, rng);
+  if (!options.enforce_nba || inst.num_tasks() == 0) return inst;
+  const Value cmin = inst.min_capacity();
+  std::vector<Value> caps(inst.capacities().begin(), inst.capacities().end());
+  std::vector<Task> tasks(inst.tasks().begin(), inst.tasks().end());
+  for (Task& t : tasks) {
+    // Demands are >= 1 and cmin >= 1, so the clamp keeps tasks admissible.
+    t.demand = std::min(t.demand, cmin);
+  }
+  return PathInstance(std::move(caps), std::move(tasks));
+}
+
+}  // namespace sap::round

@@ -1,0 +1,26 @@
+// Instance generators for the round family. Round-UFP/Round-SAP must pack
+// *every* task, so the interesting regimes differ from single-round SAP:
+// the no-bottleneck assumption (NBA: max demand <= min capacity) is what
+// the constant-factor results need, and without it hardness is
+// super-constant — both regimes are generated here, NBA by clamping.
+#pragma once
+
+#include "src/gen/generators.hpp"
+#include "src/model/path_instance.hpp"
+#include "src/util/rng.hpp"
+
+namespace sap::round {
+
+struct RoundGenOptions {
+  /// Base path-instance distribution (profile, demand class, spans, ...).
+  PathGenOptions base{};
+  /// Clamp every demand to min-capacity so the no-bottleneck assumption
+  /// holds; false leaves the base instance (d_j <= b(j) only) untouched.
+  bool enforce_nba = true;
+};
+
+/// Deterministic in (options, rng state), like generate_path_instance.
+[[nodiscard]] PathInstance generate_round_instance(
+    const RoundGenOptions& options, Rng& rng);
+
+}  // namespace sap::round

@@ -1,0 +1,61 @@
+#include "src/round/solution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sap::round {
+
+const char* round_kind_name(RoundKind kind) noexcept {
+  switch (kind) {
+    case RoundKind::kUfp:
+      return "round-ufp";
+    case RoundKind::kSap:
+      return "round-sap";
+  }
+  return "round-ufp";
+}
+
+RoundKind parse_round_kind(std::string_view name) {
+  if (name == "round-ufp") return RoundKind::kUfp;
+  if (name == "round-sap") return RoundKind::kSap;
+  throw std::invalid_argument("unknown round kind '" + std::string(name) +
+                              "' (want round-ufp|round-sap)");
+}
+
+std::size_t RoundAssignment::total_placements() const noexcept {
+  std::size_t total = 0;
+  for (const SapSolution& r : rounds) total += r.size();
+  return total;
+}
+
+Value round_lower_bound(const PathInstance& inst) {
+  if (inst.num_tasks() == 0) return 0;
+  const std::size_t m = inst.num_edges();
+  // Per-edge load, accumulated wide: adversarial instances can push the sum
+  // of demands on one edge past int64 even though each demand fits.
+  std::vector<Int128> load(m, 0);
+  std::vector<Value> conflicts(m, 0);
+  for (const Task& t : inst.tasks()) {
+    const Value d = t.demand;
+    for (EdgeId e = t.first; e <= t.last; ++e) {
+      const auto idx = static_cast<std::size_t>(e);
+      load[idx] += d;
+      const Value cap = inst.capacities()[idx];
+      // 2*d > cap, exact: two such tasks overflow the edge together.
+      if (static_cast<Int128>(d) * 2 > cap) conflicts[idx] += 1;
+    }
+  }
+  Value best = 1;  // at least one round once any task exists
+  for (std::size_t e = 0; e < m; ++e) {
+    const Value cap = inst.capacities()[e];
+    const Int128 ceil_load = (load[e] + cap - 1) / cap;
+    // Round counts are bounded by the task count, so this narrowing is safe
+    // for any instance the constructors admit (each task fits alone).
+    best = std::max(best, static_cast<Value>(ceil_load));
+    best = std::max(best, conflicts[e]);
+  }
+  return best;
+}
+
+}  // namespace sap::round

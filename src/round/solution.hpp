@@ -1,0 +1,57 @@
+// Solution model for the Round-SAP / Round-UFP problem family (Kar–Khan,
+// arXiv:2202.03492): pack *all* tasks of an instance into a minimum number
+// of rounds, where each round on its own must be UFP-feasible (Round-UFP:
+// per-edge load within capacity) or SAP-feasible (Round-SAP: a contiguous,
+// non-overlapping vertical placement within capacity).
+//
+// A round is represented as a SapSolution so both variants share one shape:
+// Round-UFP rounds carry every height as 0 (enforced by the verifier), and
+// Round-SAP rounds carry real placements. The assignment must be a
+// *partition* of the task set — unlike single-round SAP/UFPP, nothing may
+// be dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/model/path_instance.hpp"
+#include "src/model/solution.hpp"
+
+namespace sap::round {
+
+enum class RoundKind : std::uint8_t {
+  kUfp,  ///< rounds are UFPP-feasible task sets (heights ignored / zero)
+  kSap,  ///< rounds are SAP-feasible placements
+};
+
+/// Wire/CLI spelling: "round-ufp" / "round-sap".
+[[nodiscard]] const char* round_kind_name(RoundKind kind) noexcept;
+/// Inverse of round_kind_name; throws std::invalid_argument on unknown.
+[[nodiscard]] RoundKind parse_round_kind(std::string_view name);
+
+/// A candidate solution: tasks partitioned into rounds. Validity (partition
+/// property plus per-round feasibility) is checked by
+/// verify_round_assignment, never assumed.
+struct RoundAssignment {
+  RoundKind kind = RoundKind::kUfp;
+  std::vector<SapSolution> rounds;
+
+  [[nodiscard]] std::size_t num_rounds() const noexcept {
+    return rounds.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return rounds.empty(); }
+  /// Total placements across rounds (== num_tasks for a valid assignment).
+  [[nodiscard]] std::size_t total_placements() const noexcept;
+};
+
+/// Exact lower bound on the optimal round count, valid for both variants:
+/// the per-edge load bound max_e ceil(load(e) / c_e), combined with the
+/// conflict-clique bound max_e |{j using e : 2 d_j > c_e}| (two such tasks
+/// sharing e can never share a round). Returns 0 for an empty task set.
+/// All arithmetic is exact (Int128 accumulation; loads may exceed int64
+/// only on adversarial instances, which this still handles).
+[[nodiscard]] Value round_lower_bound(const PathInstance& inst);
+
+}  // namespace sap::round

@@ -1,0 +1,67 @@
+#include "src/round/verify.hpp"
+
+#include <string>
+#include <vector>
+
+namespace sap::round {
+
+VerifyResult verify_round_assignment(const PathInstance& inst,
+                                     const RoundAssignment& assignment) {
+  const std::size_t n = inst.num_tasks();
+  // Partition check first: ids valid, no task twice (within or across
+  // rounds), nothing left unassigned.
+  std::vector<std::uint8_t> seen(n, 0);
+  for (std::size_t r = 0; r < assignment.rounds.size(); ++r) {
+    for (const Placement& p : assignment.rounds[r].placements) {
+      if (p.task < 0 || static_cast<std::size_t>(p.task) >= n) {
+        return VerifyResult::failure(
+            VerifyError::kIdOutOfRange,
+            "round " + std::to_string(r) + ": task id " +
+                std::to_string(p.task) + " outside [0, " + std::to_string(n) +
+                ")");
+      }
+      if (seen[static_cast<std::size_t>(p.task)] != 0) {
+        return VerifyResult::failure(
+            VerifyError::kDuplicateId,
+            "round " + std::to_string(r) + ": task " + std::to_string(p.task) +
+                " assigned more than once");
+      }
+      seen[static_cast<std::size_t>(p.task)] = 1;
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (seen[j] == 0) {
+      return VerifyResult::failure("task " + std::to_string(j) +
+                                   " is not assigned to any round");
+    }
+  }
+
+  // Per-round feasibility through the independent single-round verifiers.
+  for (std::size_t r = 0; r < assignment.rounds.size(); ++r) {
+    const SapSolution& sol = assignment.rounds[r];
+    if (assignment.kind == RoundKind::kUfp) {
+      for (const Placement& p : sol.placements) {
+        if (p.height != 0) {
+          return VerifyResult::failure(
+              "round " + std::to_string(r) + ": round-ufp placement of task " +
+                  std::to_string(p.task) + " carries nonzero height " +
+                  std::to_string(p.height));
+        }
+      }
+      const VerifyResult inner = verify_ufpp(inst, sol.to_ufpp());
+      if (!inner.ok) {
+        return VerifyResult::failure(
+            inner.error, "round " + std::to_string(r) + ": " + inner.reason);
+      }
+    } else {
+      const VerifyResult inner = verify_sap(inst, sol);
+      if (!inner.ok) {
+        return VerifyResult::failure(
+            inner.error, "round " + std::to_string(r) + ": " + inner.reason);
+      }
+    }
+  }
+  return VerifyResult::success();
+}
+
+}  // namespace sap::round

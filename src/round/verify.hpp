@@ -1,0 +1,22 @@
+// Independent verifier for round assignments, in the style of model/verify:
+// written against the problem definition, sharing no code with the round
+// solvers, so it catches their bugs instead of inheriting them.
+//
+// A valid assignment is (1) a partition — every task of the instance placed
+// in exactly one round, ids in range, no duplicates anywhere — and (2)
+// per-round feasible: verify_ufpp for Round-UFP rounds (whose heights must
+// all be zero), verify_sap for Round-SAP rounds. All arithmetic on the
+// untrusted solution is overflow-checked by the underlying verifiers.
+#pragma once
+
+#include "src/model/path_instance.hpp"
+#include "src/model/verify.hpp"
+#include "src/round/solution.hpp"
+
+namespace sap::round {
+
+/// Full validity check; failure reasons name the offending round index.
+[[nodiscard]] VerifyResult verify_round_assignment(
+    const PathInstance& inst, const RoundAssignment& assignment);
+
+}  // namespace sap::round

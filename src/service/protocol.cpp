@@ -194,7 +194,20 @@ bool decode_frame_header(const unsigned char* in, FrameHeader* out) noexcept {
 std::string encode_solve_request(const SolveRequest& request) {
   std::string payload = "sapd-solve v1\n";
   payload += "kind ";
-  payload += request.kind == SolveRequest::Kind::kRing ? "ring" : "path";
+  switch (request.kind) {
+    case SolveRequest::Kind::kPath:
+      payload += "path";
+      break;
+    case SolveRequest::Kind::kRing:
+      payload += "ring";
+      break;
+    case SolveRequest::Kind::kRoundUfp:
+      payload += "round-ufp";
+      break;
+    case SolveRequest::Kind::kRoundSap:
+      payload += "round-sap";
+      break;
+  }
   payload += "\nalgo " + request.algo;
   payload += "\neps " + format_f64(request.eps);
   payload += "\nseed " + std::to_string(request.seed);
@@ -216,9 +229,13 @@ SolveRequest parse_solve_request(std::string_view payload) {
     request.kind = SolveRequest::Kind::kPath;
   } else if (kind == "ring") {
     request.kind = SolveRequest::Kind::kRing;
+  } else if (kind == "round-ufp") {
+    request.kind = SolveRequest::Kind::kRoundUfp;
+  } else if (kind == "round-sap") {
+    request.kind = SolveRequest::Kind::kRoundSap;
   } else {
     EnvelopeParser::fail("bad kind '" + std::string(kind.substr(0, 40)) +
-                         "' (want path|ring)");
+                         "' (want path|ring|round-ufp|round-sap)");
   }
   request.algo = std::string(parser.take("algo"));
   if (request.algo.empty() || request.algo.size() > 32) {
@@ -256,6 +273,9 @@ std::string encode_solve_response(const SolveResponse& response) {
   payload += "\nwall_micros " + std::to_string(response.wall_micros);
   payload += "\ntelemetry ";
   payload += response.telemetry_json.empty() ? "{}" : response.telemetry_json;
+  if (response.is_round) {
+    payload += "\nrounds " + std::to_string(response.rounds);
+  }
   if (response.degraded) {
     payload += "\ndegraded 1";
     if (!response.skipped.empty()) payload += "\nskipped " + response.skipped;
@@ -281,6 +301,11 @@ SolveResponse parse_solve_response(std::string_view payload) {
   response.total_tasks = parse_u64(parser.take("tasks"), "tasks");
   response.wall_micros = parse_i64(parser.take("wall_micros"), "wall_micros");
   response.telemetry_json = std::string(parser.take("telemetry"));
+  std::string_view rounds;
+  if (parser.take_if("rounds", &rounds)) {
+    response.is_round = true;
+    response.rounds = parse_u64(rounds, "rounds");
+  }
   std::string_view degraded;
   if (parser.take_if("degraded", &degraded)) {
     if (degraded != "0" && degraded != "1") {

@@ -72,9 +72,15 @@ void encode_frame_header(unsigned char* out, FrameType type,
 /// A solve request: solver selection (mirroring `sapkit_cli solve`) plus
 /// the instance text in sap-path v1 / sap-ring v1 format.
 struct SolveRequest {
-  enum class Kind { kPath, kRing };
+  /// Version-negotiated problem family. kRoundUfp/kRoundSap ("round-ufp" /
+  /// "round-sap" on the wire) ask for a minimum-round packing of *all*
+  /// tasks of a sap-path v1 instance instead of a max-weight single-round
+  /// selection. A server that predates the round family rejects the unknown
+  /// kind with a typed BAD_REQUEST and keeps the connection usable.
+  enum class Kind { kPath, kRing, kRoundUfp, kRoundSap };
   Kind kind = Kind::kPath;
-  /// Path pipelines: full|uniform|small|medium|large. Ignored for rings.
+  /// Path pipelines: full|uniform|small|medium|large. Round kinds accept
+  /// full (approximation) | exact (oracle). Ignored for rings.
   std::string algo = "full";
   double eps = 0.5;
   std::uint64_t seed = 1;
@@ -104,6 +110,12 @@ struct SolveResponse {
   std::uint64_t total_tasks = 0;
   std::int64_t wall_micros = 0;
   std::string telemetry_json;  ///< single-line counters object ("{}" if none)
+  /// Round-family responses only: round count of the packing, carried as an
+  /// additive "rounds N" line (after telemetry) that plain solves never
+  /// emit, so old peers interoperate unchanged. `solution_text` then holds
+  /// round-solution v1 text instead of sap-solution v1.
+  bool is_round = false;
+  std::uint64_t rounds = 0;
   /// Degradation ladder marker: the deadline ran out mid-request and the
   /// server fell back to the approximation result instead of rejecting.
   /// `skipped` names the stages that were cut short (comma-separated, e.g.

@@ -15,6 +15,8 @@
 
 #include "src/core/ring_solver.hpp"
 #include "src/core/sap_solver.hpp"
+#include "src/round/approx.hpp"
+#include "src/round/exact.hpp"
 #include "src/sapu/sapu_solver.hpp"
 #include "src/util/telemetry.hpp"
 
@@ -536,6 +538,65 @@ bool Server::run_solve_request(const SolveRequest& request,
       response->placed = sol.size();
       response->total_tasks = inst.num_tasks();
       write_sap_solution(solution_os, sol);
+    } else if (request.kind == SolveRequest::Kind::kRoundUfp ||
+               request.kind == SolveRequest::Kind::kRoundSap) {
+      if (request.want_certificate) {
+        throw std::invalid_argument(
+            "certificates are not defined for round kinds");
+      }
+      std::istringstream is(request.instance_text);
+      const PathInstance inst = read_path_instance(is, options_.read_limits);
+      const round::RoundKind rkind =
+          request.kind == SolveRequest::Kind::kRoundUfp
+              ? round::RoundKind::kUfp
+              : round::RoundKind::kSap;
+      round::RoundAssignment assignment;
+      {
+        TelemetrySession session(&telemetry);
+        try {
+          if (request.algo == "full") {
+            round::RoundApproxOptions approx;
+            approx.deadline = deadline;
+            assignment = rkind == round::RoundKind::kUfp
+                             ? round::solve_round_ufp_approx(inst, approx)
+                             : round::solve_round_sap_approx(inst, approx);
+          } else if (request.algo == "exact") {
+            round::RoundExactOptions exact;
+            exact.deadline = deadline;
+            const round::RoundExactResult oracle =
+                round::solve_round_exact(inst, rkind, exact);
+            if (oracle.timed_out) {
+              throw DeadlineExceeded("round exact oracle");
+            }
+            assignment = oracle.assignment;
+          } else {
+            throw std::invalid_argument("unknown algo '" + request.algo +
+                                        "' for a round kind (want "
+                                        "full|exact)");
+          }
+        } catch (const DeadlineExceeded&) {
+          if (!options_.degrade_on_deadline) throw;
+          if (options_.fault_injector) {
+            options_.fault_injector(FaultPoint::kPreFallback);
+          }
+          note_skipped("solve." + request.algo);
+          // Budget-free fallback: plain first fit (no strip-packing
+          // portfolio, no oracle) is polynomial and always yields a valid
+          // packing — more rounds instead of a rejection.
+          round::RoundApproxOptions fallback;
+          fallback.portfolio = false;
+          assignment = rkind == round::RoundKind::kUfp
+                           ? round::solve_round_ufp_approx(inst, fallback)
+                           : round::solve_round_sap_approx(inst, fallback);
+        }
+      }
+      // Round packings place every task; weight reports the packed total.
+      response->weight = inst.total_weight();
+      response->placed = assignment.total_placements();
+      response->total_tasks = inst.num_tasks();
+      response->is_round = true;
+      response->rounds = assignment.num_rounds();
+      write_round_assignment(solution_os, assignment);
     } else {
       std::istringstream is(request.instance_text);
       const RingInstance inst = read_ring_instance(is, options_.read_limits);
@@ -698,7 +759,22 @@ InstanceDigest Server::request_digest(const SolveRequest& request) const {
   // a full-quality answer valid under any budget, and degraded responses
   // are never published. eps and seed are mixed bit-exactly.
   InstanceHasher hasher;
-  hasher.update_u64(request.kind == SolveRequest::Kind::kPath ? 1 : 2);
+  std::uint64_t kind_lane = 1;
+  switch (request.kind) {
+    case SolveRequest::Kind::kPath:
+      kind_lane = 1;
+      break;
+    case SolveRequest::Kind::kRing:
+      kind_lane = 2;
+      break;
+    case SolveRequest::Kind::kRoundUfp:
+      kind_lane = 3;
+      break;
+    case SolveRequest::Kind::kRoundSap:
+      kind_lane = 4;
+      break;
+  }
+  hasher.update_u64(kind_lane);
   hasher.update(request.algo);
   std::uint64_t eps_bits = 0;
   static_assert(sizeof(eps_bits) == sizeof(request.eps));

@@ -121,6 +121,27 @@ TEST(BatchRunnerTest, RingSweepSolvesEveryInstance) {
   EXPECT_GE(report.ratio.min(), 1.0);
 }
 
+TEST(BatchRunnerTest, RoundSweepSolvesEveryInstanceOnBothKinds) {
+  // Round solves run concurrently across the pool (thread arenas, the DSA
+  // slab arm, the SAP-probe oracle), so this doubles as the TSan coverage
+  // for src/round.
+  for (const round::RoundKind kind :
+       {round::RoundKind::kUfp, round::RoundKind::kSap}) {
+    RoundBatchConfig config;
+    config.gen.base.num_edges = 5;
+    config.gen.base.num_tasks = 7;
+    config.kind = kind;
+    ThreadPool pool(4);
+    BatchOptions options;
+    options.num_instances = 8;
+    options.base_seed = 21;
+    const BatchReport report =
+        run_batch(options, make_round_batch_case(config), pool);
+    EXPECT_EQ(report.solved, 8u);
+    EXPECT_GE(report.ratio.min(), 1.0);
+  }
+}
+
 TEST(BatchRunnerTest, PoisonedInstancePropagatesException) {
   ThreadPool pool(4);
   BatchOptions options;

@@ -1,0 +1,164 @@
+// Exhaustive tiny-instance differential sweep for the round family (no
+// random sampling): systematically enumerated instances are pushed through
+// the approximation pipelines, independently verified, and compared against
+// the branch-and-bound oracle.
+//
+//   uniform capacity:   Round-UFP rounds <= 3 * OPT (the proven factor);
+//                       Round-SAP with demands drawn from a single
+//                       power-of-two class: rounds <= 13 * OPT.
+//   general capacities: validity only, plus the sandwich
+//                       lower_bound <= OPT <= approx on every instance.
+//
+// Oracle optimality is asserted (not assumed) at these sizes, so a budget
+// regression that silently weakens the oracle fails here too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/round/approx.hpp"
+#include "src/round/exact.hpp"
+#include "src/round/verify.hpp"
+
+namespace sap::round {
+namespace {
+
+constexpr std::size_t kMaxTasks = 5;
+
+/// Every window of w <= kMaxTasks consecutive pool tasks, for every w
+/// (linear in the pool, covers each task in many neighbourhoods).
+template <typename Visit>
+void for_each_window(const std::vector<Task>& pool, const Visit& visit) {
+  for (std::size_t w = 1; w <= std::min(kMaxTasks, pool.size()); ++w) {
+    for (std::size_t start = 0; start + w <= pool.size(); ++start) {
+      visit(std::vector<Task>(
+          pool.begin() + static_cast<std::ptrdiff_t>(start),
+          pool.begin() + static_cast<std::ptrdiff_t>(start + w)));
+    }
+  }
+}
+
+/// Oracle count with optimality asserted; instances here are small enough
+/// that the default budgets always prove.
+Value proven_opt(const PathInstance& inst, RoundKind kind) {
+  const RoundExactResult r = solve_round_exact(inst, kind);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_TRUE(verify_round_assignment(inst, r.assignment));
+  return r.rounds;
+}
+
+void check_instance(const PathInstance& inst, RoundKind kind,
+                    Value factor_num) {
+  const RoundAssignment approx = kind == RoundKind::kUfp
+                                     ? solve_round_ufp_approx(inst)
+                                     : solve_round_sap_approx(inst);
+  ASSERT_TRUE(verify_round_assignment(inst, approx))
+      << verify_round_assignment(inst, approx).reason;
+  const Value opt = proven_opt(inst, kind);
+  const Value got = static_cast<Value>(approx.num_rounds());
+  EXPECT_GE(got, opt);
+  EXPECT_GE(opt, round_lower_bound(inst));
+  if (factor_num > 0) {
+    EXPECT_LE(got, factor_num * opt)
+        << "rounds " << got << " vs optimum " << opt << " exceeds the "
+        << factor_num << "x factor";
+  }
+}
+
+TEST(RoundDifferentialTest, UniformUfpWithinThreeTimesOptimum) {
+  // Uniform capacity implies NBA for every admissible task, so the 3x
+  // classify-and-pack factor applies to every enumerated instance.
+  for (const Value cap : {2, 3, 4, 6}) {
+    for (const std::size_t edges : {1u, 2u, 3u}) {
+      std::vector<Task> pool;
+      const int m = static_cast<int>(edges);
+      for (int first = 0; first < m; ++first) {
+        for (int last = first; last < m; ++last) {
+          for (const Value d : {Value{1}, (cap + 1) / 2, cap}) {
+            pool.push_back({static_cast<EdgeId>(first),
+                            static_cast<EdgeId>(last), d, 1});
+          }
+        }
+      }
+      std::sort(pool.begin(), pool.end());
+      pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+      const std::vector<Value> caps(edges, cap);
+      for_each_window(pool, [&](std::vector<Task> tasks) {
+        check_instance(PathInstance(caps, std::move(tasks)),
+                       RoundKind::kUfp, /*factor_num=*/3);
+      });
+    }
+  }
+}
+
+TEST(RoundDifferentialTest, UniformSingleClassSapWithinThirteenTimes) {
+  // One power-of-two demand class per sweep: d in (2^{i-1}, 2^i]. The
+  // combined profiled-first-fit bound asserted here is 13x.
+  struct Sweep {
+    Value cap;
+    std::vector<Value> demands;  // one class
+  };
+  const std::vector<Sweep> sweeps = {
+      {4, {1}}, {4, {2}}, {8, {2}}, {8, {3, 4}}, {6, {2}},
+  };
+  for (const Sweep& sweep : sweeps) {
+    for (const std::size_t edges : {1u, 2u, 3u}) {
+      std::vector<Task> pool;
+      const int m = static_cast<int>(edges);
+      for (int first = 0; first < m; ++first) {
+        for (int last = first; last < m; ++last) {
+          for (const Value d : sweep.demands) {
+            pool.push_back({static_cast<EdgeId>(first),
+                            static_cast<EdgeId>(last), d, 1});
+            // Duplicate so rounds actually fill up.
+            pool.push_back({static_cast<EdgeId>(first),
+                            static_cast<EdgeId>(last), d, 1});
+          }
+        }
+      }
+      const std::vector<Value> caps(edges, sweep.cap);
+      for_each_window(pool, [&](std::vector<Task> tasks) {
+        check_instance(PathInstance(caps, std::move(tasks)),
+                       RoundKind::kSap, /*factor_num=*/13);
+      });
+    }
+  }
+}
+
+TEST(RoundDifferentialTest, GeneralCapacitiesValidAndSandwiched) {
+  // Non-uniform capacities: no constant factor is claimed (Round-UFP
+  // without NBA has super-constant hardness) — assert validity and the
+  // LB <= OPT <= approx sandwich for both variants.
+  const std::vector<std::vector<Value>> patterns = {
+      {1, 4}, {4, 1}, {2, 4, 2}, {4, 2, 4}, {1, 2, 3}, {3, 1, 3},
+  };
+  for (const std::vector<Value>& caps : patterns) {
+    std::vector<Task> pool;
+    const int m = static_cast<int>(caps.size());
+    for (int first = 0; first < m; ++first) {
+      for (int last = first; last < m; ++last) {
+        Value b = caps[static_cast<std::size_t>(first)];
+        for (int e = first + 1; e <= last; ++e) {
+          b = std::min(b, caps[static_cast<std::size_t>(e)]);
+        }
+        for (const Value d : {Value{1}, (b + 1) / 2, b}) {
+          pool.push_back({static_cast<EdgeId>(first),
+                          static_cast<EdgeId>(last), d, 1});
+        }
+      }
+    }
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+    for_each_window(pool, [&](std::vector<Task> tasks) {
+      std::vector<Task> copy = tasks;
+      check_instance(PathInstance(caps, std::move(tasks)), RoundKind::kUfp,
+                     /*factor_num=*/0);
+      check_instance(PathInstance(caps, std::move(copy)), RoundKind::kSap,
+                     /*factor_num=*/0);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace sap::round

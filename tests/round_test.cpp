@@ -1,0 +1,364 @@
+// Tests for the Round-SAP / Round-UFP subsystem: solution model and lower
+// bound, independent verifier (positive and negative), approximation
+// pipelines (validity, determinism, deadline contract, portfolio arm),
+// wire format round-trip + hardened rejects, the exact oracle on hand
+// instances, generator NBA clamping, and the ratio measurement glue.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/io/instance_io.hpp"
+#include "src/round/approx.hpp"
+#include "src/round/exact.hpp"
+#include "src/round/gen.hpp"
+#include "src/round/ratio.hpp"
+#include "src/round/verify.hpp"
+#include "src/util/deadline.hpp"
+
+namespace sap::round {
+namespace {
+
+// ---------------------------------------------------------------- solution
+
+TEST(RoundSolutionTest, KindNamesRoundTrip) {
+  EXPECT_STREQ(round_kind_name(RoundKind::kUfp), "round-ufp");
+  EXPECT_STREQ(round_kind_name(RoundKind::kSap), "round-sap");
+  EXPECT_EQ(parse_round_kind("round-ufp"), RoundKind::kUfp);
+  EXPECT_EQ(parse_round_kind("round-sap"), RoundKind::kSap);
+  EXPECT_THROW((void)parse_round_kind("ring"), std::invalid_argument);
+  EXPECT_THROW((void)parse_round_kind(""), std::invalid_argument);
+}
+
+TEST(RoundSolutionTest, LowerBoundEmptyInstanceIsZero) {
+  const PathInstance inst({5}, {});
+  EXPECT_EQ(round_lower_bound(inst), 0);
+}
+
+TEST(RoundSolutionTest, LowerBoundLoadDominates) {
+  // Five unit tasks on one edge of capacity 2: load bound ceil(5/2) = 3,
+  // no conflicts (2*1 <= 2).
+  const PathInstance inst(
+      {2}, {{0, 0, 1, 1}, {0, 0, 1, 1}, {0, 0, 1, 1}, {0, 0, 1, 1},
+            {0, 0, 1, 1}});
+  EXPECT_EQ(round_lower_bound(inst), 3);
+}
+
+TEST(RoundSolutionTest, LowerBoundCliqueDominates) {
+  // Three tasks of demand 3 on one edge of capacity 4: load bound
+  // ceil(9/4) = 3, clique bound 3 (2*3 > 4) — equal here, so also check a
+  // case where the clique strictly wins: demand 3, capacity 5.
+  const PathInstance inst(
+      {5}, {{0, 0, 3, 1}, {0, 0, 3, 1}, {0, 0, 3, 1}});
+  // Load bound ceil(9/5) = 2; clique bound 3 (2*3 > 5).
+  EXPECT_EQ(round_lower_bound(inst), 3);
+}
+
+// ---------------------------------------------------------------- verifier
+
+PathInstance two_task_instance() {
+  // Edge capacities {4, 4}; tasks: [0,1]x3 and [1,1]x2 — they overlap on
+  // edge 1 and cannot share a UFP round (3+2 > 4).
+  return PathInstance({4, 4}, {{0, 1, 3, 1}, {1, 1, 2, 1}});
+}
+
+TEST(RoundVerifyTest, AcceptsValidUfpPartition) {
+  const PathInstance inst = two_task_instance();
+  RoundAssignment a;
+  a.kind = RoundKind::kUfp;
+  a.rounds = {SapSolution{{{0, 0}}}, SapSolution{{{1, 0}}}};
+  EXPECT_TRUE(verify_round_assignment(inst, a));
+}
+
+TEST(RoundVerifyTest, AcceptsValidSapPartition) {
+  const PathInstance inst = two_task_instance();
+  RoundAssignment a;
+  a.kind = RoundKind::kSap;
+  a.rounds = {SapSolution{{{0, 0}}}, SapSolution{{{1, 2}}}};
+  EXPECT_TRUE(verify_round_assignment(inst, a));
+}
+
+TEST(RoundVerifyTest, RejectsMissingTask) {
+  const PathInstance inst = two_task_instance();
+  RoundAssignment a;
+  a.kind = RoundKind::kUfp;
+  a.rounds = {SapSolution{{{0, 0}}}};  // task 1 unassigned
+  const VerifyResult check = verify_round_assignment(inst, a);
+  EXPECT_FALSE(check);
+}
+
+TEST(RoundVerifyTest, RejectsDuplicateAcrossRounds) {
+  const PathInstance inst = two_task_instance();
+  RoundAssignment a;
+  a.kind = RoundKind::kUfp;
+  a.rounds = {SapSolution{{{0, 0}, {1, 0}}}, SapSolution{{{1, 0}}}};
+  EXPECT_FALSE(verify_round_assignment(inst, a));
+}
+
+TEST(RoundVerifyTest, RejectsIdOutOfRange) {
+  const PathInstance inst = two_task_instance();
+  RoundAssignment a;
+  a.kind = RoundKind::kUfp;
+  a.rounds = {SapSolution{{{0, 0}}}, SapSolution{{{7, 0}}}};
+  EXPECT_FALSE(verify_round_assignment(inst, a));
+}
+
+TEST(RoundVerifyTest, RejectsNonzeroHeightInUfpRound) {
+  const PathInstance inst = two_task_instance();
+  RoundAssignment a;
+  a.kind = RoundKind::kUfp;
+  a.rounds = {SapSolution{{{0, 1}}}, SapSolution{{{1, 0}}}};
+  EXPECT_FALSE(verify_round_assignment(inst, a));
+}
+
+TEST(RoundVerifyTest, RejectsOverloadedUfpRound) {
+  const PathInstance inst = two_task_instance();
+  RoundAssignment a;
+  a.kind = RoundKind::kUfp;
+  a.rounds = {SapSolution{{{0, 0}, {1, 0}}}};  // 3+2 > 4 on edge 1
+  EXPECT_FALSE(verify_round_assignment(inst, a));
+}
+
+TEST(RoundVerifyTest, RejectsOverlappingSapPlacements) {
+  const PathInstance inst = two_task_instance();
+  RoundAssignment a;
+  a.kind = RoundKind::kSap;
+  // Heights [0,3) and [1,3) overlap on edge 1.
+  a.rounds = {SapSolution{{{0, 0}, {1, 1}}}};
+  EXPECT_FALSE(verify_round_assignment(inst, a));
+}
+
+// ------------------------------------------------------------------ approx
+
+TEST(RoundApproxTest, ValidOnRandomNbaInstances) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    RoundGenOptions gen;
+    gen.base.num_edges = 10;
+    gen.base.num_tasks = 30;
+    const PathInstance inst = generate_round_instance(gen, rng);
+    RoundApproxReport report;
+    const RoundAssignment ufp = solve_round_ufp_approx(inst, {}, &report);
+    EXPECT_TRUE(verify_round_assignment(inst, ufp));
+    EXPECT_GE(static_cast<Value>(ufp.num_rounds()), report.lower_bound);
+    const RoundAssignment sap = solve_round_sap_approx(inst, {}, &report);
+    EXPECT_TRUE(verify_round_assignment(inst, sap));
+    // Any SAP round is a UFP round, so the SAP count can never beat a
+    // valid lower bound either.
+    EXPECT_GE(static_cast<Value>(sap.num_rounds()), report.lower_bound);
+  }
+}
+
+TEST(RoundApproxTest, ValidOnGeneralCapacityInstances) {
+  Rng rng(1717);
+  for (int trial = 0; trial < 25; ++trial) {
+    RoundGenOptions gen;
+    gen.base.num_edges = 12;
+    gen.base.num_tasks = 24;
+    gen.base.profile = CapacityProfile::kValley;
+    gen.enforce_nba = false;
+    const PathInstance inst = generate_round_instance(gen, rng);
+    EXPECT_TRUE(verify_round_assignment(inst,
+                                        solve_round_ufp_approx(inst)));
+    EXPECT_TRUE(verify_round_assignment(inst,
+                                        solve_round_sap_approx(inst)));
+  }
+}
+
+TEST(RoundApproxTest, DeterministicAcrossRuns) {
+  Rng rng(99);
+  RoundGenOptions gen;
+  gen.base.num_edges = 8;
+  gen.base.num_tasks = 20;
+  const PathInstance inst = generate_round_instance(gen, rng);
+  const RoundAssignment a = solve_round_sap_approx(inst);
+  const RoundAssignment b = solve_round_sap_approx(inst);
+  ASSERT_EQ(a.num_rounds(), b.num_rounds());
+  for (std::size_t r = 0; r < a.num_rounds(); ++r) {
+    EXPECT_EQ(a.rounds[r].placements, b.rounds[r].placements);
+  }
+}
+
+TEST(RoundApproxTest, PortfolioOffStillValid) {
+  Rng rng(55);
+  RoundGenOptions gen;
+  gen.base.num_edges = 8;
+  gen.base.num_tasks = 24;
+  const PathInstance inst = generate_round_instance(gen, rng);
+  RoundApproxOptions options;
+  options.portfolio = false;
+  const RoundAssignment plain = solve_round_sap_approx(inst, options);
+  EXPECT_TRUE(verify_round_assignment(inst, plain));
+  // The portfolio can only improve (or tie) the first-fit count.
+  const RoundAssignment best = solve_round_sap_approx(inst);
+  EXPECT_LE(best.num_rounds(), plain.num_rounds());
+}
+
+TEST(RoundApproxTest, ExpiredDeadlineThrows) {
+  Rng rng(7);
+  RoundGenOptions gen;
+  gen.base.num_edges = 8;
+  gen.base.num_tasks = 40;
+  const PathInstance inst = generate_round_instance(gen, rng);
+  RoundApproxOptions options;
+  options.deadline = Deadline::after_ms(0);
+  EXPECT_THROW((void)solve_round_ufp_approx(inst, options),
+               DeadlineExceeded);
+  EXPECT_THROW((void)solve_round_sap_approx(inst, options),
+               DeadlineExceeded);
+}
+
+TEST(RoundApproxTest, EmptyInstanceYieldsZeroRounds) {
+  const PathInstance inst({3, 3}, {});
+  EXPECT_EQ(solve_round_ufp_approx(inst).num_rounds(), 0u);
+  EXPECT_EQ(solve_round_sap_approx(inst).num_rounds(), 0u);
+}
+
+// ---------------------------------------------------------------------- io
+
+TEST(RoundIoTest, RoundTripBothKinds) {
+  Rng rng(31);
+  RoundGenOptions gen;
+  gen.base.num_edges = 6;
+  gen.base.num_tasks = 15;
+  const PathInstance inst = generate_round_instance(gen, rng);
+  for (const RoundKind kind : {RoundKind::kUfp, RoundKind::kSap}) {
+    const RoundAssignment a = kind == RoundKind::kUfp
+                                  ? solve_round_ufp_approx(inst)
+                                  : solve_round_sap_approx(inst);
+    std::stringstream buffer;
+    write_round_assignment(buffer, a);
+    const RoundAssignment back = read_round_assignment(buffer);
+    ASSERT_EQ(back.kind, a.kind);
+    ASSERT_EQ(back.num_rounds(), a.num_rounds());
+    for (std::size_t r = 0; r < a.num_rounds(); ++r) {
+      EXPECT_EQ(back.rounds[r].placements, a.rounds[r].placements);
+    }
+  }
+}
+
+TEST(RoundIoTest, RejectsBadHeaderAndKind) {
+  {
+    std::istringstream is("sap-solution v1\n");
+    EXPECT_THROW((void)read_round_assignment(is), std::invalid_argument);
+  }
+  {
+    std::istringstream is("round-solution v1\nkind ring\nrounds 0\n");
+    EXPECT_THROW((void)read_round_assignment(is), std::invalid_argument);
+  }
+}
+
+TEST(RoundIoTest, BoundsRoundCountByReadLimits) {
+  std::istringstream is("round-solution v1\nkind round-ufp\nrounds 100\n");
+  ReadLimits limits;
+  limits.max_placements = 10;
+  EXPECT_THROW((void)read_round_assignment(is, limits),
+               std::invalid_argument);
+}
+
+TEST(RoundIoTest, BoundsCumulativePlacementsByReadLimits) {
+  // 3 rounds x 4 placements = 12 > 10: must reject before materializing.
+  std::ostringstream text;
+  text << "round-solution v1\nkind round-ufp\nrounds 3\n";
+  for (int r = 0; r < 3; ++r) {
+    text << "round 4\n";
+    for (int p = 0; p < 4; ++p) text << (r * 4 + p) << " 0\n";
+  }
+  std::istringstream is(text.str());
+  ReadLimits limits;
+  limits.max_placements = 10;
+  EXPECT_THROW((void)read_round_assignment(is, limits),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- exact
+
+TEST(RoundExactTest, ProvesPairwiseConflictTriangle) {
+  // Three pairwise-overlapping tasks of demand 3 under uniform capacity 5:
+  // no two share a round, optimum 3.
+  const PathInstance inst(
+      {5, 5, 5}, {{0, 1, 3, 1}, {1, 2, 3, 1}, {0, 2, 3, 1}});
+  for (const RoundKind kind : {RoundKind::kUfp, RoundKind::kSap}) {
+    const RoundExactResult r = solve_round_exact(inst, kind);
+    EXPECT_TRUE(r.proven_optimal);
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_EQ(r.rounds, 3);
+    EXPECT_TRUE(verify_round_assignment(inst, r.assignment));
+  }
+}
+
+TEST(RoundExactTest, PacksCompatibleTasksIntoOneRound) {
+  const PathInstance inst({4, 4}, {{0, 0, 2, 1}, {1, 1, 2, 1},
+                                   {0, 1, 2, 1}});
+  const RoundExactResult r = solve_round_exact(inst, RoundKind::kSap);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_TRUE(verify_round_assignment(inst, r.assignment));
+}
+
+TEST(RoundExactTest, EmptyInstanceIsProvenZero) {
+  const PathInstance inst({2}, {});
+  const RoundExactResult r = solve_round_exact(inst, RoundKind::kUfp);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.rounds, 0);
+}
+
+TEST(RoundExactTest, ExpiredDeadlineReportsTimedOut) {
+  Rng rng(13);
+  RoundGenOptions gen;
+  gen.base.num_edges = 8;
+  gen.base.num_tasks = 30;
+  const PathInstance inst = generate_round_instance(gen, rng);
+  RoundExactOptions options;
+  options.deadline = Deadline::after_ms(0);
+  const RoundExactResult r = solve_round_exact(inst, RoundKind::kSap,
+                                               options);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_EQ(r.rounds, 0);
+}
+
+// --------------------------------------------------------------------- gen
+
+TEST(RoundGenTest, NbaClampsDemandsToMinCapacity) {
+  Rng rng(5);
+  RoundGenOptions gen;
+  gen.base.num_edges = 10;
+  gen.base.num_tasks = 40;
+  gen.base.profile = CapacityProfile::kValley;
+  const PathInstance inst = generate_round_instance(gen, rng);
+  const Value cmin = inst.min_capacity();
+  for (const Task& t : inst.tasks()) EXPECT_LE(t.demand, cmin);
+}
+
+TEST(RoundGenTest, DeterministicInSeed) {
+  RoundGenOptions gen;
+  gen.base.num_edges = 6;
+  gen.base.num_tasks = 12;
+  Rng a(77);
+  Rng b(77);
+  EXPECT_EQ(generate_round_instance(gen, a).tasks(),
+            generate_round_instance(gen, b).tasks());
+}
+
+// ------------------------------------------------------------------- ratio
+
+TEST(RoundRatioTest, OracleNeverExceedsApproxAndRespectsLowerBound) {
+  Rng rng(808);
+  for (int trial = 0; trial < 10; ++trial) {
+    RoundGenOptions gen;
+    gen.base.num_edges = 5;
+    gen.base.num_tasks = 8;
+    const PathInstance inst = generate_round_instance(gen, rng);
+    for (const RoundKind kind : {RoundKind::kUfp, RoundKind::kSap}) {
+      const RoundRatioMeasurement m = measure_round_ratio(inst, kind);
+      EXPECT_TRUE(m.approx_valid);
+      EXPECT_LE(m.oracle_rounds, m.approx_rounds);
+      EXPECT_GE(m.oracle_rounds, m.lower_bound);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sap::round

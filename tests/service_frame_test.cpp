@@ -431,5 +431,59 @@ TEST(BatchProtocolTest, HostileBatchEnvelopesRejected) {
                std::invalid_argument);
 }
 
+TEST(ProtocolTest, RoundKindsRoundTripAndUnknownKindsRejected) {
+  for (const auto& [kind, name] :
+       {std::pair{SolveRequest::Kind::kRoundUfp, "round-ufp"},
+        std::pair{SolveRequest::Kind::kRoundSap, "round-sap"}}) {
+    SolveRequest request;
+    request.kind = kind;
+    request.algo = "exact";
+    request.instance_text = "sap-path v1\nedges 1\ncapacities 4\ntasks 0\n";
+    const std::string payload = encode_solve_request(request);
+    EXPECT_NE(payload.find(std::string("\nkind ") + name + "\n"),
+              std::string::npos)
+        << payload;
+    EXPECT_EQ(parse_solve_request(payload).kind, kind);
+  }
+  // An old server receiving a round kind rejects it as a *parse* error —
+  // BAD_REQUEST on one request, connection untouched — which is exactly
+  // the version-negotiation contract; same for any unknown kind today.
+  SolveRequest probe;
+  probe.instance_text = "sap-path v1\nedges 1\ncapacities 4\ntasks 0\n";
+  std::string payload = encode_solve_request(probe);
+  const std::size_t at = payload.find("\nkind path\n");
+  ASSERT_NE(at, std::string::npos);
+  payload.replace(at, 11, "\nkind hyper\n");
+  EXPECT_THROW((void)parse_solve_request(payload), std::invalid_argument);
+}
+
+TEST(ProtocolTest, RoundsResponseLineRoundTripsAndStaysOptional) {
+  SolveResponse response;
+  response.weight = 12;
+  response.placed = 5;
+  response.total_tasks = 5;
+  response.is_round = true;
+  response.rounds = 3;
+  response.telemetry_json = "{}";
+  response.solution_text = "round-solution v1\nkind round-ufp\nrounds 3\n"
+                           "round 0\nround 0\nround 0\n";
+  const std::string payload = encode_solve_response(response);
+  EXPECT_NE(payload.find("\nrounds 3\n"), std::string::npos) << payload;
+  const SolveResponse back = parse_solve_response(payload);
+  EXPECT_TRUE(back.is_round);
+  EXPECT_EQ(back.rounds, 3u);
+  EXPECT_EQ(back.solution_text, response.solution_text);
+
+  // Single-round responses (and old servers) never emit the line.
+  response.is_round = false;
+  response.rounds = 0;
+  response.solution_text = "sap-solution v1\nplacements 0\n";
+  const std::string plain = encode_solve_response(response);
+  EXPECT_EQ(plain.find("\nrounds "), std::string::npos);
+  const SolveResponse plain_back = parse_solve_response(plain);
+  EXPECT_FALSE(plain_back.is_round);
+  EXPECT_EQ(plain_back.rounds, 0u);
+}
+
 }  // namespace
 }  // namespace sap::service

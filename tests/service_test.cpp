@@ -26,6 +26,9 @@
 #include "src/gen/generators.hpp"
 #include "src/io/instance_io.hpp"
 #include "src/model/verify.hpp"
+#include "src/round/approx.hpp"
+#include "src/round/exact.hpp"
+#include "src/round/verify.hpp"
 #include "src/service/client.hpp"
 #include "src/service/frame.hpp"
 #include "src/service/server.hpp"
@@ -830,6 +833,57 @@ TEST(ServiceBatchTest, BatchFrameSolvesItemsIndividuallyAndPreservesOrder) {
   server.stop();
 }
 
+TEST(ServiceBatchTest, EmptyBatchShortCircuitsWithoutATransport) {
+  // solve_batch({}) returns before touching the socket, so it works on a
+  // client that was never connected to anything.
+  Client client;
+  EXPECT_FALSE(client.connected());
+  EXPECT_TRUE(client.solve_batch({}).empty());
+}
+
+TEST(ServiceBatchTest, CanonicallyEqualBatchItemsCoalesceToOneSolve) {
+  // Three textually different spellings of the same instance — comments,
+  // extra spaces, CRLF endings — canonicalize to one digest, so a batch
+  // containing all three costs one solve and replays the stored payload
+  // byte-for-byte into every slot.
+  ServerOptions options;
+  options.cache_entries = 8;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest plain;
+  plain.instance_text =
+      "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n0 0 2 5\n";
+  SolveRequest commented = plain;
+  commented.instance_text =
+      "# same instance, different bytes\n"
+      "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n0 0 2 5\n";
+  SolveRequest respaced = plain;
+  respaced.instance_text =
+      "sap-path v1\r\nedges  1\r\ncapacities 4\r\n\r\ntasks 1\r\n0 0 2 5\r\n";
+
+  const std::vector<Client::SolveOutcome> outcomes =
+      client.solve_batch({plain, commented, respaced});
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const Client::SolveOutcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok) << outcome.error_message;
+    EXPECT_EQ(outcome.response.solution_text,
+              outcomes[0].response.solution_text);
+    EXPECT_EQ(outcome.response.weight, outcomes[0].response.weight);
+    EXPECT_EQ(outcome.response.wall_micros,
+              outcomes[0].response.wall_micros);
+  }
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_ok, 3u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_coalesced, 2u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+  server.stop();
+}
+
 TEST(ServiceBatchTest, BatchOverItemLimitRejectedBeforeAnyInnerParse) {
   ServerOptions options;
   options.max_batch_items = 2;
@@ -1034,6 +1088,188 @@ TEST(ServiceCacheTest, DegradedResponseIsNeverCached) {
   EXPECT_EQ(stats.cache_misses, 2u);
   EXPECT_EQ(stats.cache_entries, 0u);
   EXPECT_EQ(stats.requests_degraded, 2u);
+  server.stop();
+}
+
+/// In-process reference for a round request, matching the server exactly.
+std::string reference_round_solution(const std::string& instance_text,
+                                     round::RoundKind kind,
+                                     const std::string& algo) {
+  std::istringstream is(instance_text);
+  const PathInstance inst = read_path_instance(is);
+  round::RoundAssignment assignment;
+  if (algo == "exact") {
+    assignment = round::solve_round_exact(inst, kind).assignment;
+  } else {
+    assignment = kind == round::RoundKind::kUfp
+                     ? round::solve_round_ufp_approx(inst)
+                     : round::solve_round_sap_approx(inst);
+  }
+  std::ostringstream os;
+  write_round_assignment(os, assignment);
+  return os.str();
+}
+
+TEST(ServiceRoundTest, RoundSolveMatchesInProcessPipelinesOnBothKinds) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  Rng rng(17);
+  PathGenOptions gen;
+  gen.num_edges = 6;
+  gen.num_tasks = 10;
+  gen.min_capacity = 4;
+  gen.max_capacity = 12;
+  const PathInstance inst = generate_path_instance(gen, rng);
+
+  const std::pair<SolveRequest::Kind, round::RoundKind> kinds[] = {
+      {SolveRequest::Kind::kRoundUfp, round::RoundKind::kUfp},
+      {SolveRequest::Kind::kRoundSap, round::RoundKind::kSap},
+  };
+  for (const auto& [wire_kind, model_kind] : kinds) {
+    for (const std::string algo : {"full", "exact"}) {
+      SolveRequest request;
+      request.kind = wire_kind;
+      request.algo = algo;
+      request.instance_text = to_string(inst);
+      const Client::SolveOutcome outcome = client.solve(request);
+      ASSERT_TRUE(outcome.ok) << algo << ": " << outcome.error_message;
+
+      // Byte-identical to the same pipeline run in this process.
+      EXPECT_EQ(outcome.response.solution_text,
+                reference_round_solution(request.instance_text, model_kind,
+                                         algo))
+          << algo;
+      EXPECT_TRUE(outcome.response.is_round);
+      EXPECT_FALSE(outcome.response.degraded);
+
+      // The packing is independently verifiable and places every task.
+      std::istringstream sol_is(outcome.response.solution_text);
+      const round::RoundAssignment assignment = read_round_assignment(sol_is);
+      EXPECT_EQ(assignment.kind, model_kind);
+      const VerifyResult check =
+          round::verify_round_assignment(inst, assignment);
+      EXPECT_TRUE(check) << algo << ": " << check.reason;
+      EXPECT_EQ(outcome.response.rounds, assignment.num_rounds());
+      EXPECT_GE(outcome.response.rounds, 1u);
+      EXPECT_EQ(outcome.response.placed, inst.num_tasks());
+      EXPECT_EQ(outcome.response.total_tasks, inst.num_tasks());
+      EXPECT_EQ(outcome.response.weight, inst.total_weight());
+    }
+  }
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_ok, 4u);
+  server.stop();
+}
+
+TEST(ServiceRoundTest, CachedRoundResponsesReplayByteIdenticalPerKindLane) {
+  ServerOptions options;
+  options.cache_entries = 8;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  // The same instance text under three kinds: path, round-ufp, round-sap.
+  // Each kind hashes into its own digest lane, so these are three distinct
+  // cache entries, and each second serve replays its own stored payload.
+  Rng rng(23);
+  PathGenOptions gen;
+  gen.num_edges = 5;
+  gen.num_tasks = 8;
+  gen.min_capacity = 4;
+  gen.max_capacity = 8;
+  const std::string text = to_string(generate_path_instance(gen, rng));
+
+  for (const SolveRequest::Kind kind :
+       {SolveRequest::Kind::kPath, SolveRequest::Kind::kRoundUfp,
+        SolveRequest::Kind::kRoundSap}) {
+    SolveRequest request;
+    request.kind = kind;
+    request.instance_text = text;
+    const Client::SolveOutcome fresh = client.solve(request);
+    const Client::SolveOutcome cached = client.solve(request);
+    ASSERT_TRUE(fresh.ok) << fresh.error_message;
+    ASSERT_TRUE(cached.ok) << cached.error_message;
+    EXPECT_EQ(cached.response.solution_text, fresh.response.solution_text);
+    EXPECT_EQ(cached.response.rounds, fresh.response.rounds);
+    // Byte-level replay: even the stored timing is echoed back.
+    EXPECT_EQ(cached.response.wall_micros, fresh.response.wall_micros);
+    EXPECT_EQ(cached.response.is_round,
+              kind != SolveRequest::Kind::kPath);
+  }
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.cache_misses, 3u);  // one lane per kind
+  EXPECT_EQ(stats.cache_hits, 3u);
+  EXPECT_EQ(stats.cache_entries, 3u);
+  server.stop();
+}
+
+TEST(ServiceRoundTest, ExpiredDeadlineDegradesRoundExactToValidPacking) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest request;
+  request.kind = SolveRequest::Kind::kRoundSap;
+  request.algo = "exact";
+  request.deadline_ms = 10;
+  request.instance_text = adversarial_exact_instance();
+  const Client::SolveOutcome outcome = client.solve(request);
+
+  // The branch-and-bound oracle cannot finish 48 tasks in 10 ms; the
+  // response is still a success: a budget-free first-fit packing — valid,
+  // just more rounds — marked degraded.
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_TRUE(outcome.response.degraded);
+  EXPECT_NE(outcome.response.skipped.find("solve.exact"), std::string::npos)
+      << outcome.response.skipped;
+  EXPECT_TRUE(outcome.response.is_round);
+
+  std::istringstream inst_is(request.instance_text);
+  const PathInstance inst = read_path_instance(inst_is);
+  std::istringstream sol_is(outcome.response.solution_text);
+  const round::RoundAssignment assignment = read_round_assignment(sol_is);
+  const VerifyResult check = round::verify_round_assignment(inst, assignment);
+  EXPECT_TRUE(check) << check.reason;
+  EXPECT_EQ(outcome.response.rounds, assignment.num_rounds());
+  EXPECT_GE(outcome.response.rounds, 1u);
+
+  const ServerStats stats = server.stats_snapshot();
+  EXPECT_EQ(stats.requests_ok, 1u);
+  EXPECT_EQ(stats.requests_degraded, 1u);
+  EXPECT_EQ(stats.requests_deadline_exceeded, 0u);
+  server.stop();
+}
+
+TEST(ServiceRoundTest, CertificateRequestOnRoundKindRejectedTyped) {
+  Server server(ServerOptions{});
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+
+  SolveRequest request;
+  request.kind = SolveRequest::Kind::kRoundUfp;
+  request.want_certificate = true;
+  request.instance_text =
+      "sap-path v1\nedges 1\ncapacities 4\ntasks 1\n0 0 2 5\n";
+  Client::SolveOutcome outcome = client.solve(request);
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error_code, ErrorCode::kBadRequest);
+  EXPECT_NE(outcome.error_message.find("not defined for round kinds"),
+            std::string::npos)
+      << outcome.error_message;
+
+  // The connection survives: the same request without the flag succeeds.
+  request.want_certificate = false;
+  outcome = client.solve(request);
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_TRUE(outcome.response.is_round);
   server.stop();
 }
 

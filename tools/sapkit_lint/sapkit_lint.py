@@ -75,7 +75,7 @@ from typing import Iterable
 
 # Directories (relative to the repo root, '/'-separated prefixes) where the
 # exact-arithmetic discipline is a correctness requirement.
-EXACT_DIRS = ("src/model", "src/exact", "src/cert", "src/core")
+EXACT_DIRS = ("src/model", "src/exact", "src/cert", "src/core", "src/round")
 
 # Solver / harness paths whose output must be a pure function of
 # (instance, seed).  src/service is excluded: it is an I/O layer whose
@@ -84,7 +84,7 @@ EXACT_DIRS = ("src/model", "src/exact", "src/cert", "src/core")
 DETERMINISTIC_DIRS = (
     "src/model", "src/exact", "src/cert", "src/core", "src/ufpp",
     "src/dsa", "src/sapu", "src/knapsack", "src/gen", "src/harness",
-    "src/lp", "src/io", "src/util",
+    "src/lp", "src/io", "src/util", "src/round",
 )
 
 # The one file in the deterministic tree sanctioned to read the monotonic
